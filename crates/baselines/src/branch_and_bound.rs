@@ -1,0 +1,311 @@
+//! Exact branch-and-bound solver — ground truth beyond the exhaustive
+//! solver's 26-shard limit.
+//!
+//! Depth-first search over take/skip decisions in value-density order,
+//! pruned by the fractional-knapsack (LP relaxation) upper bound. The
+//! `N_min` constraint is handled with feasibility pruning: a node dies
+//! when the remaining items cannot lift the count to `N_min` within the
+//! capacity. Exact for the separable [`DdlPolicy::MaxArrival`] objective;
+//! practical to ~60 shards (instance-dependent).
+
+use mvcom_core::{DdlPolicy, Instance, Solution};
+use mvcom_types::{Error, Result};
+
+use crate::{Solver, SolverOutcome};
+
+/// Branch-and-bound parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BnbConfig {
+    /// Abort after exploring this many nodes (exactness guard; the solver
+    /// errs rather than silently returning a heuristic answer).
+    pub max_nodes: u64,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig {
+            max_nodes: 20_000_000,
+        }
+    }
+}
+
+/// The exact branch-and-bound solver.
+///
+/// # Example
+///
+/// ```
+/// use mvcom_baselines::{branch_and_bound::BnbSolver, Solver};
+/// use mvcom_core::problem::InstanceBuilder;
+/// use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+///
+/// # fn main() -> Result<(), mvcom_types::Error> {
+/// let instance = InstanceBuilder::new()
+///     .alpha(2.0).capacity(400).n_min(2)
+///     .shards((0..10).map(|i| ShardInfo::new(
+///         CommitteeId(i), 60 + u64::from(i) * 7,
+///         TwoPhaseLatency::from_total(SimTime::from_secs(100.0 + 9.0 * f64::from(i))),
+///     )).collect())
+///     .build()?;
+/// let outcome = BnbSolver::default().solve(&instance)?;
+/// assert!(instance.is_feasible(&outcome.best_solution));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BnbSolver {
+    config: BnbConfig,
+}
+
+impl BnbSolver {
+    /// Creates a solver with an explicit node budget.
+    pub fn new(config: BnbConfig) -> BnbSolver {
+        BnbSolver { config }
+    }
+}
+
+struct SearchState<'a> {
+    values: &'a [f64],
+    weights: &'a [u64],
+    /// Suffix minima of weights, for the N_min feasibility prune.
+    suffix_min_weight: &'a [u64],
+    capacity: u64,
+    n_min: usize,
+    n: usize,
+    best_value: f64,
+    best_set: Vec<bool>,
+    nodes: u64,
+    max_nodes: u64,
+    exhausted: bool,
+}
+
+impl SearchState<'_> {
+    /// Fractional-knapsack upper bound on the value attainable from item
+    /// `from` onward with `remaining` capacity (items are density-sorted,
+    /// negative-value items contribute 0 — dropping the `N_min` constraint
+    /// and integrality can only increase the optimum, so this is a valid
+    /// upper bound).
+    fn upper_bound(&self, from: usize, remaining: u64) -> f64 {
+        let mut bound = 0.0;
+        let mut cap = remaining;
+        for i in from..self.n {
+            if self.values[i] <= 0.0 {
+                break; // density-sorted: the rest are non-positive too
+            }
+            if self.weights[i] <= cap {
+                bound += self.values[i];
+                cap -= self.weights[i];
+            } else {
+                bound += self.values[i] * cap as f64 / self.weights[i] as f64;
+                break;
+            }
+        }
+        bound
+    }
+
+    fn dfs(&mut self, idx: usize, value: f64, weight: u64, count: usize, picked: &mut Vec<bool>) {
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            self.exhausted = true;
+            return;
+        }
+        if self.exhausted {
+            return;
+        }
+        if idx == self.n {
+            if count >= self.n_min && value > self.best_value {
+                self.best_value = value;
+                self.best_set = picked.clone();
+            }
+            return;
+        }
+        // Feasibility prunes.
+        let remaining_items = self.n - idx;
+        if count + remaining_items < self.n_min {
+            return; // cannot reach N_min
+        }
+        if self.n_min > count {
+            // Necessary condition: even `needed` copies of the lightest
+            // remaining item must fit (suffix-min underestimates the true
+            // requirement, so this only prunes provably dead branches).
+            let needed = (self.n_min - count) as u64;
+            if weight.saturating_add(self.suffix_min_weight[idx].saturating_mul(needed))
+                > self.capacity
+            {
+                return;
+            }
+        }
+        // Bound prune: the LP-relaxation bound is valid for any completion
+        // (forced N_min picks can only lower the achieved value).
+        if value + self.upper_bound(idx, self.capacity - weight) <= self.best_value {
+            return;
+        }
+
+        // Branch 1: take item idx (if it fits).
+        if weight + self.weights[idx] <= self.capacity {
+            picked[idx] = true;
+            self.dfs(
+                idx + 1,
+                value + self.values[idx],
+                weight + self.weights[idx],
+                count + 1,
+                picked,
+            );
+            picked[idx] = false;
+        }
+        // Branch 2: skip item idx.
+        self.dfs(idx + 1, value, weight, count, picked);
+    }
+}
+
+impl Solver for BnbSolver {
+    fn name(&self) -> &'static str {
+        "bnb"
+    }
+
+    fn solve(&self, instance: &Instance) -> Result<SolverOutcome> {
+        if instance.ddl_policy() != DdlPolicy::MaxArrival {
+            return Err(Error::invalid_instance(
+                "branch-and-bound requires the separable MaxArrival objective",
+            ));
+        }
+        let n = instance.len();
+        // Density order (value per weight, descending); ties by index for
+        // determinism.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let da = instance.marginal_utility(a) / instance.shards()[a].tx_count().max(1) as f64;
+            let db = instance.marginal_utility(b) / instance.shards()[b].tx_count().max(1) as f64;
+            db.total_cmp(&da).then(a.cmp(&b))
+        });
+        let values: Vec<f64> = order.iter().map(|&i| instance.marginal_utility(i)).collect();
+        let weights: Vec<u64> = order
+            .iter()
+            .map(|&i| instance.shards()[i].tx_count())
+            .collect();
+        let mut suffix_min_weight = vec![u64::MAX; n + 1];
+        for i in (0..n).rev() {
+            suffix_min_weight[i] = suffix_min_weight[i + 1].min(weights[i]);
+        }
+        let mut state = SearchState {
+            values: &values,
+            weights: &weights,
+            suffix_min_weight: &suffix_min_weight,
+            capacity: instance.capacity(),
+            n_min: instance.n_min(),
+            n,
+            best_value: f64::NEG_INFINITY,
+            best_set: vec![false; n],
+            nodes: 0,
+            max_nodes: self.config.max_nodes,
+            exhausted: false,
+        };
+        let mut picked = vec![false; n];
+        state.dfs(0, 0.0, 0, 0, &mut picked);
+        if state.exhausted {
+            return Err(Error::NotConverged {
+                iterations: state.nodes,
+            });
+        }
+        if state.best_value == f64::NEG_INFINITY {
+            return Err(Error::infeasible("no selection satisfies the constraints"));
+        }
+        let indices = state
+            .best_set
+            .iter()
+            .enumerate()
+            .filter(|(_, &take)| take)
+            .map(|(k, _)| order[k]);
+        let best_solution = Solution::from_indices(n, indices, instance);
+        debug_assert!(instance.is_feasible(&best_solution));
+        let best_utility = instance.utility(&best_solution);
+        Ok(SolverOutcome {
+            solver: self.name().to_string(),
+            best_utility,
+            best_solution,
+            trajectory: vec![(0, best_utility)],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_outcome;
+    use crate::exhaustive::ExhaustiveSolver;
+    use crate::test_support::{instance, tiny};
+
+    #[test]
+    fn matches_exhaustive_on_small_instances() {
+        for seed in 0..6 {
+            let inst = instance(14, seed);
+            let exact = ExhaustiveSolver::new().solve(&inst).unwrap();
+            let bnb = BnbSolver::default().solve(&inst).unwrap();
+            check_outcome(&inst, &bnb).unwrap();
+            assert!(
+                (bnb.best_utility - exact.best_utility).abs() < 1e-6,
+                "seed {seed}: bnb {} vs exhaustive {}",
+                bnb.best_utility,
+                exact.best_utility
+            );
+        }
+    }
+
+    #[test]
+    fn handles_medium_instances_beyond_exhaustive_reach() {
+        let inst = instance(45, 3);
+        let bnb = BnbSolver::default().solve(&inst).unwrap();
+        check_outcome(&inst, &bnb).unwrap();
+        // Must dominate the greedy heuristic.
+        let greedy = crate::greedy::GreedySolver::new().solve(&inst).unwrap();
+        assert!(bnb.best_utility >= greedy.best_utility - 1e-9);
+        // And the bucketed DP.
+        let dp = crate::dp::DpSolver::default().solve(&inst).unwrap();
+        assert!(bnb.best_utility >= dp.best_utility - 1e-9);
+    }
+
+    #[test]
+    fn respects_n_min_with_negative_marginals() {
+        use mvcom_core::problem::InstanceBuilder;
+        use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+        // All marginals negative, N_min forces 3 picks: the optimum is the
+        // three least-bad shards that fit.
+        let shards: Vec<ShardInfo> = (0..6)
+            .map(|i| {
+                ShardInfo::new(
+                    CommitteeId(i),
+                    100,
+                    TwoPhaseLatency::from_total(SimTime::from_secs(f64::from(i) * 200.0)),
+                )
+            })
+            .collect();
+        let inst = InstanceBuilder::new()
+            .alpha(0.01)
+            .capacity(1_000)
+            .n_min(3)
+            .shards(shards)
+            .build()
+            .unwrap();
+        let bnb = BnbSolver::default().solve(&inst).unwrap();
+        let exact = ExhaustiveSolver::new().solve(&inst).unwrap();
+        assert!((bnb.best_utility - exact.best_utility).abs() < 1e-9);
+        assert_eq!(bnb.best_solution.selected_count(), 3);
+    }
+
+    #[test]
+    fn node_budget_errors_rather_than_lying() {
+        let inst = instance(30, 1);
+        let starved = BnbSolver::new(BnbConfig { max_nodes: 10 });
+        assert!(matches!(
+            starved.solve(&inst),
+            Err(mvcom_types::Error::NotConverged { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_instance_agreement() {
+        let inst = tiny();
+        let exact = ExhaustiveSolver::new().solve(&inst).unwrap();
+        let bnb = BnbSolver::default().solve(&inst).unwrap();
+        assert!((bnb.best_utility - exact.best_utility).abs() < 1e-6);
+    }
+}

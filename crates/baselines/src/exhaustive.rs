@@ -1,0 +1,172 @@
+//! Exact optimum by exhaustive enumeration — the ground truth for tests.
+
+use mvcom_core::{Instance, Solution};
+use mvcom_types::{Error, Result};
+
+use crate::{Solver, SolverOutcome};
+
+/// Enumerates all `2^|I|` selections and returns the feasible optimum.
+///
+/// Limited to 26 shards (2²⁶ ≈ 6.7·10⁷ states); intended for validating the
+/// heuristic solvers, not for production use.
+///
+/// # Example
+///
+/// ```
+/// use mvcom_baselines::{ExhaustiveSolver, Solver};
+/// use mvcom_core::problem::InstanceBuilder;
+/// use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+///
+/// # fn main() -> Result<(), mvcom_types::Error> {
+/// let instance = InstanceBuilder::new()
+///     .alpha(2.0)
+///     .capacity(250)
+///     .shards((0..8).map(|i| ShardInfo::new(
+///         CommitteeId(i), 50 + u64::from(i) * 10,
+///         TwoPhaseLatency::from_total(SimTime::from_secs(100.0 + f64::from(i))),
+///     )).collect())
+///     .build()?;
+/// let outcome = ExhaustiveSolver::new().solve(&instance)?;
+/// assert!(instance.is_feasible(&outcome.best_solution));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveSolver {
+    _private: (),
+}
+
+impl ExhaustiveSolver {
+    /// Creates the solver.
+    pub fn new() -> ExhaustiveSolver {
+        ExhaustiveSolver { _private: () }
+    }
+}
+
+impl Solver for ExhaustiveSolver {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn solve(&self, instance: &Instance) -> Result<SolverOutcome> {
+        let n = instance.len();
+        if n > 26 {
+            return Err(Error::invalid_instance(format!(
+                "exhaustive enumeration capped at 26 shards, got {n}"
+            )));
+        }
+        let mut best: Option<(f64, u64)> = None;
+        for mask in 0u64..(1 << n) {
+            if (mask.count_ones() as usize) < instance.n_min() {
+                continue;
+            }
+            // Cheap capacity pre-check before building the Solution.
+            let total: u64 = (0..n)
+                .filter(|&i| mask >> i & 1 == 1)
+                .map(|i| instance.shards()[i].tx_count())
+                .sum();
+            if total > instance.capacity() {
+                continue;
+            }
+            let sol = Solution::from_indices(n, (0..n).filter(|&i| mask >> i & 1 == 1), instance);
+            let u = instance.utility(&sol);
+            if best.is_none_or(|(bu, _)| u > bu) {
+                best = Some((u, mask));
+            }
+        }
+        let (best_utility, mask) =
+            best.ok_or_else(|| Error::infeasible("no selection satisfies the constraints"))?;
+        let best_solution =
+            Solution::from_indices(n, (0..n).filter(|&i| mask >> i & 1 == 1), instance);
+        Ok(SolverOutcome {
+            solver: self.name().to_string(),
+            best_utility,
+            best_solution,
+            trajectory: vec![(0, best_utility)],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_outcome;
+    use crate::test_support::tiny;
+    use mvcom_core::problem::InstanceBuilder;
+    use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+
+    #[test]
+    fn finds_the_true_optimum() {
+        let inst = tiny();
+        let outcome = ExhaustiveSolver::new().solve(&inst).unwrap();
+        check_outcome(&inst, &outcome).unwrap();
+        // No feasible solution may beat it (spot-check a few).
+        let all: Vec<usize> = (0..inst.len()).collect();
+        for k in inst.n_min()..=inst.len().min(6) {
+            let sol = mvcom_core::Solution::from_indices(
+                inst.len(),
+                all[..k].iter().copied(),
+                &inst,
+            );
+            if inst.is_feasible(&sol) {
+                assert!(inst.utility(&sol) <= outcome.best_utility + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn respects_n_min() {
+        let inst = tiny();
+        let outcome = ExhaustiveSolver::new().solve(&inst).unwrap();
+        assert!(outcome.best_solution.selected_count() >= inst.n_min());
+    }
+
+    #[test]
+    fn rejects_large_instances() {
+        let inst = InstanceBuilder::new()
+            .capacity(10_000)
+            .shards(
+                (0..27)
+                    .map(|i| {
+                        ShardInfo::new(
+                            CommitteeId(i),
+                            10,
+                            TwoPhaseLatency::from_total(SimTime::from_secs(1.0 + f64::from(i))),
+                        )
+                    })
+                    .collect(),
+            )
+            .build()
+            .unwrap();
+        assert!(ExhaustiveSolver::new().solve(&inst).is_err());
+    }
+
+    #[test]
+    fn selects_empty_when_all_marginals_negative_and_n_min_zero() {
+        // One huge-age shard, alpha small: best is to select nothing.
+        let inst = InstanceBuilder::new()
+            .alpha(0.001)
+            .capacity(1_000)
+            .n_min(0)
+            .shards(vec![
+                ShardInfo::new(
+                    CommitteeId(0),
+                    100,
+                    TwoPhaseLatency::from_total(SimTime::from_secs(0.0)),
+                ),
+                ShardInfo::new(
+                    CommitteeId(1),
+                    100,
+                    TwoPhaseLatency::from_total(SimTime::from_secs(10_000.0)),
+                ),
+            ])
+            .build()
+            .unwrap();
+        let outcome = ExhaustiveSolver::new().solve(&inst).unwrap();
+        // Selecting shard 1 (zero age) gains 0.1; shard 0 loses ~10000.
+        assert_eq!(
+            outcome.best_solution.iter_selected().collect::<Vec<_>>(),
+            vec![1]
+        );
+    }
+}

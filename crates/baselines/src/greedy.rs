@@ -1,0 +1,181 @@
+//! Density-greedy reference solver.
+
+use mvcom_core::{Instance, Solution};
+use mvcom_types::{Error, Result};
+
+use crate::{Solver, SolverOutcome};
+
+/// Greedy selection by marginal-utility density.
+///
+/// Sorts shards by `(α·s_i − Π_i) / s_i` descending, admits every shard
+/// with positive marginal utility that fits in the remaining capacity,
+/// then — if fewer than `N_min` were admitted — tops up with the least-bad
+/// remaining shards that fit.
+///
+/// This is the classical knapsack density heuristic; it gives a fast,
+/// deterministic lower bar that the stochastic solvers should beat or match.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySolver {
+    _private: (),
+}
+
+impl GreedySolver {
+    /// Creates the solver.
+    pub fn new() -> GreedySolver {
+        GreedySolver { _private: () }
+    }
+}
+
+impl Solver for GreedySolver {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn solve(&self, instance: &Instance) -> Result<SolverOutcome> {
+        let n = instance.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let da = instance.marginal_utility(a) / instance.shards()[a].tx_count().max(1) as f64;
+            let db = instance.marginal_utility(b) / instance.shards()[b].tx_count().max(1) as f64;
+            db.total_cmp(&da)
+        });
+
+        let mut solution = Solution::empty(n);
+        for &i in &order {
+            if instance.marginal_utility(i) <= 0.0 {
+                break; // order is by density; positives can still follow,
+                       // so re-scan below for safety.
+            }
+            if solution.tx_total() + instance.shards()[i].tx_count() <= instance.capacity() {
+                solution.insert(i, instance);
+            }
+        }
+        // A positive-marginal shard can hide behind a negative-density one
+        // only if densities and marginals disagree in sign, which they
+        // cannot (s_i > 0) — but a second pass costs nothing and keeps the
+        // invariant obvious.
+        for &i in &order {
+            if instance.marginal_utility(i) > 0.0
+                && !solution.contains(i)
+                && solution.tx_total() + instance.shards()[i].tx_count() <= instance.capacity()
+            {
+                solution.insert(i, instance);
+            }
+        }
+        // Repair pass for N_min: admit the least-bad remaining shards.
+        if solution.selected_count() < instance.n_min() {
+            let mut rest: Vec<usize> = (0..n).filter(|&i| !solution.contains(i)).collect();
+            rest.sort_by(|&a, &b| {
+                instance
+                    .marginal_utility(b)
+                    .total_cmp(&instance.marginal_utility(a))
+            });
+            for i in rest {
+                if solution.selected_count() >= instance.n_min() {
+                    break;
+                }
+                if solution.tx_total() + instance.shards()[i].tx_count() <= instance.capacity() {
+                    solution.insert(i, instance);
+                }
+            }
+        }
+        if !instance.is_feasible(&solution) {
+            return Err(Error::infeasible(
+                "greedy repair could not satisfy N_min within the capacity",
+            ));
+        }
+        let best_utility = instance.utility(&solution);
+        Ok(SolverOutcome {
+            solver: self.name().to_string(),
+            best_solution: solution,
+            best_utility,
+            trajectory: vec![(0, best_utility)],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_outcome;
+    use crate::exhaustive::ExhaustiveSolver;
+    use crate::test_support::{instance, tiny};
+    use mvcom_core::problem::InstanceBuilder;
+    use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+
+    #[test]
+    fn produces_feasible_solutions() {
+        for seed in 0..5 {
+            let inst = instance(24, seed);
+            let outcome = GreedySolver::new().solve(&inst).unwrap();
+            check_outcome(&inst, &outcome).unwrap();
+        }
+    }
+
+    #[test]
+    fn never_beats_the_exhaustive_optimum() {
+        let inst = tiny();
+        let greedy = GreedySolver::new().solve(&inst).unwrap();
+        let exact = ExhaustiveSolver::new().solve(&inst).unwrap();
+        assert!(greedy.best_utility <= exact.best_utility + 1e-9);
+    }
+
+    #[test]
+    fn picks_obviously_dominant_shards() {
+        // Two shards, both fit: one has hugely positive marginal, the
+        // other hugely negative. Greedy must take exactly the first.
+        let inst = InstanceBuilder::new()
+            .alpha(1.0)
+            .capacity(10_000)
+            .n_min(0)
+            .shards(vec![
+                ShardInfo::new(
+                    CommitteeId(0),
+                    1_000,
+                    TwoPhaseLatency::from_total(SimTime::from_secs(5_000.0)),
+                ),
+                ShardInfo::new(
+                    CommitteeId(1),
+                    10,
+                    TwoPhaseLatency::from_total(SimTime::from_secs(0.0)),
+                ),
+            ])
+            .build()
+            .unwrap();
+        let outcome = GreedySolver::new().solve(&inst).unwrap();
+        assert_eq!(
+            outcome.best_solution.iter_selected().collect::<Vec<_>>(),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn n_min_repair_admits_negative_marginals_when_forced() {
+        let inst = InstanceBuilder::new()
+            .alpha(0.01)
+            .capacity(1_000)
+            .n_min(2)
+            .shards(vec![
+                ShardInfo::new(
+                    CommitteeId(0),
+                    100,
+                    TwoPhaseLatency::from_total(SimTime::from_secs(1_000.0)),
+                ),
+                ShardInfo::new(
+                    CommitteeId(1),
+                    100,
+                    TwoPhaseLatency::from_total(SimTime::from_secs(0.0)),
+                ),
+                ShardInfo::new(
+                    CommitteeId(2),
+                    100,
+                    TwoPhaseLatency::from_total(SimTime::from_secs(500.0)),
+                ),
+            ])
+            .build()
+            .unwrap();
+        let outcome = GreedySolver::new().solve(&inst).unwrap();
+        assert!(outcome.best_solution.selected_count() >= 2);
+        check_outcome(&inst, &outcome).unwrap();
+    }
+}

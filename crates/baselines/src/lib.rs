@@ -1,0 +1,135 @@
+//! Baseline solvers for the MVCom committee-scheduling problem.
+//!
+//! The paper (§VI-B) compares its Stochastic-Exploration algorithm against
+//! three baselines, all implemented here over the same
+//! [`Instance`] model so utilities are directly
+//! comparable:
+//!
+//! * [`sa`] — **Simulated Annealing**: Metropolis acceptance over the same
+//!   swap/insert/remove neighborhood, geometric cooling.
+//! * [`dp`] — **Dynamic Programming**: the classical 0/1-knapsack DP over
+//!   bucketed capacity; exact on the separable relaxation but blind to the
+//!   `N_min` constraint until a repair pass, and quantized by the bucket
+//!   granularity — which is exactly why the paper observes it trailing SE.
+//! * [`woa`] — **Whale Optimization Algorithm** (Mirjalili & Lewis 2016):
+//!   a binary variant using a sigmoid transfer function, with feasibility
+//!   repair.
+//!
+//! Three reference solvers support testing and calibration:
+//!
+//! * [`greedy`] — density-greedy selection, the natural lower bar.
+//! * [`exhaustive`] — exact optimum by enumeration (≤ 26 shards), the
+//!   ground truth for property tests.
+//! * [`branch_and_bound`] — exact optimum via LP-bounded DFS, the ground
+//!   truth for medium instances (~40–60 shards) beyond enumeration reach.
+//!
+//! Every solver implements the [`Solver`] trait and records a best-so-far
+//! trajectory, so the figure harness can overlay convergence curves of SE
+//! and all baselines (paper Figs. 11–14).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch_and_bound;
+pub mod dp;
+pub mod exhaustive;
+pub mod greedy;
+pub mod sa;
+pub mod woa;
+
+use mvcom_core::{Instance, Solution};
+use mvcom_types::Result;
+use serde::{Deserialize, Serialize};
+
+pub use branch_and_bound::BnbSolver;
+pub use dp::DpSolver;
+pub use exhaustive::ExhaustiveSolver;
+pub use greedy::GreedySolver;
+pub use sa::SaSolver;
+pub use woa::WoaSolver;
+
+/// The result of one solver run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverOutcome {
+    /// Short machine-readable solver name (`"sa"`, `"dp"`, ...).
+    pub solver: String,
+    /// The best feasible solution found.
+    pub best_solution: Solution,
+    /// Its utility.
+    pub best_utility: f64,
+    /// `(iteration, best-so-far utility)` samples for convergence plots.
+    /// One-shot solvers (DP, greedy) report a single point.
+    pub trajectory: Vec<(u64, f64)>,
+}
+
+/// A solver of the MVCom problem.
+///
+/// Implementations must return a solution satisfying both constraints
+/// (`Σx ≥ N_min`, `Σx·s ≤ Ĉ`) or an error — never an infeasible "best
+/// effort".
+pub trait Solver {
+    /// Solver name used in figures and logs.
+    fn name(&self) -> &'static str;
+
+    /// Solves `instance`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; all return [`mvcom_types::Error`] variants
+    /// (infeasibility, invalid configuration, non-convergence).
+    fn solve(&self, instance: &Instance) -> Result<SolverOutcome>;
+}
+
+/// Validates a solver outcome against an instance — shared test helper.
+pub fn check_outcome(instance: &Instance, outcome: &SolverOutcome) -> Result<()> {
+    if !instance.is_feasible(&outcome.best_solution) {
+        return Err(mvcom_types::Error::infeasible(format!(
+            "{} returned an infeasible solution",
+            outcome.solver
+        )));
+    }
+    let recomputed = instance.utility(&outcome.best_solution);
+    if (recomputed - outcome.best_utility).abs() > 1e-6 * (1.0 + recomputed.abs()) {
+        return Err(mvcom_types::Error::invalid_instance(format!(
+            "{} reported utility {} but the solution evaluates to {recomputed}",
+            outcome.solver, outcome.best_utility
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use mvcom_core::problem::InstanceBuilder;
+    use mvcom_core::Instance;
+    use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+
+    /// A reproducible medium instance with an active capacity constraint.
+    pub fn instance(n: usize, seed_shift: u64) -> Instance {
+        InstanceBuilder::new()
+            .alpha(1.5)
+            .capacity((n as u64) * 110)
+            .n_min(n / 3)
+            .shards(
+                (0..n)
+                    .map(|i| {
+                        let k = i as u64 + seed_shift;
+                        ShardInfo::new(
+                            CommitteeId(i as u32),
+                            70 + (k * 37) % 120,
+                            TwoPhaseLatency::from_total(SimTime::from_secs(
+                                300.0 + ((k * 97) % 800) as f64,
+                            )),
+                        )
+                    })
+                    .collect(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    /// A tiny instance whose optimum is enumerable.
+    pub fn tiny() -> Instance {
+        instance(10, 0)
+    }
+}

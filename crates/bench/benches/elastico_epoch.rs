@@ -1,0 +1,43 @@
+//! Benchmarks of the protocol substrate: one full Elastico epoch and one
+//! PBFT consensus instance.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mvcom_elastico::epoch::{ElasticoConfig, ElasticoSim};
+use mvcom_pbft::runner::{PbftConfig, PbftRunner};
+use mvcom_simnet::{rng, Network, NetworkConfig};
+use mvcom_types::Hash32;
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elastico");
+    group.sample_size(10);
+
+    group.bench_function("small_epoch_60_nodes", |b| {
+        b.iter(|| {
+            let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 1).unwrap();
+            black_box(sim.run_epoch().unwrap().shards.len())
+        });
+    });
+
+    for &n in &[4u32, 16, 31] {
+        group.bench_with_input(BenchmarkId::new("pbft_commit", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut master = rng::master(2);
+                let network =
+                    Network::new(NetworkConfig::lan(n), rng::fork(&mut master, "net")).unwrap();
+                let result = PbftRunner::new(
+                    PbftConfig::new(n).unwrap(),
+                    network,
+                    rng::fork(&mut master, "pbft"),
+                )
+                .run(Hash32::digest(b"bench"))
+                .unwrap();
+                black_box(result.committed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

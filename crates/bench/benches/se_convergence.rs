@@ -1,0 +1,85 @@
+//! Benchmarks of the SE engine: per-iteration cost and full convergence
+//! runs, including the Γ ablation and the MaxSelected-deadline ablation
+//! called out in DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mvcom_bench::harness::paper_instance;
+use mvcom_core::problem::{DdlPolicy, InstanceBuilder};
+use mvcom_core::se::{SeConfig, SeEngine};
+
+fn bench_se(c: &mut Criterion) {
+    let mut group = c.benchmark_group("se");
+    group.sample_size(10);
+
+    // Per-iteration cost at growing |I|.
+    for &n in &[50usize, 200, 500] {
+        let instance = paper_instance(n, 1_000 * n as u64, 1.5, 7).unwrap();
+        group.bench_with_input(BenchmarkId::new("100_iterations", n), &n, |b, _| {
+            let config = SeConfig {
+                gamma: 10,
+                max_iterations: 100,
+                convergence_window: 0,
+                record_every: 100,
+                ..SeConfig::paper(1)
+            };
+            b.iter(|| {
+                let engine = SeEngine::new(&instance, config).unwrap();
+                black_box(engine.run().best_utility)
+            });
+        });
+    }
+
+    // Γ ablation: same iteration budget, different replica counts.
+    let instance = paper_instance(100, 100_000, 1.5, 8).unwrap();
+    for &gamma in &[1usize, 10, 25] {
+        group.bench_with_input(BenchmarkId::new("gamma", gamma), &gamma, |b, &gamma| {
+            let config = SeConfig {
+                gamma,
+                max_iterations: 200,
+                convergence_window: 0,
+                record_every: 200,
+                ..SeConfig::paper(2)
+            };
+            b.iter(|| {
+                let engine = SeEngine::new(&instance, config).unwrap();
+                black_box(engine.run().best_utility)
+            });
+        });
+    }
+
+    // DDL-policy ablation: the separable MaxArrival objective vs the
+    // non-separable MaxSelected extension (O(1) vs O(n) swap deltas).
+    for policy in [DdlPolicy::MaxArrival, DdlPolicy::MaxSelected] {
+        let base = paper_instance(50, 50_000, 1.5, 9).unwrap();
+        let instance = InstanceBuilder::new()
+            .alpha(1.5)
+            .capacity(50_000)
+            .n_min(25)
+            .ddl_policy(policy)
+            .shards(base.shards().to_vec())
+            .build()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("ddl_policy", format!("{policy:?}")),
+            &policy,
+            |b, _| {
+                let config = SeConfig {
+                    gamma: 4,
+                    max_iterations: 100,
+                    convergence_window: 0,
+                    record_every: 100,
+                    ..SeConfig::paper(3)
+                };
+                b.iter(|| {
+                    let engine = SeEngine::new(&instance, config).unwrap();
+                    black_box(engine.run().best_utility)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_se);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmarks of the baseline solvers on a common instance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mvcom_baselines::{dp::DpConfig, sa::SaConfig, woa::WoaConfig};
+use mvcom_baselines::{DpSolver, GreedySolver, SaSolver, Solver, WoaSolver};
+use mvcom_bench::harness::paper_instance;
+
+fn bench_solvers(c: &mut Criterion) {
+    let instance = paper_instance(200, 200_000, 1.5, 55).unwrap();
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(GreedySolver::new().solve(&instance).unwrap().best_utility));
+    });
+    group.bench_function("dp_512_buckets", |b| {
+        b.iter(|| {
+            black_box(
+                DpSolver::new(DpConfig { max_buckets: 512 })
+                    .solve(&instance)
+                    .unwrap()
+                    .best_utility,
+            )
+        });
+    });
+    group.bench_function("sa_500_iters", |b| {
+        let config = SaConfig {
+            iterations: 500,
+            ..SaConfig::paper(1)
+        };
+        b.iter(|| black_box(SaSolver::new(config).solve(&instance).unwrap().best_utility));
+    });
+    group.bench_function("woa_100_iters", |b| {
+        let config = WoaConfig {
+            iterations: 100,
+            ..WoaConfig::paper(1)
+        };
+        b.iter(|| black_box(WoaSolver::new(config).solve(&instance).unwrap().best_utility));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

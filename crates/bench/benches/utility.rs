@@ -1,0 +1,30 @@
+//! Microbenchmarks of the MVCom objective: full evaluation vs the O(1)
+//! incremental swap delta, at the paper's largest scale (|I| = 1000).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mvcom_bench::harness::paper_instance;
+use mvcom_core::Solution;
+
+fn bench_utility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("utility");
+    for &n in &[100usize, 500, 1000] {
+        let instance = paper_instance(n, 1_000 * n as u64, 1.5, 99).unwrap();
+        let solution = Solution::from_indices(n, (0..n).step_by(2), &instance);
+        group.bench_with_input(BenchmarkId::new("full_eval", n), &n, |b, _| {
+            b.iter(|| black_box(instance.utility(black_box(&solution))));
+        });
+        let out = solution.iter_selected().next().unwrap();
+        let inc = solution.iter_unselected().next().unwrap();
+        group.bench_with_input(BenchmarkId::new("swap_delta", n), &n, |b, _| {
+            b.iter(|| black_box(instance.swap_delta(black_box(&solution), out, inc)));
+        });
+        group.bench_with_input(BenchmarkId::new("valuable_degree", n), &n, |b, _| {
+            b.iter(|| black_box(instance.valuable_degree(black_box(&solution))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_utility);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Fig. 10 — the Valuable Degree `Σ x_i·s_i/Π_i` of each algorithm's
+//! schedule (|I_j| = 500, Ĉ = 500K, α = 1.5, Γ = 25).
+
+use mvcom_types::Result;
+
+use crate::harness::{paper_instance, run_all_algorithms, FigureReport, Scale};
+
+/// Runs the Valuable-Degree comparison.
+pub fn run(scale: Scale) -> Result<FigureReport> {
+    let n = scale.committees(500);
+    let capacity = 1_000 * n as u64;
+    let iters = scale.iters(3_000);
+    let instance = paper_instance(n, capacity, 1.5, 10_000)?;
+    let runs = run_all_algorithms(&instance, iters, 25, 10_001)?;
+
+    let mut report = FigureReport::new("fig10");
+    let mut rows = Vec::new();
+    let mut degrees = Vec::new();
+    for r in &runs {
+        let vd = instance.valuable_degree(&r.solution);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{vd:.3}"),
+            format!("{:.1}", r.utility),
+            r.solution.selected_count().to_string(),
+        ]);
+        degrees.push((r.name, vd));
+        report.note(format!(
+            "{}: valuable degree {vd:.2}, utility {:.1}, {} admitted",
+            r.name,
+            r.utility,
+            r.solution.selected_count()
+        ));
+    }
+    report.add_csv(
+        "fig10.csv",
+        &["algorithm", "valuable_degree", "utility", "admitted"],
+        rows,
+    );
+
+    let vd = |name: &str| {
+        degrees
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+            .expect("algorithm present")
+    };
+    // Shape checks. The paper reports SE strictly highest with DP and WOA
+    // "pretty low"; our DP is a near-exact knapsack (stronger than the
+    // paper's — see EXPERIMENTS.md) and ties SE to within a fraction of a
+    // percent, so the robust shape is: SE at the top within a 1% tie
+    // tolerance, and strictly above the metaheuristic WOA.
+    report.check("SE within 1% of the highest valuable degree", {
+        let best = degrees.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
+        vd("SE") >= 0.99 * best
+    });
+    report.check("SE beats WOA on valuable degree", vd("SE") > vd("WOA"));
+    report.check(
+        "SA lands within 10% of SE (close runner-up)",
+        vd("SA") >= 0.9 * vd("SE"),
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_runs_and_reports_all_algorithms() {
+        let report = run(Scale::Quick).unwrap();
+        assert_eq!(report.files.len(), 1);
+        let csv = &report.files[0].1;
+        for algo in ["SE", "SA", "DP", "WOA"] {
+            assert!(csv.contains(algo), "{algo} missing from CSV");
+        }
+    }
+}

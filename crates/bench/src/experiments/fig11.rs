@@ -1,0 +1,82 @@
+//! Fig. 11 — convergence of SE / SA / DP / WOA while varying
+//! |I_j| ∈ {500, 800, 1000} (Ĉ = 1000·|I_j|, α = 1.5, Γ = 10).
+
+use mvcom_types::Result;
+
+use crate::harness::{downsample, paper_instance, run_all_algorithms, FigureReport, Scale};
+
+/// Runs the |I_j| sweep.
+pub fn run(scale: Scale) -> Result<FigureReport> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Full => vec![500, 800, 1000],
+        Scale::Quick => vec![50, 80, 100],
+    };
+    let iters = scale.iters(3_000);
+    let mut report = FigureReport::new("fig11");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut gaps = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let instance = paper_instance(n, 1_000 * n as u64, 1.5, 11_000 + i as u64)?;
+        let runs = run_all_algorithms(&instance, iters, 10, 11_100 + i as u64)?;
+        for r in &runs {
+            for &(iter, u) in downsample(&r.trajectory, 150).iter() {
+                rows.push(vec![
+                    n.to_string(),
+                    r.name.to_string(),
+                    iter.to_string(),
+                    format!("{u:.2}"),
+                ]);
+            }
+        }
+        let get = |name: &str| {
+            runs.iter()
+                .find(|r| r.name == name)
+                .map(|r| r.utility)
+                .expect("algorithm present")
+        };
+        gaps.push((n, get("SE"), get("SA"), get("DP"), get("WOA")));
+        report.note(format!(
+            "|I|={n}: SE {:.1}, SA {:.1}, DP {:.1}, WOA {:.1}",
+            get("SE"),
+            get("SA"),
+            get("DP"),
+            get("WOA")
+        ));
+    }
+    report.add_csv(
+        "fig11.csv",
+        &["committees", "algorithm", "iteration", "utility"],
+        rows,
+    );
+    // Shape checks. The paper reports SE 20–30% above all baselines; our
+    // DP is a near-exact knapsack on the separable objective (stronger
+    // than the paper's — see EXPERIMENTS.md), so the robust shape is:
+    // SE dominates its iterative peers (SA, WOA) at every size, and lands
+    // within a few percent of the near-exact DP.
+    report.check(
+        "SE converges at or above SA and WOA at every |I|",
+        gaps.iter().all(|&(_, se, sa, _, woa)| se >= sa.max(woa) - 1e-9),
+    );
+    report.check(
+        "SE within 10% of the near-exact DP at every |I|",
+        gaps.iter().all(|&(_, se, _, dp, _)| {
+            se >= dp - 0.10 * dp.abs().max(1.0)
+        }),
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_passes_shape_checks() {
+        let report = run(Scale::Quick).unwrap();
+        assert!(
+            report.summary.iter().all(|l| !l.contains("MISMATCH")),
+            "{:#?}",
+            report.summary
+        );
+    }
+}

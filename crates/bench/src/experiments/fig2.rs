@@ -1,0 +1,173 @@
+//! Fig. 2 — measured two-phase latency under Elastico.
+//!
+//! (a) formation vs consensus latency while scaling the network size;
+//! (b) the CDFs of both latency components at a fixed size.
+
+use mvcom_elastico::epoch::{ElasticoConfig, ElasticoSim};
+use mvcom_simnet::stats::{Ecdf, Summary};
+use mvcom_types::Result;
+
+use crate::harness::{downsample, FigureReport, Scale};
+
+const TARGET_COMMITTEE: u32 = 12;
+
+fn collect_latencies(
+    n_nodes: u32,
+    epochs: usize,
+    seed: u64,
+) -> Result<(Vec<f64>, Vec<f64>)> {
+    let mut sim = ElasticoSim::new(ElasticoConfig::with_nodes(n_nodes, TARGET_COMMITTEE), seed)?;
+    let mut formation = Vec::new();
+    let mut consensus = Vec::new();
+    for _ in 0..epochs {
+        let report = sim.run_epoch()?;
+        for shard in &report.shards {
+            formation.push(shard.latency().formation().as_secs());
+            consensus.push(shard.latency().consensus().as_secs());
+        }
+    }
+    Ok((formation, consensus))
+}
+
+/// Fig. 2(a): two-phase latency vs network size.
+pub fn fig2a(scale: Scale) -> Result<FigureReport> {
+    let sizes: Vec<u32> = match scale {
+        Scale::Full => vec![100, 200, 400, 600, 800, 1000],
+        Scale::Quick => vec![100, 200, 400],
+    };
+    let epochs = scale.reps(3);
+    let mut report = FigureReport::new("fig2a");
+    let mut rows = Vec::new();
+    let mut means = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let (formation, consensus) = collect_latencies(n, epochs, 20_000 + i as u64)?;
+        let fs: Summary = formation.iter().copied().collect();
+        let cs: Summary = consensus.iter().copied().collect();
+        rows.push(vec![
+            n as f64,
+            fs.mean(),
+            fs.std_dev(),
+            cs.mean(),
+            cs.std_dev(),
+        ]);
+        means.push((n, fs.mean(), cs.mean()));
+        report.note(format!(
+            "n={n}: formation {:.0}±{:.0}s, consensus {:.1}±{:.1}s",
+            fs.mean(),
+            fs.std_dev(),
+            cs.mean(),
+            cs.std_dev()
+        ));
+    }
+    report.add_csv(
+        "fig2a.csv",
+        &[
+            "network_size",
+            "formation_mean_s",
+            "formation_std_s",
+            "consensus_mean_s",
+            "consensus_std_s",
+        ],
+        rows,
+    );
+    // Shape checks (paper): formation dominates consensus and grows
+    // roughly linearly with the network size; consensus stays flat.
+    let first = means.first().expect("sizes non-empty");
+    let last = means.last().expect("sizes non-empty");
+    report.check(
+        "formation latency dominates consensus at every size",
+        means.iter().all(|&(_, f, c)| f > c),
+    );
+    // The linear identity-processing slope is ~3 s/node; require at least
+    // a third of it to show through the PoW max-order-statistic noise.
+    let expected_growth = f64::from(last.0 - first.0);
+    report.check(
+        "formation latency grows with network size",
+        last.1 > first.1 + expected_growth,
+    );
+    report.check(
+        "consensus latency stays roughly flat across sizes",
+        (last.2 - first.2).abs() < first.2.max(1.0),
+    );
+    Ok(report)
+}
+
+/// Fig. 2(b): CDFs of formation and consensus latency.
+pub fn fig2b(scale: Scale) -> Result<FigureReport> {
+    let n_nodes = match scale {
+        Scale::Full => 600,
+        Scale::Quick => 150,
+    };
+    let epochs = scale.reps(8);
+    let (formation, consensus) = collect_latencies(n_nodes, epochs, 21_000)?;
+    let f_cdf = Ecdf::from_samples(formation);
+    let c_cdf = Ecdf::from_samples(consensus);
+
+    let mut report = FigureReport::new("fig2b");
+    let f_points: Vec<(f64, f64)> = downsample(&f_cdf.points().collect::<Vec<_>>(), 200);
+    let c_points: Vec<(f64, f64)> = downsample(&c_cdf.points().collect::<Vec<_>>(), 200);
+    report.add_csv(
+        "fig2b_formation_cdf.csv",
+        &["latency_s", "cdf"],
+        f_points.iter().map(|&(x, y)| vec![x, y]),
+    );
+    report.add_csv(
+        "fig2b_consensus_cdf.csv",
+        &["latency_s", "cdf"],
+        c_points.iter().map(|&(x, y)| vec![x, y]),
+    );
+    report.note(format!(
+        "formation: median {:.0}s, p95 {:.0}s over {} samples",
+        f_cdf.quantile(0.5),
+        f_cdf.quantile(0.95),
+        f_cdf.len()
+    ));
+    report.note(format!(
+        "consensus: median {:.1}s, p95 {:.1}s over {} samples (paper mean 54.5s)",
+        c_cdf.quantile(0.5),
+        c_cdf.quantile(0.95),
+        c_cdf.len()
+    ));
+    // Shape checks: both distributions spread over a bounded range rather
+    // than collapsing to a point (the paper stresses their randomness).
+    report.check(
+        "formation latency is dispersed (p95 > 1.3 × median)",
+        f_cdf.quantile(0.95) > 1.3 * f_cdf.quantile(0.5),
+    );
+    report.check(
+        "consensus latency is dispersed (p95 > 1.3 × median)",
+        c_cdf.quantile(0.95) > 1.3 * c_cdf.quantile(0.5),
+    );
+    report.check(
+        "formation stochastically dominates consensus",
+        f_cdf.quantile(0.5) > c_cdf.quantile(0.95),
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_quick_passes_shape_checks() {
+        let report = fig2a(Scale::Quick).unwrap();
+        assert!(
+            report.summary.iter().all(|l| !l.contains("MISMATCH")),
+            "{:#?}",
+            report.summary
+        );
+        assert_eq!(report.files.len(), 1);
+    }
+
+    #[test]
+    fn fig2b_quick_passes_shape_checks() {
+        let report = fig2b(Scale::Quick).unwrap();
+        assert!(
+            report.summary.iter().all(|l| !l.contains("MISMATCH")),
+            "{:#?}",
+            report.summary
+        );
+        assert_eq!(report.files.len(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! One module per paper figure (see DESIGN.md §4 for the index).
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig2;
+pub mod fig8;
+pub mod fig9;
+
+use mvcom_types::{Error, Result};
+
+use crate::harness::{FigureReport, Scale};
+
+/// All figure identifiers, in paper order, plus the extra ablations.
+pub const ALL: &[&str] = &[
+    "fig2a",
+    "fig2b",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ablation-ddl",
+    "ablation-dynamics",
+];
+
+/// Runs one figure experiment by name.
+///
+/// # Errors
+///
+/// [`Error::InvalidConfig`] for unknown names; otherwise propagates the
+/// experiment's own errors.
+pub fn run(name: &str, scale: Scale) -> Result<FigureReport> {
+    match name {
+        "fig2a" => fig2::fig2a(scale),
+        "fig2b" => fig2::fig2b(scale),
+        "fig8" => fig8::run(scale),
+        "fig9a" => fig9::fig9a(scale),
+        "fig9b" => fig9::fig9b(scale),
+        "fig10" => fig10::run(scale),
+        "fig11" => fig11::run(scale),
+        "fig12" => fig12::run(scale),
+        "fig13" => fig13::run(scale),
+        "fig14" => fig14::run(scale),
+        "ablation-ddl" => ablations::ddl(scale),
+        "ablation-dynamics" => ablations::dynamics(scale),
+        other => Err(Error::invalid_config(
+            "figure",
+            format!("unknown figure `{other}`; expected one of {ALL:?}"),
+        )),
+    }
+}

@@ -1,0 +1,436 @@
+//! CSV → SVG rendering for the regenerated figures.
+//!
+//! Each experiment writes plain CSV series (schemas documented per figure
+//! module); this module knows those schemas and renders publication-style
+//! SVG charts next to the CSVs. Used by `repro --svg` and the standalone
+//! `plot` binary.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mvcom_types::{Error, Result};
+
+use crate::plot::{Bar, Chart, Series};
+
+/// Parses one of our own CSVs: header row plus comma-separated cells, no
+/// quoting (we never emit commas inside cells).
+fn read_csv(path: &Path) -> Result<(Vec<String>, Vec<Vec<String>>)> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| Error::simulation(format!("reading {path:?}: {e}")))?;
+    let mut lines = text.lines();
+    let header: Vec<String> = lines
+        .next()
+        .ok_or_else(|| Error::simulation(format!("{path:?} is empty")))?
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let rows = lines
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .collect();
+    Ok((header, rows))
+}
+
+fn column(header: &[String], name: &str) -> Result<usize> {
+    header
+        .iter()
+        .position(|h| h == name)
+        .ok_or_else(|| Error::simulation(format!("column `{name}` missing from {header:?}")))
+}
+
+fn parse_f64(cell: &str) -> f64 {
+    cell.parse().unwrap_or(f64::NAN)
+}
+
+/// Groups `(group, x, y)` rows into per-group series, preserving the
+/// first-appearance order of groups.
+fn grouped_series(rows: &[(String, f64, f64)]) -> Vec<Series> {
+    let mut order: Vec<String> = Vec::new();
+    let mut map: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for (g, x, y) in rows {
+        if !map.contains_key(g) {
+            order.push(g.clone());
+        }
+        map.entry(g.clone()).or_default().push((*x, *y));
+    }
+    order
+        .into_iter()
+        .map(|g| Series {
+            points: map.remove(&g).unwrap_or_default(),
+            label: g,
+        })
+        .collect()
+}
+
+fn write_svg(dir: &Path, name: &str, svg: Option<String>, written: &mut Vec<PathBuf>) -> Result<()> {
+    let Some(svg) = svg else { return Ok(()) };
+    let path = dir.join(name);
+    fs::write(&path, svg).map_err(|e| Error::simulation(format!("writing {path:?}: {e}")))?;
+    written.push(path);
+    Ok(())
+}
+
+/// Renders `<group>, iteration, utility` convergence CSVs: one SVG per
+/// distinct facet value when `facet` is set, otherwise one SVG grouping by
+/// the group column.
+fn render_convergence(
+    dir: &Path,
+    csv: &str,
+    facet: Option<&str>,
+    group_col: &str,
+    title: &str,
+    written: &mut Vec<PathBuf>,
+) -> Result<()> {
+    let path = dir.join(csv);
+    if !path.exists() {
+        return Ok(());
+    }
+    let (header, rows) = read_csv(&path)?;
+    let gi = column(&header, group_col)?;
+    let xi = column(&header, "iteration")?;
+    let yi = column(&header, "utility")?;
+    let stem = csv.trim_end_matches(".csv");
+    match facet {
+        None => {
+            let data: Vec<(String, f64, f64)> = rows
+                .iter()
+                .map(|r| (r[gi].clone(), parse_f64(&r[xi]), parse_f64(&r[yi])))
+                .collect();
+            let chart = Chart::new(title, "iteration", "system utility");
+            write_svg(dir, &format!("{stem}.svg"), chart.render_lines(&grouped_series(&data)), written)?;
+        }
+        Some(facet_col) => {
+            let fi = column(&header, facet_col)?;
+            let mut facets: Vec<String> = Vec::new();
+            for r in &rows {
+                if !facets.contains(&r[fi]) {
+                    facets.push(r[fi].clone());
+                }
+            }
+            for facet_value in facets {
+                let data: Vec<(String, f64, f64)> = rows
+                    .iter()
+                    .filter(|r| r[fi] == facet_value)
+                    .map(|r| (r[gi].clone(), parse_f64(&r[xi]), parse_f64(&r[yi])))
+                    .collect();
+                let chart = Chart::new(
+                    format!("{title} ({facet_col} = {facet_value})"),
+                    "iteration",
+                    "system utility",
+                );
+                write_svg(
+                    dir,
+                    &format!("{stem}_{facet_col}_{facet_value}.svg"),
+                    chart.render_lines(&grouped_series(&data)),
+                    written,
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders every known figure CSV found in `dir`; returns the SVG paths.
+///
+/// # Errors
+///
+/// I/O failures and malformed CSVs (which would indicate a harness bug).
+pub fn render_all(dir: &Path) -> Result<Vec<PathBuf>> {
+    let mut written = Vec::new();
+
+    // Fig. 2(a): latency vs network size.
+    let fig2a = dir.join("fig2a.csv");
+    if fig2a.exists() {
+        let (header, rows) = read_csv(&fig2a)?;
+        let xi = column(&header, "network_size")?;
+        let fi = column(&header, "formation_mean_s")?;
+        let ci = column(&header, "consensus_mean_s")?;
+        let series = vec![
+            Series {
+                label: "committee formation".into(),
+                points: rows.iter().map(|r| (parse_f64(&r[xi]), parse_f64(&r[fi]))).collect(),
+            },
+            Series {
+                label: "intra-committee consensus".into(),
+                points: rows.iter().map(|r| (parse_f64(&r[xi]), parse_f64(&r[ci]))).collect(),
+            },
+        ];
+        let chart = Chart::new(
+            "Fig. 2(a) — two-phase latency vs network size",
+            "network size (nodes)",
+            "latency (s)",
+        );
+        write_svg(dir, "fig2a.svg", chart.render_lines(&series), &mut written)?;
+    }
+
+    // Fig. 2(b): the two CDFs on one chart.
+    let formation_cdf = dir.join("fig2b_formation_cdf.csv");
+    let consensus_cdf = dir.join("fig2b_consensus_cdf.csv");
+    if formation_cdf.exists() && consensus_cdf.exists() {
+        let mut series = Vec::new();
+        for (path, label) in [
+            (&formation_cdf, "formation latency"),
+            (&consensus_cdf, "consensus latency"),
+        ] {
+            let (header, rows) = read_csv(path)?;
+            let xi = column(&header, "latency_s")?;
+            let yi = column(&header, "cdf")?;
+            series.push(Series {
+                label: label.into(),
+                points: rows.iter().map(|r| (parse_f64(&r[xi]), parse_f64(&r[yi]))).collect(),
+            });
+        }
+        let chart = Chart::new(
+            "Fig. 2(b) — CDF of the two-phase latency components",
+            "latency (s)",
+            "CDF",
+        );
+        write_svg(dir, "fig2b.svg", chart.render_lines(&series), &mut written)?;
+    }
+
+    // Fig. 8: convergence per Γ.
+    let fig8 = dir.join("fig8.csv");
+    if fig8.exists() {
+        let (header, rows) = read_csv(&fig8)?;
+        let gi = column(&header, "gamma")?;
+        let xi = column(&header, "iteration")?;
+        let yi = column(&header, "utility")?;
+        let data: Vec<(String, f64, f64)> = rows
+            .iter()
+            .map(|r| (format!("Γ = {}", r[gi]), parse_f64(&r[xi]), parse_f64(&r[yi])))
+            .collect();
+        let chart = Chart::new(
+            "Fig. 8 — SE convergence vs parallel threads Γ",
+            "iteration",
+            "system utility",
+        );
+        write_svg(dir, "fig8.svg", chart.render_lines(&grouped_series(&data)), &mut written)?;
+    }
+
+    // Fig. 9(a)/(b): single trajectory each.
+    for (csv, title) in [
+        ("fig9a.csv", "Fig. 9(a) — committee leave & rejoin"),
+        ("fig9b.csv", "Fig. 9(b) — consecutive committee joins"),
+    ] {
+        let path = dir.join(csv);
+        if !path.exists() {
+            continue;
+        }
+        let (header, rows) = read_csv(&path)?;
+        let xi = column(&header, "iteration")?;
+        let yi = column(&header, "utility")?;
+        let series = vec![Series {
+            label: "SE (Γ = 1)".into(),
+            points: rows.iter().map(|r| (parse_f64(&r[xi]), parse_f64(&r[yi]))).collect(),
+        }];
+        let chart = Chart::new(title, "iteration", "system utility");
+        write_svg(
+            dir,
+            &csv.replace(".csv", ".svg"),
+            chart.render_lines(&series),
+            &mut written,
+        )?;
+    }
+
+    // Fig. 10: valuable degree bars.
+    let fig10 = dir.join("fig10.csv");
+    if fig10.exists() {
+        let (header, rows) = read_csv(&fig10)?;
+        let ai = column(&header, "algorithm")?;
+        let vi = column(&header, "valuable_degree")?;
+        let bars: Vec<Bar> = rows
+            .iter()
+            .map(|r| Bar {
+                label: r[ai].clone(),
+                value: parse_f64(&r[vi]),
+                whisker: None,
+            })
+            .collect();
+        let chart = Chart::new(
+            "Fig. 10 — Valuable Degree per algorithm",
+            "algorithm",
+            "valuable degree Σ s_i/Π_i",
+        );
+        write_svg(dir, "fig10.svg", chart.render_bars(&bars), &mut written)?;
+    }
+
+    // Convergence families.
+    render_convergence(
+        dir,
+        "fig11.csv",
+        Some("committees"),
+        "algorithm",
+        "Fig. 11 — convergence vs |I|",
+        &mut written,
+    )?;
+    render_convergence(
+        dir,
+        "fig12.csv",
+        Some("alpha"),
+        "algorithm",
+        "Fig. 12 — convergence vs α",
+        &mut written,
+    )?;
+    render_convergence(
+        dir,
+        "fig14.csv",
+        Some("alpha"),
+        "algorithm",
+        "Fig. 14 — online execution with consecutive joins",
+        &mut written,
+    )?;
+    render_convergence(
+        dir,
+        "ablation_dynamics.csv",
+        None,
+        "policy",
+        "Ablation — Trim vs Reinitialize after a failure",
+        &mut written,
+    )?;
+
+    // Fig. 13: per-α bar groups with IQR whiskers.
+    let fig13 = dir.join("fig13.csv");
+    if fig13.exists() {
+        let (header, rows) = read_csv(&fig13)?;
+        let fi = column(&header, "alpha")?;
+        let ai = column(&header, "algorithm")?;
+        let mi = column(&header, "median")?;
+        let q25 = column(&header, "q25")?;
+        let q75 = column(&header, "q75")?;
+        let mut alphas: Vec<String> = Vec::new();
+        for r in &rows {
+            if !alphas.contains(&r[fi]) {
+                alphas.push(r[fi].clone());
+            }
+        }
+        for alpha in alphas {
+            let bars: Vec<Bar> = rows
+                .iter()
+                .filter(|r| r[fi] == alpha)
+                .map(|r| Bar {
+                    label: r[ai].clone(),
+                    value: parse_f64(&r[mi]),
+                    whisker: Some((parse_f64(&r[q25]), parse_f64(&r[q75]))),
+                })
+                .collect();
+            let chart = Chart::new(
+                format!("Fig. 13 — converged-utility distribution (α = {alpha})"),
+                "algorithm",
+                "converged utility (median, IQR)",
+            );
+            write_svg(dir, &format!("fig13_alpha_{alpha}.svg"), chart.render_bars(&bars), &mut written)?;
+        }
+    }
+
+    // Ablation: DDL policies as bars.
+    let ddl = dir.join("ablation_ddl.csv");
+    if ddl.exists() {
+        let (header, rows) = read_csv(&ddl)?;
+        let pi = column(&header, "policy")?;
+        let ui = column(&header, "utility")?;
+        let bars: Vec<Bar> = rows
+            .iter()
+            .map(|r| Bar {
+                label: r[pi].clone(),
+                value: parse_f64(&r[ui]),
+                whisker: None,
+            })
+            .collect();
+        let chart = Chart::new(
+            "Ablation — deadline policy",
+            "policy",
+            "converged utility",
+        );
+        write_svg(dir, "ablation_ddl.svg", chart.render_bars(&bars), &mut written)?;
+    }
+
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{FigureReport, Scale};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mvcom-figures-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn renders_fig8_style_csv() {
+        let dir = tmpdir("fig8");
+        let mut report = FigureReport::new("fig8");
+        let mut rows = Vec::new();
+        for gamma in [1, 10] {
+            for iter in 0..20 {
+                rows.push(vec![gamma as f64, iter as f64, (iter * gamma) as f64]);
+            }
+        }
+        report.add_csv("fig8.csv", &["gamma", "iteration", "utility"], rows);
+        report.write_to(&dir).unwrap();
+        let written = render_all(&dir).unwrap();
+        assert!(written.iter().any(|p| p.ends_with("fig8.svg")));
+        let svg = fs::read_to_string(dir.join("fig8.svg")).unwrap();
+        assert!(svg.contains("Γ = 1"));
+        assert!(svg.contains("Γ = 10"));
+    }
+
+    #[test]
+    fn renders_faceted_convergence_and_bars() {
+        let dir = tmpdir("fig12-13");
+        let mut report = FigureReport::new("x");
+        report.add_csv(
+            "fig12.csv",
+            &["alpha", "algorithm", "iteration", "utility"],
+            vec![
+                vec!["1.5".to_string(), "SE".into(), "0".into(), "1.0".into()],
+                vec!["1.5".to_string(), "SE".into(), "5".into(), "2.0".into()],
+                vec!["5".to_string(), "SA".into(), "0".into(), "3.0".into()],
+                vec!["5".to_string(), "SA".into(), "5".into(), "4.0".into()],
+            ],
+        );
+        report.add_csv(
+            "fig13.csv",
+            &["alpha", "algorithm", "min", "q25", "median", "q75", "max"],
+            vec![vec![
+                "1.5".to_string(),
+                "SE".into(),
+                "1".into(),
+                "2".into(),
+                "3".into(),
+                "4".into(),
+                "5".into(),
+            ]],
+        );
+        report.write_to(&dir).unwrap();
+        let written = render_all(&dir).unwrap();
+        let names: Vec<String> = written
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().to_string())
+            .collect();
+        assert!(names.contains(&"fig12_alpha_1.5.svg".to_string()), "{names:?}");
+        assert!(names.contains(&"fig12_alpha_5.svg".to_string()));
+        assert!(names.contains(&"fig13_alpha_1.5.svg".to_string()));
+    }
+
+    #[test]
+    fn missing_csvs_are_skipped_silently() {
+        let dir = tmpdir("empty");
+        let written = render_all(&dir).unwrap();
+        assert!(written.is_empty());
+    }
+
+    #[test]
+    fn end_to_end_from_a_quick_experiment() {
+        // Run the cheapest real experiment and render its SVG.
+        let dir = tmpdir("e2e");
+        let report = crate::experiments::run("fig9a", Scale::Quick).unwrap();
+        report.write_to(&dir).unwrap();
+        let written = render_all(&dir).unwrap();
+        assert!(written.iter().any(|p| p.ends_with("fig9a.svg")));
+    }
+}

@@ -1,0 +1,287 @@
+//! Shared plumbing for the figure experiments.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mvcom_baselines::{dp::DpConfig, sa::SaConfig, woa::WoaConfig};
+use mvcom_baselines::{DpSolver, SaSolver, Solver, WoaSolver};
+use mvcom_core::problem::InstanceBuilder;
+use mvcom_core::se::{SeConfig, SeEngine};
+use mvcom_core::{Instance, Solution};
+use mvcom_dataset::{EpochGenerator, LatencyConfig, Trace, TraceConfig};
+use mvcom_types::Result;
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's parameters.
+    Full,
+    /// ~10× smaller, for smoke tests and CI.
+    Quick,
+}
+
+impl Scale {
+    /// Scales an iteration budget.
+    pub fn iters(self, full: u64) -> u64 {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 10).max(50),
+        }
+    }
+
+    /// Scales a committee count.
+    pub fn committees(self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 10).max(10),
+        }
+    }
+
+    /// Scales a repetition count.
+    pub fn reps(self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 4).max(2),
+        }
+    }
+}
+
+/// The output of one figure experiment: CSV files plus a textual summary
+/// with shape checks.
+#[derive(Debug, Clone, Default)]
+pub struct FigureReport {
+    /// Figure identifier (e.g. `"fig8"`).
+    pub name: String,
+    /// `(relative path, csv text)` pairs to be written under `results/`.
+    pub files: Vec<(String, String)>,
+    /// Human-readable lines: measured numbers and shape-check verdicts.
+    pub summary: Vec<String>,
+}
+
+impl FigureReport {
+    /// Starts an empty report for `name`.
+    pub fn new(name: &str) -> FigureReport {
+        FigureReport {
+            name: name.to_string(),
+            ..FigureReport::default()
+        }
+    }
+
+    /// Adds a CSV file built from a header and rows of cells.
+    pub fn add_csv<R, C>(&mut self, filename: &str, header: &[&str], rows: R)
+    where
+        R: IntoIterator<Item = Vec<C>>,
+        C: std::fmt::Display,
+    {
+        let mut text = String::new();
+        let _ = writeln!(text, "{}", header.join(","));
+        for row in rows {
+            let cells: Vec<String> = row.into_iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(text, "{}", cells.join(","));
+        }
+        self.files.push((filename.to_string(), text));
+    }
+
+    /// Appends one summary line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.summary.push(line.into());
+    }
+
+    /// Appends a shape-check verdict line.
+    pub fn check(&mut self, description: &str, passed: bool) {
+        self.summary
+            .push(format!("[{}] {description}", if passed { "OK" } else { "MISMATCH" }));
+    }
+
+    /// Writes all CSV files under `out_dir` and returns the paths written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures as [`mvcom_types::Error::Simulation`].
+    pub fn write_to(&self, out_dir: &Path) -> Result<Vec<PathBuf>> {
+        fs::create_dir_all(out_dir)
+            .map_err(|e| mvcom_types::Error::simulation(format!("creating {out_dir:?}: {e}")))?;
+        let mut written = Vec::new();
+        for (name, text) in &self.files {
+            let path = out_dir.join(name);
+            fs::write(&path, text)
+                .map_err(|e| mvcom_types::Error::simulation(format!("writing {path:?}: {e}")))?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+/// Builds the scheduling-experiment instance the paper's Figs. 8–14 use:
+/// `|I| = n` shards sampled one-block-each from the Jan-2016-like trace
+/// (≈1089 TXs per shard), paper latency models, `N_min = 50%·|I|`.
+///
+/// # Errors
+///
+/// Propagates builder validation.
+pub fn paper_instance(n: usize, capacity: u64, alpha: f64, seed: u64) -> Result<Instance> {
+    let trace = Trace::generate(TraceConfig::jan_2016(), seed);
+    let mut epochs = EpochGenerator::new(&trace, LatencyConfig::paper(), seed);
+    let shards = epochs.next_epoch_with_replacement(n, 1)?;
+    InstanceBuilder::new()
+        .alpha(alpha)
+        .capacity(capacity)
+        .n_min(n / 2)
+        .shards(shards)
+        .build()
+}
+
+/// One algorithm's result on one instance, in a form common to SE and the
+/// baselines so the comparison figures can overlay them.
+#[derive(Debug, Clone)]
+pub struct AlgoRun {
+    /// Algorithm name as plotted (`"SE"`, `"SA"`, `"DP"`, `"WOA"`).
+    pub name: &'static str,
+    /// Final (best) utility.
+    pub utility: f64,
+    /// The final solution.
+    pub solution: Solution,
+    /// `(iteration, best-so-far utility)` convergence samples.
+    pub trajectory: Vec<(u64, f64)>,
+}
+
+/// Runs SE and the paper's three baselines on `instance` with a shared
+/// iteration budget — the engine behind Figs. 10–14.
+///
+/// # Errors
+///
+/// Propagates any solver error.
+pub fn run_all_algorithms(
+    instance: &Instance,
+    iterations: u64,
+    gamma: usize,
+    seed: u64,
+) -> Result<Vec<AlgoRun>> {
+    let mut runs = Vec::with_capacity(4);
+
+    let se_config = SeConfig {
+        gamma,
+        max_iterations: iterations,
+        convergence_window: 0,
+        record_every: 1,
+        ..SeConfig::paper(seed)
+    };
+    let se = SeEngine::new(instance, se_config)?.run();
+    runs.push(AlgoRun {
+        name: "SE",
+        utility: se.best_utility,
+        solution: se.best_solution,
+        trajectory: se
+            .trajectory
+            .points()
+            .iter()
+            .map(|p| (p.iteration, p.best_so_far))
+            .collect(),
+    });
+
+    let sa = SaSolver::new(SaConfig {
+        iterations,
+        ..SaConfig::paper(seed)
+    })
+    .solve(instance)?;
+    runs.push(AlgoRun {
+        name: "SA",
+        utility: sa.best_utility,
+        solution: sa.best_solution,
+        trajectory: sa.trajectory,
+    });
+
+    let dp = DpSolver::new(DpConfig::paper()).solve(instance)?;
+    // DP is one-shot; extend its point into a flat line for overlays.
+    let dp_traj = vec![(0, dp.best_utility), (iterations, dp.best_utility)];
+    runs.push(AlgoRun {
+        name: "DP",
+        utility: dp.best_utility,
+        solution: dp.best_solution,
+        trajectory: dp_traj,
+    });
+
+    let woa = WoaSolver::new(WoaConfig {
+        iterations,
+        ..WoaConfig::paper(seed)
+    })
+    .solve(instance)?;
+    runs.push(AlgoRun {
+        name: "WOA",
+        utility: woa.best_utility,
+        solution: woa.best_solution,
+        trajectory: woa.trajectory,
+    });
+
+    Ok(runs)
+}
+
+/// Downsamples a trajectory to at most `max_points` evenly spaced samples
+/// (always keeping the last).
+pub fn downsample<T: Copy>(points: &[T], max_points: usize) -> Vec<T> {
+    if points.len() <= max_points || max_points < 2 {
+        return points.to_vec();
+    }
+    let stride = points.len().div_ceil(max_points);
+    let mut out: Vec<T> = points.iter().copied().step_by(stride).collect();
+    if let Some(&last) = points.last() {
+        out.push(last);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_quick_shrinks() {
+        assert_eq!(Scale::Full.iters(3_000), 3_000);
+        assert_eq!(Scale::Quick.iters(3_000), 300);
+        assert_eq!(Scale::Quick.committees(500), 50);
+        assert_eq!(Scale::Quick.reps(20), 5);
+        assert_eq!(Scale::Quick.iters(100), 50);
+    }
+
+    #[test]
+    fn paper_instance_matches_parameters() {
+        let inst = paper_instance(50, 50_000, 1.5, 1).unwrap();
+        assert_eq!(inst.len(), 50);
+        assert_eq!(inst.capacity(), 50_000);
+        assert_eq!(inst.n_min(), 25);
+        // ~1089 TXs per shard on average.
+        let mean = inst.total_txs() as f64 / 50.0;
+        assert!((800.0..1400.0).contains(&mean), "mean shard size {mean}");
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut report = FigureReport::new("test");
+        report.add_csv(
+            "t.csv",
+            &["a", "b"],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+        );
+        assert_eq!(report.files[0].1, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn downsample_keeps_ends() {
+        let points: Vec<u64> = (0..1000).collect();
+        let ds = downsample(&points, 50);
+        assert!(ds.len() <= 52);
+        assert_eq!(ds[0], 0);
+        assert_eq!(*ds.last().unwrap(), 999);
+        assert_eq!(downsample(&points, 2000), points);
+    }
+
+    #[test]
+    fn check_formats_verdicts() {
+        let mut report = FigureReport::new("x");
+        report.check("thing holds", true);
+        report.check("other thing", false);
+        assert!(report.summary[0].starts_with("[OK]"));
+        assert!(report.summary[1].starts_with("[MISMATCH]"));
+    }
+}

@@ -1,0 +1,27 @@
+//! The MVCom figure-regeneration harness.
+//!
+//! Every figure in the paper's evaluation (§VI) has a module under
+//! [`experiments`] that rebuilds its workload, runs the SE scheduler and
+//! the baselines with the paper's parameters, and emits the plotted series
+//! as CSV plus a human-readable summary with the expected *shape checks*
+//! (who wins, by how much, where it saturates).
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p mvcom-bench --bin repro -- all
+//! ```
+//!
+//! or a single figure (`fig2a`, `fig2b`, `fig8`, `fig9a`, `fig9b`,
+//! `fig10`, `fig11`, `fig12`, `fig13`, `fig14`). `--quick` shrinks the
+//! workloads ~10× for smoke testing. CSVs land in `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+pub mod harness;
+pub mod plot;
+
+pub use harness::{FigureReport, Scale};

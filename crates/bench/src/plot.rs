@@ -1,0 +1,365 @@
+//! Dependency-free SVG charts for the regenerated figures.
+//!
+//! The experiments emit CSV series; this module renders them as
+//! self-contained SVG files (line charts for convergence curves and CDFs,
+//! bar charts with whiskers for distribution summaries) so `repro --svg`
+//! produces figures a reader can open directly.
+
+use std::fmt::Write as _;
+
+/// One named line series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One bar with optional whiskers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Category label under the bar.
+    pub label: String,
+    /// Bar height in data coordinates.
+    pub value: f64,
+    /// Optional `(low, high)` whisker in data coordinates.
+    pub whisker: Option<(f64, f64)>,
+}
+
+/// Colour cycle (colour-blind-safe Okabe–Ito palette).
+const PALETTE: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_LEFT: f64 = 86.0;
+const MARGIN_RIGHT: f64 = 24.0;
+const MARGIN_TOP: f64 = 46.0;
+const MARGIN_BOTTOM: f64 = 64.0;
+
+/// A chart under construction.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+}
+
+impl Chart {
+    /// Starts a chart with a title and axis labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Chart {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+        }
+    }
+
+    /// Renders a multi-series line chart.
+    ///
+    /// Returns `None` when every series is empty (nothing to draw).
+    pub fn render_lines(&self, series: &[Series]) -> Option<String> {
+        let xs: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .filter(|v| v.is_finite())
+            .collect();
+        let ys: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .filter(|v| v.is_finite())
+            .collect();
+        if xs.is_empty() || ys.is_empty() {
+            return None;
+        }
+        let (x_min, x_max) = padded_range(&xs, 0.0);
+        let (y_min, y_max) = padded_range(&ys, 0.06);
+        let mut svg = self.open_svg(x_min, x_max, y_min, y_max);
+
+        for (i, s) in series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .filter(|p| p.0.is_finite() && p.1.is_finite())
+                .map(|&(x, y)| {
+                    format!(
+                        "{:.1},{:.1}",
+                        project(x, x_min, x_max, MARGIN_LEFT, WIDTH - MARGIN_RIGHT),
+                        project(y, y_min, y_max, HEIGHT - MARGIN_BOTTOM, MARGIN_TOP),
+                    )
+                })
+                .collect();
+            if path.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                svg,
+                r##"<polyline fill="none" stroke="{color}" stroke-width="2" points="{}"/>"##,
+                path.join(" ")
+            );
+            // Legend entry.
+            let lx = MARGIN_LEFT + 12.0;
+            let ly = MARGIN_TOP + 8.0 + 18.0 * i as f64;
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/>
+<text x="{}" y="{}" font-size="12" fill="#333">{}</text>"##,
+                lx + 22.0,
+                lx + 28.0,
+                ly + 4.0,
+                escape(&s.label),
+            );
+        }
+        svg.push_str("</svg>\n");
+        Some(svg)
+    }
+
+    /// Renders a bar chart with optional whiskers.
+    ///
+    /// Returns `None` when `bars` is empty.
+    pub fn render_bars(&self, bars: &[Bar]) -> Option<String> {
+        if bars.is_empty() {
+            return None;
+        }
+        let mut ys: Vec<f64> = bars.iter().map(|b| b.value).collect();
+        for b in bars {
+            if let Some((lo, hi)) = b.whisker {
+                ys.push(lo);
+                ys.push(hi);
+            }
+        }
+        ys.push(0.0); // bars grow from zero
+        let (y_min, y_max) = padded_range(&ys, 0.06);
+        let mut svg = self.open_svg(0.0, bars.len() as f64, y_min, y_max);
+
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let slot = plot_w / bars.len() as f64;
+        let bar_w = slot * 0.55;
+        let zero_y = project(0.0, y_min, y_max, HEIGHT - MARGIN_BOTTOM, MARGIN_TOP);
+        for (i, bar) in bars.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let cx = MARGIN_LEFT + slot * (i as f64 + 0.5);
+            let top = project(bar.value, y_min, y_max, HEIGHT - MARGIN_BOTTOM, MARGIN_TOP);
+            let (y0, h) = if bar.value >= 0.0 {
+                (top, zero_y - top)
+            } else {
+                (zero_y, top - zero_y)
+            };
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{color}" fill-opacity="0.85"/>"##,
+                cx - bar_w / 2.0,
+                y0,
+                bar_w,
+                h.max(0.5),
+            );
+            if let Some((lo, hi)) = bar.whisker {
+                let y_lo = project(lo, y_min, y_max, HEIGHT - MARGIN_BOTTOM, MARGIN_TOP);
+                let y_hi = project(hi, y_min, y_max, HEIGHT - MARGIN_BOTTOM, MARGIN_TOP);
+                let _ = writeln!(
+                    svg,
+                    r##"<line x1="{cx:.1}" y1="{y_lo:.1}" x2="{cx:.1}" y2="{y_hi:.1}" stroke="#333" stroke-width="1.5"/>
+<line x1="{:.1}" y1="{y_lo:.1}" x2="{:.1}" y2="{y_lo:.1}" stroke="#333" stroke-width="1.5"/>
+<line x1="{:.1}" y1="{y_hi:.1}" x2="{:.1}" y2="{y_hi:.1}" stroke="#333" stroke-width="1.5"/>"##,
+                    cx - 6.0,
+                    cx + 6.0,
+                    cx - 6.0,
+                    cx + 6.0,
+                );
+            }
+            let _ = writeln!(
+                svg,
+                r##"<text x="{cx:.1}" y="{:.1}" font-size="12" fill="#333" text-anchor="middle">{}</text>"##,
+                HEIGHT - MARGIN_BOTTOM + 18.0,
+                escape(&bar.label),
+            );
+        }
+        svg.push_str("</svg>\n");
+        Some(svg)
+    }
+
+    /// Opens the SVG document: background, title, axes, ticks, labels.
+    fn open_svg(&self, x_min: f64, x_max: f64, y_min: f64, y_max: f64) -> String {
+        let mut svg = String::with_capacity(8 * 1024);
+        let _ = writeln!(
+            svg,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="Helvetica, Arial, sans-serif">
+<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text x="{:.1}" y="26" font-size="15" font-weight="bold" fill="#111" text-anchor="middle">{}</text>"##,
+            WIDTH / 2.0,
+            escape(&self.title),
+        );
+        // Axes.
+        let x0 = MARGIN_LEFT;
+        let x1 = WIDTH - MARGIN_RIGHT;
+        let y0 = HEIGHT - MARGIN_BOTTOM;
+        let y1 = MARGIN_TOP;
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="#444"/>
+<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="#444"/>"##
+        );
+        // Ticks (5 per axis) with grid lines.
+        for k in 0..=5 {
+            let f = k as f64 / 5.0;
+            let xv = x_min + f * (x_max - x_min);
+            let xp = x0 + f * (x1 - x0);
+            let yv = y_min + f * (y_max - y_min);
+            let yp = y0 - f * (y0 - y1);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{xp:.1}" y1="{y0}" x2="{xp:.1}" y2="{y1}" stroke="#eee"/>
+<text x="{xp:.1}" y="{:.1}" font-size="11" fill="#555" text-anchor="middle">{}</text>
+<line x1="{x0}" y1="{yp:.1}" x2="{x1}" y2="{yp:.1}" stroke="#eee"/>
+<text x="{:.1}" y="{:.1}" font-size="11" fill="#555" text-anchor="end">{}</text>"##,
+                y0 + 16.0,
+                fmt_tick(xv),
+                x0 - 6.0,
+                yp + 4.0,
+                fmt_tick(yv),
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="13" fill="#222" text-anchor="middle">{}</text>
+<text x="18" y="{:.1}" font-size="13" fill="#222" text-anchor="middle" transform="rotate(-90 18 {:.1})">{}</text>"##,
+            (x0 + x1) / 2.0,
+            HEIGHT - 18.0,
+            escape(&self.x_label),
+            (y0 + y1) / 2.0,
+            (y0 + y1) / 2.0,
+            escape(&self.y_label),
+        );
+        svg
+    }
+}
+
+/// Projects a data value into pixel space.
+fn project(v: f64, d_min: f64, d_max: f64, p_min: f64, p_max: f64) -> f64 {
+    if (d_max - d_min).abs() < f64::EPSILON {
+        return (p_min + p_max) / 2.0;
+    }
+    p_min + (v - d_min) / (d_max - d_min) * (p_max - p_min)
+}
+
+/// Min/max with a relative padding fraction.
+fn padded_range(values: &[f64], pad: f64) -> (f64, f64) {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).abs().max(1e-9);
+    (min - pad * span, max + pad * span)
+}
+
+/// Compact tick formatting (k/M suffixes).
+fn fmt_tick(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 1e4 {
+        format!("{:.0}k", v / 1e3)
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Escapes XML-special characters in labels.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart::new("Title <X&Y>", "iterations", "utility")
+    }
+
+    #[test]
+    fn line_chart_renders_every_series_and_escapes_labels() {
+        let series = vec![
+            Series {
+                label: "SE <best>".into(),
+                points: (0..50).map(|i| (i as f64, (i as f64).sqrt())).collect(),
+            },
+            Series {
+                label: "SA".into(),
+                points: (0..50).map(|i| (i as f64, (i as f64).ln().max(0.0))).collect(),
+            },
+        ];
+        let svg = chart().render_lines(&series).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("SE &lt;best&gt;"));
+        assert!(svg.contains("Title &lt;X&amp;Y&gt;"));
+        // Well-formed-ish: every opened tag closes.
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+    }
+
+    #[test]
+    fn empty_series_yield_none() {
+        assert!(chart().render_lines(&[]).is_none());
+        assert!(chart()
+            .render_lines(&[Series { label: "x".into(), points: vec![] }])
+            .is_none());
+        assert!(chart().render_bars(&[]).is_none());
+    }
+
+    #[test]
+    fn nan_points_are_skipped_not_rendered() {
+        let series = vec![Series {
+            label: "s".into(),
+            points: vec![(0.0, 1.0), (1.0, f64::NAN), (2.0, 3.0)],
+        }];
+        let svg = chart().render_lines(&series).unwrap();
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn bar_chart_draws_bars_and_whiskers() {
+        let bars = vec![
+            Bar { label: "SE".into(), value: 10.0, whisker: Some((8.0, 12.0)) },
+            Bar { label: "SA".into(), value: 9.0, whisker: None },
+            Bar { label: "DP".into(), value: -2.0, whisker: None },
+        ];
+        let svg = chart().render_bars(&bars).unwrap();
+        assert_eq!(svg.matches("<rect").count(), 1 + 3); // background + bars
+        assert!(svg.contains(">SE<"));
+        assert!(svg.contains(">DP<"));
+        // Negative bars render below the zero line without negative heights.
+        assert!(!svg.contains("height=\"-"));
+    }
+
+    #[test]
+    fn constant_series_do_not_divide_by_zero() {
+        let series = vec![Series {
+            label: "flat".into(),
+            points: vec![(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)],
+        }];
+        let svg = chart().render_lines(&series).unwrap();
+        assert!(!svg.contains("NaN") && !svg.contains("inf"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(2_500_000.0), "2.5M");
+        assert_eq!(fmt_tick(45_000.0), "45k");
+        assert_eq!(fmt_tick(250.0), "250");
+        assert_eq!(fmt_tick(3.25), "3.2");
+        assert_eq!(fmt_tick(0.5), "0.50");
+        assert_eq!(fmt_tick(-45_000.0), "-45k");
+    }
+}

@@ -1,0 +1,403 @@
+//! One candidate solution `f_n` and its timer mechanics (Algorithms 2 & 3).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use mvcom_types::{Error, Result};
+
+use crate::problem::Instance;
+use crate::se::config::SeConfig;
+use crate::solution::Solution;
+
+/// The Algorithm 3 output: the chosen swap pair, its utility change, and
+/// the armed timer in log-space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proposal {
+    /// `ĩ` — the admitted shard to drop (`x_ĩ: 1 → 0`).
+    pub out: usize,
+    /// `ï` — the excluded shard to admit (`x_ï: 0 → 1`).
+    pub inc: usize,
+    /// `U_f' − U_f` for this swap.
+    pub delta: f64,
+    /// `ln T_n` of the sampled exponential timer. Compared across chains in
+    /// log-space so that `exp(±½β·ΔU)` cannot overflow for large utilities.
+    pub ln_timer: f64,
+}
+
+/// One Markov chain: a candidate solution with fixed cardinality `n`.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    solution: Solution,
+    cardinality: usize,
+    utility: f64,
+}
+
+impl Chain {
+    /// Algorithm 2: builds the initial solution `f_n` with exactly
+    /// `cardinality` admitted shards satisfying the capacity constraint.
+    ///
+    /// Tries `config.init_attempts` uniformly random `n`-subsets; if none
+    /// fits in `Ĉ`, falls back to the `n` smallest shards (which fit
+    /// whenever any `n`-subset does).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Infeasible`] when no `n`-subset can satisfy the capacity —
+    /// callers should skip this cardinality.
+    pub fn init<R: Rng + ?Sized>(
+        instance: &Instance,
+        cardinality: usize,
+        config: &SeConfig,
+        rng: &mut R,
+    ) -> Result<Chain> {
+        let len = instance.len();
+        if cardinality == 0 || cardinality > len {
+            return Err(Error::infeasible(format!(
+                "cardinality {cardinality} out of range for {len} shards"
+            )));
+        }
+        let mut indices: Vec<usize> = (0..len).collect();
+        for _ in 0..config.init_attempts {
+            indices.shuffle(rng);
+            let solution =
+                Solution::from_indices(len, indices[..cardinality].iter().copied(), instance);
+            if instance.within_capacity(&solution) {
+                let utility = instance.utility(&solution);
+                return Ok(Chain {
+                    solution,
+                    cardinality,
+                    utility,
+                });
+            }
+        }
+        // Deterministic fallback: the n smallest shards.
+        let mut by_size: Vec<usize> = (0..len).collect();
+        by_size.sort_by_key(|&i| instance.shards()[i].tx_count());
+        let solution =
+            Solution::from_indices(len, by_size[..cardinality].iter().copied(), instance);
+        if instance.within_capacity(&solution) {
+            let utility = instance.utility(&solution);
+            Ok(Chain {
+                solution,
+                cardinality,
+                utility,
+            })
+        } else {
+            Err(Error::infeasible(format!(
+                "no {cardinality}-subset fits within capacity {}",
+                instance.capacity()
+            )))
+        }
+    }
+
+    /// Wraps an existing solution as a chain (used by warm starts after
+    /// dynamic events).
+    pub fn from_solution(instance: &Instance, solution: Solution) -> Chain {
+        let utility = instance.utility(&solution);
+        Chain {
+            cardinality: solution.selected_count(),
+            solution,
+            utility,
+        }
+    }
+
+    /// The chain's current solution.
+    pub fn solution(&self) -> &Solution {
+        &self.solution
+    }
+
+    /// The fixed admitted-shard count `n` of this chain.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// The cached utility `U_{f_n}` of the current solution.
+    pub fn utility(&self) -> f64 {
+        self.utility
+    }
+
+    /// Algorithm 3 (`Set-timer`): draws a random capacity-feasible swap
+    /// pair and arms an exponential timer with mean
+    /// `exp(τ − ½β(U_f' − U_f)) / (|I_j| − n)`.
+    ///
+    /// Returns `None` when the chain cannot act this race: the solution is
+    /// full/empty, or `config.swap_attempts` random pairs all violated the
+    /// capacity constraint.
+    pub fn propose<R: Rng + ?Sized>(
+        &self,
+        instance: &Instance,
+        config: &SeConfig,
+        rng: &mut R,
+    ) -> Option<Proposal> {
+        let len = instance.len();
+        let n = self.solution.selected_count();
+        if n == 0 || n >= len {
+            return None;
+        }
+        for _ in 0..config.swap_attempts {
+            let out = self.solution.random_selected(rng)?;
+            let inc = self.solution.random_unselected(rng)?;
+            let new_total = self.solution.tx_total() - instance.shards()[out].tx_count()
+                + instance.shards()[inc].tx_count();
+            if new_total > instance.capacity() {
+                continue;
+            }
+            let delta = instance.swap_delta(&self.solution, out, inc);
+            // ln T = ln Exp(1) + τ − ½β·Δ − ln(|I| − n): log-space keeps
+            // |βΔ| in the thousands finite.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let exp1 = -u.ln();
+            let ln_timer =
+                exp1.ln() + config.tau - 0.5 * config.beta * delta - ((len - n) as f64).ln();
+            return Some(Proposal {
+                out,
+                inc,
+                delta,
+                ln_timer,
+            });
+        }
+        None
+    }
+
+    /// One round of the chain's *local* timer race: samples
+    /// `config.proposal_fanout` candidate pairs via [`Chain::propose`] and
+    /// returns the one whose exponential timer expires first.
+    ///
+    /// Racing `k` sampled neighbors, each with timer rate
+    /// `exp(½β·ΔU − τ)`, is a sampled jump of the designed CTMC: the
+    /// winning neighbor is distributed ∝ its transition rate among the
+    /// sample. Returns `None` when no feasible pair could be sampled.
+    pub fn race<R: Rng + ?Sized>(
+        &self,
+        instance: &Instance,
+        config: &SeConfig,
+        rng: &mut R,
+    ) -> Option<Proposal> {
+        let mut winner: Option<Proposal> = None;
+        for _ in 0..config.proposal_fanout {
+            if let Some(p) = self.propose(instance, config, rng) {
+                if winner.as_ref().is_none_or(|w| p.ln_timer < w.ln_timer) {
+                    winner = Some(p);
+                }
+            }
+        }
+        winner
+    }
+
+    /// Commits a fired proposal: performs the swap and updates the cached
+    /// utility by `Δ` (State Transit, Alg. 1 lines 14–16).
+    pub fn apply(&mut self, proposal: &Proposal, instance: &Instance) {
+        self.solution.swap(proposal.out, proposal.inc, instance);
+        self.utility += proposal.delta;
+        debug_assert!(
+            (self.utility - instance.utility(&self.solution)).abs()
+                < 1e-6 * (1.0 + self.utility.abs()),
+            "incremental utility drifted from recomputation"
+        );
+    }
+
+    /// Recomputes the cached utility from scratch — required after the
+    /// instance itself changed (join/leave alters the deadline and with it
+    /// every age term).
+    pub fn refresh_utility(&mut self, instance: &Instance) {
+        self.utility = instance.utility(&self.solution);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::InstanceBuilder;
+    use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn instance(n: usize, capacity: u64) -> Instance {
+        InstanceBuilder::new()
+            .alpha(1.5)
+            .capacity(capacity)
+            .n_min(1)
+            .shards(
+                (0..n)
+                    .map(|i| {
+                        ShardInfo::new(
+                            CommitteeId(i as u32),
+                            100 + (i as u64 % 7) * 10,
+                            TwoPhaseLatency::from_total(SimTime::from_secs(
+                                500.0 + (i as f64 * 37.0) % 400.0,
+                            )),
+                        )
+                    })
+                    .collect(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn init_produces_requested_cardinality_within_capacity() {
+        let inst = instance(20, 1_500);
+        let cfg = SeConfig::fast_test(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for n in 1..=inst.max_feasible_cardinality() {
+            let chain = Chain::init(&inst, n, &cfg, &mut rng).unwrap();
+            assert_eq!(chain.solution().selected_count(), n);
+            assert!(inst.within_capacity(chain.solution()));
+            assert!((chain.utility() - inst.utility(chain.solution())).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn init_rejects_impossible_cardinality() {
+        let inst = instance(10, 250); // max feasible = 2 shards of ~100
+        let cfg = SeConfig::fast_test(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert!(Chain::init(&inst, 0, &cfg, &mut rng).is_err());
+        assert!(Chain::init(&inst, 11, &cfg, &mut rng).is_err());
+        let too_many = inst.max_feasible_cardinality() + 1;
+        assert!(Chain::init(&inst, too_many, &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn init_fallback_finds_tight_fits() {
+        // Capacity admits exactly the 3 smallest shards; random subsets of
+        // size 3 rarely fit, the deterministic fallback must.
+        let shards = vec![
+            ShardInfo::new(CommitteeId(0), 10, TwoPhaseLatency::from_total(SimTime::from_secs(1.0))),
+            ShardInfo::new(CommitteeId(1), 10, TwoPhaseLatency::from_total(SimTime::from_secs(2.0))),
+            ShardInfo::new(CommitteeId(2), 10, TwoPhaseLatency::from_total(SimTime::from_secs(3.0))),
+            ShardInfo::new(CommitteeId(3), 500, TwoPhaseLatency::from_total(SimTime::from_secs(4.0))),
+            ShardInfo::new(CommitteeId(4), 500, TwoPhaseLatency::from_total(SimTime::from_secs(5.0))),
+        ];
+        let inst = InstanceBuilder::new()
+            .capacity(30)
+            .shards(shards)
+            .build()
+            .unwrap();
+        let cfg = SeConfig {
+            init_attempts: 1,
+            ..SeConfig::fast_test(0)
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let chain = Chain::init(&inst, 3, &cfg, &mut rng).unwrap();
+        let picked: Vec<usize> = chain.solution().iter_selected().collect();
+        assert_eq!(picked, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn propose_respects_capacity() {
+        let inst = instance(20, 1_200);
+        let cfg = SeConfig::fast_test(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let chain = Chain::init(&inst, 5, &cfg, &mut rng).unwrap();
+        for _ in 0..100 {
+            if let Some(p) = chain.propose(&inst, &cfg, &mut rng) {
+                assert!(chain.solution().contains(p.out));
+                assert!(!chain.solution().contains(p.inc));
+                let new_total = chain.solution().tx_total()
+                    - inst.shards()[p.out].tx_count()
+                    + inst.shards()[p.inc].tx_count();
+                assert!(new_total <= inst.capacity());
+                assert!(p.ln_timer.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn proposal_delta_matches_instance() {
+        let inst = instance(15, 10_000);
+        let cfg = SeConfig::fast_test(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let chain = Chain::init(&inst, 6, &cfg, &mut rng).unwrap();
+        let p = chain.propose(&inst, &cfg, &mut rng).unwrap();
+        assert!(
+            (p.delta - inst.swap_delta(chain.solution(), p.out, p.inc)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn apply_updates_state_and_utility() {
+        let inst = instance(15, 10_000);
+        let cfg = SeConfig::fast_test(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut chain = Chain::init(&inst, 6, &cfg, &mut rng).unwrap();
+        let before = chain.utility();
+        let p = chain.propose(&inst, &cfg, &mut rng).unwrap();
+        chain.apply(&p, &inst);
+        assert_eq!(chain.solution().selected_count(), 6);
+        assert!((chain.utility() - (before + p.delta)).abs() < 1e-9);
+        assert!((chain.utility() - inst.utility(chain.solution())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn better_swaps_get_stochastically_smaller_timers() {
+        // Sample many proposals; among them, correlate delta with timer:
+        // the mean ln-timer of improving proposals must be far below that of
+        // worsening ones (exp(−½βΔ) scaling).
+        let inst = instance(30, 100_000);
+        let cfg = SeConfig::fast_test(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let chain = Chain::init(&inst, 10, &cfg, &mut rng).unwrap();
+        let mut improving = Vec::new();
+        let mut worsening = Vec::new();
+        for _ in 0..500 {
+            if let Some(p) = chain.propose(&inst, &cfg, &mut rng) {
+                if p.delta > 10.0 {
+                    improving.push(p.ln_timer);
+                } else if p.delta < -10.0 {
+                    worsening.push(p.ln_timer);
+                }
+            }
+        }
+        assert!(!improving.is_empty() && !worsening.is_empty());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&improving) < mean(&worsening) - 5.0,
+            "improving {} vs worsening {}",
+            mean(&improving),
+            mean(&worsening)
+        );
+    }
+
+    #[test]
+    fn propose_returns_none_when_no_feasible_swap() {
+        // Solution holds the only small shard; every swap would blow the
+        // capacity.
+        let shards = vec![
+            ShardInfo::new(CommitteeId(0), 10, TwoPhaseLatency::from_total(SimTime::from_secs(1.0))),
+            ShardInfo::new(CommitteeId(1), 900, TwoPhaseLatency::from_total(SimTime::from_secs(2.0))),
+            ShardInfo::new(CommitteeId(2), 900, TwoPhaseLatency::from_total(SimTime::from_secs(3.0))),
+        ];
+        let inst = InstanceBuilder::new()
+            .capacity(100)
+            .shards(shards)
+            .build()
+            .unwrap();
+        let solution = Solution::from_indices(3, [0], &inst);
+        let chain = Chain::from_solution(&inst, solution);
+        let cfg = SeConfig::fast_test(0);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        assert_eq!(chain.propose(&inst, &cfg, &mut rng), None);
+    }
+
+    #[test]
+    fn refresh_utility_tracks_instance_changes() {
+        let inst = instance(10, 10_000);
+        let mut chain =
+            Chain::from_solution(&inst, Solution::from_indices(10, [0, 1, 2], &inst));
+        let grown = inst
+            .with_joined(ShardInfo::new(
+                CommitteeId(99),
+                100,
+                TwoPhaseLatency::from_total(SimTime::from_secs(5_000.0)),
+            ))
+            .unwrap();
+        // The new straggler pushes the DDL out; ages of selected shards grow
+        // and utility must drop once recomputed over the grown instance.
+        let mut moved =
+            Chain::from_solution(&grown, Solution::from_indices(11, [0, 1, 2], &grown));
+        moved.refresh_utility(&grown);
+        chain.refresh_utility(&inst);
+        assert!(moved.utility() < chain.utility());
+    }
+}

@@ -1,0 +1,203 @@
+//! Configuration of the Stochastic-Exploration engine.
+
+use serde::{Deserialize, Serialize};
+
+use mvcom_types::{Error, Result};
+
+/// Tuning parameters of [`SeEngine`](crate::se::SeEngine).
+///
+/// The defaults are the paper's §VI-A settings: `β = 2`, `τ = 0`, `Γ = 10`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeConfig {
+    /// Γ — the number of independent parallel execution replicas of the
+    /// solution family (paper §IV-D / Fig. 8). Each iteration advances every
+    /// replica by one timer race.
+    pub gamma: usize,
+    /// β — the log-sum-exp approximation sharpness. Larger β concentrates
+    /// the stationary distribution on better solutions (approximation loss
+    /// `(1/β)·log|F|` shrinks) at the cost of slower mixing (Theorem 1).
+    pub beta: f64,
+    /// τ — the conditional constant guarding `exp(·)` in the transition
+    /// rate (paper eq. (7)); `0` in all the paper's experiments.
+    pub tau: f64,
+    /// Hard iteration budget.
+    pub max_iterations: u64,
+    /// Stop early when the best-so-far utility has not improved by more
+    /// than [`SeConfig::convergence_tol`] for this many iterations
+    /// (`0` disables early stopping).
+    pub convergence_window: u64,
+    /// Minimum improvement that counts as progress.
+    pub convergence_tol: f64,
+    /// How many random `(ĩ, ï)` pairs Algorithm 3 may reject while looking
+    /// for a capacity-feasible swap before the chain sits out one race.
+    pub swap_attempts: usize,
+    /// How many candidate pairs each chain's local timer race samples per
+    /// round. The chain commits the pair whose exponential timer (rate
+    /// `exp(½β·ΔU − τ)`) expires first — a sampled jump of the designed
+    /// CTMC. Larger values approximate the full transition-rate matrix
+    /// more closely at linear cost.
+    pub proposal_fanout: usize,
+    /// How many random `n`-subsets Algorithm 2 may draw before falling back
+    /// to the deterministic smallest-`n`-shards initialization.
+    pub init_attempts: usize,
+    /// Whether the full selection `f_{|I_j|}` joins the candidate set at
+    /// convergence when it satisfies the capacity (Alg. 1 line 25).
+    pub include_full_solution: bool,
+    /// Record a trajectory point every this many iterations (≥ 1).
+    pub record_every: u64,
+    /// Master seed for all of the engine's randomness.
+    pub seed: u64,
+}
+
+impl SeConfig {
+    /// The paper's default parameterization (β=2, τ=0, Γ=10).
+    pub fn paper(seed: u64) -> SeConfig {
+        SeConfig {
+            gamma: 10,
+            beta: 2.0,
+            tau: 0.0,
+            max_iterations: 3_000,
+            convergence_window: 500,
+            convergence_tol: 1e-9,
+            swap_attempts: 16,
+            proposal_fanout: 16,
+            init_attempts: 64,
+            include_full_solution: true,
+            record_every: 1,
+            seed,
+        }
+    }
+
+    /// A small-budget configuration for unit tests.
+    pub fn fast_test(seed: u64) -> SeConfig {
+        SeConfig {
+            gamma: 2,
+            max_iterations: 300,
+            convergence_window: 100,
+            ..SeConfig::paper(seed)
+        }
+    }
+
+    /// Sets Γ, returning the modified configuration.
+    #[must_use]
+    pub fn with_gamma(mut self, gamma: usize) -> SeConfig {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets β, returning the modified configuration.
+    #[must_use]
+    pub fn with_beta(mut self, beta: f64) -> SeConfig {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the iteration budget, returning the modified configuration.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: u64) -> SeConfig {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Validates all parameter domains.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<()> {
+        if self.gamma == 0 {
+            return Err(Error::invalid_config("gamma", "need at least one replica"));
+        }
+        if !self.beta.is_finite() || self.beta <= 0.0 {
+            return Err(Error::invalid_config(
+                "beta",
+                format!("must be positive and finite, got {}", self.beta),
+            ));
+        }
+        if !self.tau.is_finite() {
+            return Err(Error::invalid_config("tau", "must be finite"));
+        }
+        if self.max_iterations == 0 {
+            return Err(Error::invalid_config("max_iterations", "must be positive"));
+        }
+        if !self.convergence_tol.is_finite() || self.convergence_tol < 0.0 {
+            return Err(Error::invalid_config(
+                "convergence_tol",
+                "must be finite and non-negative",
+            ));
+        }
+        if self.swap_attempts == 0 {
+            return Err(Error::invalid_config("swap_attempts", "must be positive"));
+        }
+        if self.proposal_fanout == 0 {
+            return Err(Error::invalid_config("proposal_fanout", "must be positive"));
+        }
+        if self.init_attempts == 0 {
+            return Err(Error::invalid_config("init_attempts", "must be positive"));
+        }
+        if self.record_every == 0 {
+            return Err(Error::invalid_config("record_every", "must be positive"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SeConfig {
+    fn default() -> Self {
+        SeConfig::paper(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SeConfig::paper(7);
+        assert_eq!(c.gamma, 10);
+        assert_eq!(c.beta, 2.0);
+        assert_eq!(c.tau, 0.0);
+        assert_eq!(c.seed, 7);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = SeConfig::paper(0)
+            .with_gamma(25)
+            .with_beta(4.0)
+            .with_max_iterations(10);
+        assert_eq!(c.gamma, 25);
+        assert_eq!(c.beta, 4.0);
+        assert_eq!(c.max_iterations, 10);
+    }
+
+    #[test]
+    fn validation_catches_each_parameter() {
+        let base = SeConfig::paper(0);
+        let cases: Vec<SeConfig> = vec![
+            SeConfig { gamma: 0, ..base },
+            SeConfig { beta: 0.0, ..base },
+            SeConfig { beta: f64::NAN, ..base },
+            SeConfig { tau: f64::INFINITY, ..base },
+            SeConfig { max_iterations: 0, ..base },
+            SeConfig { convergence_tol: -1.0, ..base },
+            SeConfig { swap_attempts: 0, ..base },
+            SeConfig { proposal_fanout: 0, ..base },
+            SeConfig { init_attempts: 0, ..base },
+            SeConfig { record_every: 0, ..base },
+        ];
+        for (i, c) in cases.iter().enumerate() {
+            assert!(c.validate().is_err(), "case {i} should be rejected");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SeConfig::paper(3);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,704 @@
+//! The virtual-time Stochastic-Exploration engine (Algorithm 1).
+
+use serde::{Deserialize, Serialize};
+
+use mvcom_types::{Error, Result, ShardInfo};
+
+use crate::dynamics::DynamicsPolicy;
+use crate::problem::Instance;
+use crate::se::chain::Chain;
+use crate::se::config::SeConfig;
+use crate::solution::Solution;
+
+/// One sampled point of the convergence trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Iteration (timer races per replica) at which the point was taken.
+    pub iteration: u64,
+    /// Accumulated virtual time of the fastest replica's timer races.
+    pub vtime: f64,
+    /// Best utility among the *current* chain states — this is the curve
+    /// the paper plots; it can drop when a committee leaves.
+    pub current_best: f64,
+    /// Best feasible utility observed since the run began.
+    pub best_so_far: f64,
+}
+
+/// The recorded convergence trajectory of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<TrajectoryPoint>,
+}
+
+impl Trajectory {
+    /// The sampled points in iteration order.
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// The final recorded point, if any.
+    pub fn last(&self) -> Option<&TrajectoryPoint> {
+        self.points.last()
+    }
+
+    fn push(&mut self, point: TrajectoryPoint) {
+        self.points.push(point);
+    }
+}
+
+/// The result of a completed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeOutcome {
+    /// The best feasible solution found (Alg. 1 line 26).
+    pub best_solution: Solution,
+    /// Its utility.
+    pub best_utility: f64,
+    /// Iterations actually executed.
+    pub iterations: u64,
+    /// Whether the convergence window triggered before the budget ran out.
+    pub converged: bool,
+    /// The recorded utility trajectory.
+    pub trajectory: Trajectory,
+}
+
+/// One of the Γ independent replicas of the solution family.
+#[derive(Debug, Clone)]
+struct Replica {
+    chains: Vec<Chain>,
+    rng: mvcom_simnet::SimRng,
+}
+
+/// The Stochastic-Exploration scheduler (paper Algorithm 1).
+///
+/// See the [module docs](crate::se) for the mapping onto the paper. The
+/// engine owns a copy of the instance because dynamic events (committee
+/// join/leave) mutate the epoch mid-run.
+///
+/// # Example
+///
+/// ```
+/// use mvcom_core::problem::InstanceBuilder;
+/// use mvcom_core::se::{SeConfig, SeEngine};
+/// use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+///
+/// # fn main() -> Result<(), mvcom_types::Error> {
+/// let shards = (0..12).map(|i| ShardInfo::new(
+///     CommitteeId(i),
+///     500 + 100 * u64::from(i % 4),
+///     TwoPhaseLatency::from_total(SimTime::from_secs(600.0 + 25.0 * f64::from(i))),
+/// )).collect();
+/// let instance = InstanceBuilder::new()
+///     .alpha(2.0).capacity(5_000).n_min(3).shards(shards).build()?;
+/// let outcome = SeEngine::new(&instance, SeConfig::fast_test(42))?.run();
+/// assert!(instance.is_feasible(&outcome.best_solution));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SeEngine {
+    instance: Instance,
+    config: SeConfig,
+    replicas: Vec<Replica>,
+    iteration: u64,
+    vtime: f64,
+    best_solution: Solution,
+    best_utility: f64,
+    last_improvement: u64,
+    trajectory: Trajectory,
+}
+
+impl SeEngine {
+    /// Builds the engine: validates the configuration, derives the feasible
+    /// cardinality range `[max(1, N_min), min(|I|−1, n_cap)]`, and runs
+    /// Algorithm 2 to initialize every chain of every replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors, and [`Error::Infeasible`] when not
+    /// a single feasible solution exists (also checked by the instance
+    /// builder, so this is defensive).
+    pub fn new(instance: &Instance, config: SeConfig) -> Result<SeEngine> {
+        config.validate()?;
+        let mut engine = SeEngine {
+            instance: instance.clone(),
+            config,
+            replicas: Vec::new(),
+            iteration: 0,
+            vtime: 0.0,
+            best_solution: Solution::empty(instance.len()),
+            best_utility: f64::NEG_INFINITY,
+            last_improvement: 0,
+            trajectory: Trajectory::default(),
+        };
+        engine.build_replicas(None)?;
+        engine.seed_best();
+        engine.record_point();
+        Ok(engine)
+    }
+
+    /// The engine's current view of the epoch (changes on dynamic events).
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SeConfig {
+        &self.config
+    }
+
+    /// Iterations executed so far.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Best utility among the *current* chain states across all replicas
+    /// (the paper's plotted quantity), or the best static fallback when no
+    /// chains exist.
+    pub fn current_best_utility(&self) -> f64 {
+        let over_chains = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.chains.iter())
+            .map(Chain::utility)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if over_chains.is_finite() {
+            over_chains
+        } else {
+            self.best_utility
+        }
+    }
+
+    /// Snapshot of `(cardinality, utility)` for every chain of every
+    /// replica — used by tests and the ablation benchmarks.
+    pub fn chain_utilities(&self) -> Vec<(usize, f64)> {
+        self.replicas
+            .iter()
+            .flat_map(|r| r.chains.iter().map(|c| (c.cardinality(), c.utility())))
+            .collect()
+    }
+
+    /// Runs one iteration (one *round* of the concurrently running
+    /// solution threads): every chain of every replica races the timers of
+    /// `proposal_fanout` sampled swap pairs and commits the winner — a
+    /// sampled jump of the designed CTMC — then all timers are RESET for
+    /// the next round.
+    ///
+    /// The paper's solution threads execute in parallel (Fig. 5), so in
+    /// real time each thread's local timer expires about once between two
+    /// RESET broadcasts; firing every chain once per round is the
+    /// virtual-time image of that concurrency.
+    pub fn step(&mut self) {
+        self.iteration += 1;
+        let mut min_duration = f64::INFINITY;
+        let mut improved: Option<(usize, usize)> = None;
+        for (r_idx, replica) in self.replicas.iter_mut().enumerate() {
+            for c_idx in 0..replica.chains.len() {
+                let Some(proposal) =
+                    replica.chains[c_idx].race(&self.instance, &self.config, &mut replica.rng)
+                else {
+                    continue;
+                };
+                replica.chains[c_idx].apply(&proposal, &self.instance);
+                let u = replica.chains[c_idx].utility();
+                if u > self.best_utility + self.config.convergence_tol {
+                    self.best_utility = u;
+                    improved = Some((r_idx, c_idx));
+                    self.last_improvement = self.iteration;
+                }
+                min_duration = min_duration.min(proposal.ln_timer.exp().clamp(0.0, 1e12));
+            }
+        }
+        if let Some((r_idx, c_idx)) = improved {
+            self.best_solution = self.replicas[r_idx].chains[c_idx].solution().clone();
+        }
+        if min_duration.is_finite() {
+            self.vtime += min_duration;
+        }
+        if self.iteration.is_multiple_of(self.config.record_every) {
+            self.record_point();
+        }
+    }
+
+    /// `true` once the convergence window has elapsed without improvement.
+    pub fn is_converged(&self) -> bool {
+        self.config.convergence_window > 0
+            && self.iteration >= self.last_improvement + self.config.convergence_window
+    }
+
+    /// Runs until convergence or the iteration budget, then finalizes per
+    /// Alg. 1 lines 22–27 (including the full selection `f_{|I_j|}` when it
+    /// fits in `Ĉ`).
+    pub fn run(mut self) -> SeOutcome {
+        while self.iteration < self.config.max_iterations && !self.is_converged() {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Finalizes without running further iterations.
+    pub fn finish(mut self) -> SeOutcome {
+        if self.config.include_full_solution {
+            let full = Solution::full(&self.instance);
+            if self.instance.is_feasible(&full) {
+                let u = self.instance.utility(&full);
+                if u > self.best_utility {
+                    self.best_utility = u;
+                    self.best_solution = full;
+                }
+            }
+        }
+        self.record_point();
+        SeOutcome {
+            converged: self.is_converged(),
+            iterations: self.iteration,
+            best_solution: self.best_solution,
+            best_utility: self.best_utility,
+            trajectory: self.trajectory,
+        }
+    }
+
+    /// Handles a committee *join* (Alg. 1 lines 9–12): the epoch gains one
+    /// shard, the deadline and every age term are re-derived, and chains
+    /// are re-initialized or warm-started per `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Instance::with_joined`] errors (duplicate committee).
+    pub fn handle_join(&mut self, shard: ShardInfo, policy: DynamicsPolicy) -> Result<()> {
+        let new_instance = self.instance.with_joined(shard)?;
+        let warm: Option<Vec<Solution>> = match policy {
+            DynamicsPolicy::Reinitialize => None,
+            DynamicsPolicy::Trim => Some(
+                self.replicas
+                    .iter()
+                    .flat_map(|r| r.chains.iter())
+                    .map(|c| {
+                        // Same indices survive; one more unselected slot.
+                        let mut grown = Solution::empty(new_instance.len());
+                        for i in c.solution().iter_selected() {
+                            grown.insert(i, &new_instance);
+                        }
+                        grown
+                    })
+                    .collect(),
+            ),
+        };
+        self.instance = new_instance;
+        self.after_instance_change(warm)
+    }
+
+    /// Handles a committee *leave/failure* (paper §V): the shard is removed
+    /// from the epoch, the solution space is trimmed (`F → G`), and chains
+    /// continue over the trimmed space (`Trim`) or restart (`Reinitialize`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownCommittee`] if the committee has no shard here, or
+    /// [`Error::Infeasible`] if the survivors cannot satisfy the
+    /// constraints.
+    pub fn handle_leave(
+        &mut self,
+        committee: mvcom_types::CommitteeId,
+        policy: DynamicsPolicy,
+    ) -> Result<()> {
+        let (new_instance, removed_idx) = self.instance.without_committee(committee)?;
+        let warm: Option<Vec<Solution>> = match policy {
+            DynamicsPolicy::Reinitialize => None,
+            DynamicsPolicy::Trim => Some(
+                self.replicas
+                    .iter()
+                    .flat_map(|r| r.chains.iter())
+                    .map(|c| c.solution().project_out(removed_idx, &new_instance))
+                    .collect(),
+            ),
+        };
+        self.instance = new_instance;
+        self.after_instance_change(warm)
+    }
+
+    fn after_instance_change(&mut self, warm: Option<Vec<Solution>>) -> Result<()> {
+        // The recorded best belongs to the previous epoch shape (different
+        // shard indices and deadline); restart the tracker.
+        self.best_utility = f64::NEG_INFINITY;
+        self.best_solution = Solution::empty(self.instance.len());
+        self.build_replicas(warm)?;
+        for replica in &mut self.replicas {
+            for chain in &mut replica.chains {
+                chain.refresh_utility(&self.instance);
+            }
+        }
+        self.seed_best();
+        self.last_improvement = self.iteration;
+        self.record_point();
+        Ok(())
+    }
+
+    /// The feasible cardinality range for chains.
+    fn cardinality_range(&self) -> std::ops::RangeInclusive<usize> {
+        let lo = self.instance.n_min().max(1);
+        let hi = self
+            .instance
+            .max_feasible_cardinality()
+            .min(self.instance.len().saturating_sub(1));
+        lo..=hi
+    }
+
+    fn build_replicas(&mut self, warm: Option<Vec<Solution>>) -> Result<SeReplicaStats> {
+        let range = self.cardinality_range();
+        let mut master = mvcom_simnet::rng::master(self.config.seed ^ self.iteration);
+        let mut replicas = Vec::with_capacity(self.config.gamma);
+        let warm_pool = warm.unwrap_or_default();
+        let mut skipped = 0usize;
+        for g in 0..self.config.gamma {
+            let mut rng = mvcom_simnet::rng::fork(&mut master, &format!("replica-{g}"));
+            let mut chains = Vec::new();
+            for n in range.clone() {
+                // Prefer a warm solution with this cardinality if one exists.
+                let warm_match = warm_pool
+                    .iter()
+                    .find(|s| s.selected_count() == n && self.instance.within_capacity(s));
+                let chain = match warm_match {
+                    Some(s) => Chain::from_solution(&self.instance, s.clone()),
+                    None => match Chain::init(&self.instance, n, &self.config, &mut rng) {
+                        Ok(c) => c,
+                        Err(Error::Infeasible { .. }) => {
+                            skipped += 1;
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    },
+                };
+                chains.push(chain);
+            }
+            replicas.push(Replica { chains, rng });
+        }
+        let any_chain = replicas.iter().any(|r| !r.chains.is_empty());
+        let full = Solution::full(&self.instance);
+        if !any_chain && !self.instance.is_feasible(&full) {
+            return Err(Error::infeasible(
+                "no feasible cardinality admits a chain and the full selection violates a constraint",
+            ));
+        }
+        self.replicas = replicas;
+        Ok(SeReplicaStats { skipped })
+    }
+
+    /// Seeds the best-so-far tracker from the freshly built chains (and the
+    /// full solution when no chains exist).
+    fn seed_best(&mut self) {
+        for replica in &self.replicas {
+            for chain in &replica.chains {
+                if chain.utility() > self.best_utility {
+                    self.best_utility = chain.utility();
+                    self.best_solution = chain.solution().clone();
+                }
+            }
+        }
+        if self.best_utility == f64::NEG_INFINITY {
+            let full = Solution::full(&self.instance);
+            if self.instance.is_feasible(&full) {
+                self.best_utility = self.instance.utility(&full);
+                self.best_solution = full;
+            }
+        }
+    }
+
+    fn record_point(&mut self) {
+        let current = self.current_best_utility();
+        self.trajectory.push(TrajectoryPoint {
+            iteration: self.iteration,
+            vtime: self.vtime,
+            current_best: current,
+            best_so_far: self.best_utility,
+        });
+    }
+}
+
+/// Bookkeeping from replica construction (how many cardinalities had to be
+/// skipped as capacity-infeasible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SeReplicaStats {
+    skipped: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::InstanceBuilder;
+    use mvcom_types::{CommitteeId, SimTime, TwoPhaseLatency};
+
+    fn shard(id: u32, txs: u64, latency: f64) -> ShardInfo {
+        ShardInfo::new(
+            CommitteeId(id),
+            txs,
+            TwoPhaseLatency::from_total(SimTime::from_secs(latency)),
+        )
+    }
+
+    fn instance(n: usize) -> Instance {
+        InstanceBuilder::new()
+            .alpha(1.5)
+            .capacity((n as u64) * 120)
+            .n_min(n / 3)
+            .shards(
+                (0..n)
+                    .map(|i| {
+                        shard(
+                            i as u32,
+                            80 + (i as u64 * 13) % 90,
+                            400.0 + ((i as f64 * 71.0) % 500.0),
+                        )
+                    })
+                    .collect(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_returns_feasible_solution() {
+        let inst = instance(30);
+        let outcome = SeEngine::new(&inst, SeConfig::fast_test(1)).unwrap().run();
+        assert!(inst.is_feasible(&outcome.best_solution));
+        assert!((inst.utility(&outcome.best_solution) - outcome.best_utility).abs() < 1e-6);
+        assert!(outcome.iterations > 0);
+    }
+
+    #[test]
+    fn trajectory_best_so_far_is_monotone() {
+        let inst = instance(30);
+        let outcome = SeEngine::new(&inst, SeConfig::fast_test(2)).unwrap().run();
+        let pts = outcome.trajectory.points();
+        assert!(pts.len() > 2);
+        for w in pts.windows(2) {
+            assert!(w[1].best_so_far >= w[0].best_so_far - 1e-9);
+            assert!(w[1].iteration >= w[0].iteration);
+            assert!(w[1].vtime >= w[0].vtime);
+        }
+    }
+
+    #[test]
+    fn utility_improves_over_initialization() {
+        let inst = instance(40);
+        let engine = SeEngine::new(&inst, SeConfig::paper(3).with_max_iterations(1500)).unwrap();
+        let initial = engine.current_best_utility();
+        let outcome = engine.run();
+        assert!(
+            outcome.best_utility >= initial,
+            "best {} < initial {initial}",
+            outcome.best_utility
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = instance(25);
+        let a = SeEngine::new(&inst, SeConfig::fast_test(9)).unwrap().run();
+        let b = SeEngine::new(&inst, SeConfig::fast_test(9)).unwrap().run();
+        assert_eq!(a.best_utility, b.best_utility);
+        assert_eq!(a.best_solution, b.best_solution);
+        assert_eq!(a.trajectory, b.trajectory);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let inst = instance(25);
+        let a = SeEngine::new(&inst, SeConfig::fast_test(10)).unwrap().run();
+        let b = SeEngine::new(&inst, SeConfig::fast_test(11)).unwrap().run();
+        // Final utilities may tie, but the trajectories must differ.
+        assert_ne!(a.trajectory, b.trajectory);
+    }
+
+    #[test]
+    fn convergence_window_triggers() {
+        let inst = instance(15);
+        let cfg = SeConfig {
+            max_iterations: 100_000,
+            convergence_window: 50,
+            ..SeConfig::fast_test(4)
+        };
+        let outcome = SeEngine::new(&inst, cfg).unwrap().run();
+        assert!(outcome.converged);
+        assert!(outcome.iterations < 100_000);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        let inst = instance(15);
+        let cfg = SeConfig {
+            max_iterations: 37,
+            convergence_window: 0,
+            ..SeConfig::fast_test(5)
+        };
+        let outcome = SeEngine::new(&inst, cfg).unwrap().run();
+        assert_eq!(outcome.iterations, 37);
+        assert!(!outcome.converged);
+    }
+
+    #[test]
+    fn larger_gamma_does_not_hurt() {
+        // Fig. 8 shape: more replicas converge at least as well for a fixed
+        // (small) iteration budget.
+        let inst = instance(40);
+        let budget = 120;
+        let u1 = SeEngine::new(
+            &inst,
+            SeConfig::paper(6).with_gamma(1).with_max_iterations(budget),
+        )
+        .unwrap()
+        .run()
+        .best_utility;
+        let u10 = SeEngine::new(
+            &inst,
+            SeConfig::paper(6).with_gamma(10).with_max_iterations(budget),
+        )
+        .unwrap()
+        .run()
+        .best_utility;
+        assert!(u10 >= u1 - 1e-9, "gamma=10 {u10} < gamma=1 {u1}");
+    }
+
+    #[test]
+    fn join_extends_instance_and_keeps_feasibility() {
+        let inst = instance(20);
+        let mut engine = SeEngine::new(&inst, SeConfig::fast_test(7)).unwrap();
+        for _ in 0..50 {
+            engine.step();
+        }
+        engine
+            .handle_join(shard(100, 90, 950.0), DynamicsPolicy::Trim)
+            .unwrap();
+        assert_eq!(engine.instance().len(), 21);
+        for _ in 0..50 {
+            engine.step();
+        }
+        let outcome = engine.finish();
+        assert_eq!(outcome.best_solution.len(), 21);
+    }
+
+    #[test]
+    fn leave_trims_instance_and_recovers() {
+        let inst = instance(20);
+        for policy in [DynamicsPolicy::Trim, DynamicsPolicy::Reinitialize] {
+            let mut engine = SeEngine::new(&inst, SeConfig::fast_test(8)).unwrap();
+            for _ in 0..50 {
+                engine.step();
+            }
+            engine.handle_leave(CommitteeId(3), policy).unwrap();
+            assert_eq!(engine.instance().len(), 19);
+            assert!(engine.instance().index_of(CommitteeId(3)).is_none());
+            for _ in 0..50 {
+                engine.step();
+            }
+            let outcome = engine.finish();
+            let final_inst = InstanceBuilder::new()
+                .alpha(1.5)
+                .capacity(inst.capacity())
+                .n_min(inst.n_min())
+                .shards(
+                    inst.shards()
+                        .iter()
+                        .filter(|s| s.committee() != CommitteeId(3))
+                        .copied()
+                        .collect(),
+                )
+                .build()
+                .unwrap();
+            assert!(final_inst.is_feasible(&outcome.best_solution), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn leave_of_unknown_committee_errors() {
+        let inst = instance(10);
+        let mut engine = SeEngine::new(&inst, SeConfig::fast_test(12)).unwrap();
+        assert!(engine
+            .handle_leave(CommitteeId(999), DynamicsPolicy::Trim)
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_join_errors() {
+        let inst = instance(10);
+        let mut engine = SeEngine::new(&inst, SeConfig::fast_test(13)).unwrap();
+        assert!(engine
+            .handle_join(shard(0, 50, 100.0), DynamicsPolicy::Trim)
+            .is_err());
+    }
+
+    #[test]
+    fn chain_utilities_cover_cardinality_range() {
+        let inst = instance(30);
+        let engine = SeEngine::new(&inst, SeConfig::fast_test(14)).unwrap();
+        let cards: std::collections::BTreeSet<usize> =
+            engine.chain_utilities().iter().map(|&(n, _)| n).collect();
+        let lo = inst.n_min().max(1);
+        assert!(cards.contains(&lo));
+        assert!(cards.len() > 1);
+        for &n in &cards {
+            assert!(n >= lo);
+            assert!(n <= inst.max_feasible_cardinality());
+        }
+    }
+
+    #[test]
+    fn full_solution_considered_when_feasible() {
+        // Capacity fits everything; n_min equals len so the chain range is
+        // empty and the answer must be the full selection.
+        let shards: Vec<ShardInfo> = (0..5).map(|i| shard(i, 10, 100.0 + f64::from(i))).collect();
+        let inst = InstanceBuilder::new()
+            .alpha(5.0)
+            .capacity(1_000)
+            .n_min(5)
+            .shards(shards)
+            .build()
+            .unwrap();
+        let outcome = SeEngine::new(&inst, SeConfig::fast_test(15)).unwrap().run();
+        assert_eq!(outcome.best_solution.selected_count(), 5);
+        assert!((outcome.best_utility - inst.utility(&Solution::full(&inst))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finds_optimum_on_tiny_instance() {
+        // 6 shards, exhaustively checkable: SE must land on the optimum.
+        let shards = vec![
+            shard(0, 100, 900.0),
+            shard(1, 120, 800.0),
+            shard(2, 80, 990.0),
+            shard(3, 60, 400.0),
+            shard(4, 90, 950.0),
+            shard(5, 110, 700.0),
+        ];
+        let inst = InstanceBuilder::new()
+            .alpha(2.0)
+            .capacity(300)
+            .n_min(1)
+            .shards(shards)
+            .build()
+            .unwrap();
+        // Exhaustive optimum.
+        let mut best = f64::NEG_INFINITY;
+        for mask in 0u32..64 {
+            let sol = Solution::from_indices(
+                6,
+                (0..6).filter(|&i| mask >> i & 1 == 1),
+                &inst,
+            );
+            if inst.is_feasible(&sol) {
+                best = best.max(inst.utility(&sol));
+            }
+        }
+        let cfg = SeConfig {
+            gamma: 4,
+            max_iterations: 2_000,
+            convergence_window: 400,
+            ..SeConfig::paper(16)
+        };
+        let outcome = SeEngine::new(&inst, cfg).unwrap().run();
+        assert!(
+            (outcome.best_utility - best).abs() < 1e-6,
+            "SE {} vs optimum {best}",
+            outcome.best_utility
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! Message-level overlay configuration (Elastico stage 2).
+//!
+//! The parametric [`OverlayConfig`](crate::formation::OverlayConfig) model
+//! captures the *cost shape* of Elastico's directory mechanism; this
+//! module simulates the mechanism itself with real messages, serving as a
+//! cross-validation of the parametric path and as the high-fidelity option
+//! for [`ElasticoConfig::message_level_overlay`](crate::epoch::ElasticoConfig):
+//!
+//! 1. the first `directory_size` PoW solvers form the *directory*;
+//! 2. every later solver **announces** its identity to all directory
+//!    members the moment it solves;
+//! 3. each directory member **verifies** every announced identity
+//!    (`verify_secs_per_identity` each — the linear-in-`n` term measured
+//!    in paper Fig. 2(a));
+//! 4. once a committee's full membership is known and verified, the
+//!    directory **multicasts the roster** to that committee's members;
+//!    the committee's overlay completes when its last member receives the
+//!    roster.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use mvcom_simnet::Network;
+use mvcom_types::{CommitteeId, Error, NodeId, Result, SimTime};
+
+use crate::formation::FormedCommittee;
+use crate::pow::PowSolution;
+
+/// Parameters of the directory protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirectoryConfig {
+    /// How many of the earliest solvers serve as the directory.
+    pub directory_size: u32,
+    /// Per-identity verification cost at each directory member, seconds —
+    /// every member processes all `n` announcements, which is what makes
+    /// formation latency linear in the network size.
+    pub verify_secs_per_identity: f64,
+    /// Announcement message size, bytes.
+    pub announce_bytes: usize,
+    /// Roster size per listed member, bytes.
+    pub roster_bytes_per_member: usize,
+}
+
+impl DirectoryConfig {
+    /// Defaults calibrated to the same Fig. 2(a) proportions as the
+    /// parametric overlay model (~3 s of processing per network node).
+    pub fn paper() -> DirectoryConfig {
+        DirectoryConfig {
+            directory_size: 8,
+            verify_secs_per_identity: 3.0,
+            announce_bytes: 128,
+            roster_bytes_per_member: 64,
+        }
+    }
+
+    /// Validates parameter domains.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<()> {
+        if self.directory_size == 0 {
+            return Err(Error::invalid_config("directory_size", "must be positive"));
+        }
+        if !(self.verify_secs_per_identity.is_finite() && self.verify_secs_per_identity >= 0.0) {
+            return Err(Error::invalid_config(
+                "verify_secs_per_identity",
+                "must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs the directory protocol and returns each committee with its
+/// formation latency replaced by the *measured* overlay completion time.
+///
+/// `solutions` must be the full lottery output (sorted by solve time, as
+/// [`run_lottery`](crate::pow::run_lottery) returns it); `committees` the
+/// formation output whose latencies are to be re-derived.
+///
+/// # Errors
+///
+/// Propagates configuration validation; [`Error::Simulation`] when the
+/// lottery produced fewer solvers than the directory needs.
+pub fn configure_overlay(
+    config: &DirectoryConfig,
+    solutions: &[PowSolution],
+    committees: &[FormedCommittee],
+    network: &mut Network,
+) -> Result<Vec<FormedCommittee>> {
+    config.validate()?;
+    if (solutions.len() as u32) < config.directory_size {
+        return Err(Error::simulation(format!(
+            "{} solvers cannot seat a directory of {}",
+            solutions.len(),
+            config.directory_size
+        )));
+    }
+    let directory: Vec<NodeId> = solutions[..config.directory_size as usize]
+        .iter()
+        .map(|s| s.node)
+        .collect();
+    let directory_seated_at = solutions[config.directory_size as usize - 1].solved_at;
+
+    // Step 2: announcements. Track, per directory member, when it has
+    // received every announcement (directory members announce locally).
+    let mut heard_all: HashMap<NodeId, SimTime> = directory
+        .iter()
+        .map(|&d| (d, directory_seated_at))
+        .collect();
+    // And per (directory member, committee): when the member knows that
+    // committee's full roster.
+    let mut roster_known: HashMap<(NodeId, CommitteeId), SimTime> = HashMap::new();
+    for committee in committees {
+        for &d in &directory {
+            roster_known.insert((d, committee.id), directory_seated_at);
+        }
+    }
+    for sol in solutions {
+        let announce_at = sol.solved_at.max(directory_seated_at);
+        for &d in &directory {
+            let arrival = if sol.node == d {
+                announce_at
+            } else {
+                match network.send(sol.node, d, config.announce_bytes, announce_at) {
+                    Some(t) => t,
+                    None => continue, // unreachable directory member
+                }
+            };
+            let slot = heard_all.entry(d).or_insert(arrival);
+            *slot = (*slot).max(arrival);
+            if let Some(t) = roster_known.get_mut(&(d, sol.committee)) {
+                *t = (*t).max(arrival);
+            }
+        }
+    }
+
+    // Step 3: verification — each directory member serially verifies all
+    // n identities after hearing them.
+    let verification = SimTime::from_secs(
+        config.verify_secs_per_identity * solutions.len() as f64,
+    );
+
+    // Step 4: roster multicast per committee from the first directory
+    // member; overlay completes at the last member's arrival.
+    let mut configured = Vec::with_capacity(committees.len());
+    for committee in committees {
+        let announcer = directory[0];
+        let roster_ready = roster_known
+            .get(&(announcer, committee.id))
+            .copied()
+            .unwrap_or(directory_seated_at)
+            + verification;
+        let roster_bytes = config.roster_bytes_per_member * committee.members.len();
+        let mut overlay_done = roster_ready;
+        for &member in &committee.members {
+            if member == announcer {
+                continue;
+            }
+            if let Some(arrival) = network.send(announcer, member, roster_bytes, roster_ready) {
+                overlay_done = overlay_done.max(arrival);
+            }
+        }
+        configured.push(FormedCommittee {
+            id: committee.id,
+            members: committee.members.clone(),
+            pow_completed_at: committee.pow_completed_at,
+            formation_latency: overlay_done.max(committee.pow_completed_at),
+        });
+    }
+    Ok(configured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formation::{CommitteeFormation, OverlayConfig};
+    use crate::pow::{run_lottery, PowConfig};
+    use mvcom_simnet::{rng, NetworkConfig};
+    use mvcom_types::Hash32;
+
+    fn setup(n: u32, seed: u64) -> (Vec<PowSolution>, Vec<FormedCommittee>, Network) {
+        let pow = PowConfig::paper(3);
+        let mut master = rng::master(seed);
+        let sols = run_lottery(&pow, n, Hash32::digest(b"dir"), &mut master).unwrap();
+        let formation = CommitteeFormation::new(OverlayConfig::paper(), 4);
+        let committees = formation
+            .form(&pow, &sols, n, &mut rng::fork(&mut master, "form"))
+            .unwrap();
+        let network = Network::new(NetworkConfig::lan(n), rng::fork(&mut master, "net")).unwrap();
+        (sols, committees, network)
+    }
+
+    #[test]
+    fn overlay_completes_after_pow_for_every_committee() {
+        let (sols, committees, mut net) = setup(200, 1);
+        let configured =
+            configure_overlay(&DirectoryConfig::paper(), &sols, &committees, &mut net).unwrap();
+        assert_eq!(configured.len(), committees.len());
+        for c in &configured {
+            assert!(c.formation_latency >= c.pow_completed_at);
+        }
+    }
+
+    #[test]
+    fn verification_term_scales_linearly_with_network_size() {
+        let mean = |n: u32, seed: u64| {
+            let (sols, committees, mut net) = setup(n, seed);
+            let configured =
+                configure_overlay(&DirectoryConfig::paper(), &sols, &committees, &mut net)
+                    .unwrap();
+            configured
+                .iter()
+                .map(|c| c.formation_latency.as_secs())
+                .sum::<f64>()
+                / configured.len() as f64
+        };
+        let small = mean(100, 2);
+        let large = mean(500, 3);
+        // 3 s/identity over 400 extra identities ⇒ ≈ +1200 s.
+        assert!(
+            large > small + 600.0,
+            "message-level overlay should scale linearly: {small} → {large}"
+        );
+    }
+
+    #[test]
+    fn message_level_and_parametric_paths_agree_on_scale() {
+        let (sols, committees, mut net) = setup(300, 4);
+        let measured =
+            configure_overlay(&DirectoryConfig::paper(), &sols, &committees, &mut net).unwrap();
+        let measured_mean = measured
+            .iter()
+            .map(|c| c.formation_latency.as_secs())
+            .sum::<f64>()
+            / measured.len() as f64;
+        let parametric_mean = committees
+            .iter()
+            .map(|c| c.formation_latency.as_secs())
+            .sum::<f64>()
+            / committees.len() as f64;
+        let ratio = measured_mean / parametric_mean;
+        assert!(
+            (0.4..=2.5).contains(&ratio),
+            "paths diverge: measured {measured_mean:.0}s vs parametric {parametric_mean:.0}s"
+        );
+    }
+
+    #[test]
+    fn too_small_lottery_errors() {
+        let (sols, committees, mut net) = setup(100, 5);
+        let config = DirectoryConfig {
+            directory_size: 200,
+            ..DirectoryConfig::paper()
+        };
+        assert!(configure_overlay(&config, &sols, &committees, &mut net).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DirectoryConfig { directory_size: 0, ..DirectoryConfig::paper() }
+            .validate()
+            .is_err());
+        assert!(DirectoryConfig {
+            verify_secs_per_identity: f64::NAN,
+            ..DirectoryConfig::paper()
+        }
+        .validate()
+        .is_err());
+        assert!(DirectoryConfig::paper().validate().is_ok());
+    }
+}

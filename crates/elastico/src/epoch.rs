@@ -1,0 +1,510 @@
+//! The five-stage Elastico epoch runner.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mvcom_dataset::{ShardSampler, Trace, TraceConfig};
+use mvcom_pbft::runner::{PbftConfig, PbftRunner};
+use mvcom_pbft::ConsensusResult;
+use mvcom_simnet::{rng, LatencyModel, Network, NetworkConfig, SimRng};
+use mvcom_types::{
+    CommitteeId, EpochId, Error, Hash32, Result, ShardInfo, SimTime, TwoPhaseLatency,
+};
+
+use crate::formation::{CommitteeFormation, FormedCommittee, OverlayConfig};
+use crate::pow::{run_lottery, PowConfig};
+
+/// Chooses which submitted shards the final committee admits — the seam
+/// where the MVCom scheduler plugs in.
+///
+/// The default [`WaitForAll`] selector reproduces vanilla Elastico: the
+/// final committee waits for every shard, so the slowest member committee
+/// (the straggler of paper Fig. 1) gates the final consensus.
+pub trait ShardSelector {
+    /// Returns the committees whose shards join the final block.
+    fn select(&mut self, shards: &[ShardInfo]) -> Vec<CommitteeId>;
+}
+
+/// Vanilla Elastico: admit every submitted shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WaitForAll;
+
+impl ShardSelector for WaitForAll {
+    fn select(&mut self, shards: &[ShardInfo]) -> Vec<CommitteeId> {
+        shards.iter().map(|s| s.committee()).collect()
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticoConfig {
+    /// Number of nodes running PoW at each epoch.
+    pub n_nodes: u32,
+    /// PoW lottery parameters (committee count = `2^committee_bits`).
+    pub pow: PowConfig,
+    /// Overlay-configuration cost model.
+    pub overlay: OverlayConfig,
+    /// Minimum surviving committee size (≥ 4 for PBFT).
+    pub min_committee_size: u32,
+    /// Intra-committee network model.
+    pub net: NetworkConfig,
+    /// Per-proposal verification delay inside PBFT — calibrated so the
+    /// measured intra-committee consensus latency means ≈ 54.5 s (§VI-A).
+    pub consensus_verify: LatencyModel,
+    /// PBFT view timeout and overall deadline.
+    pub view_timeout: SimTime,
+    /// Hard per-consensus deadline.
+    pub consensus_deadline: SimTime,
+    /// Bytes per transaction, for block-transfer modelling.
+    pub bytes_per_tx: usize,
+    /// The transaction trace shards are sampled from.
+    pub trace: TraceConfig,
+    /// When set, stage 2 runs the message-level directory protocol
+    /// ([`crate::directory`]) instead of the parametric overlay-cost model
+    /// — higher fidelity, more simulated messages.
+    pub directory: Option<crate::directory::DirectoryConfig>,
+}
+
+impl ElasticoConfig {
+    /// A small, fast configuration for unit tests: 60 nodes, 4 committees.
+    pub fn small_test() -> ElasticoConfig {
+        ElasticoConfig {
+            n_nodes: 60,
+            pow: PowConfig::paper(2),
+            overlay: OverlayConfig::paper(),
+            min_committee_size: 4,
+            net: NetworkConfig::lan(64),
+            // Calibrated so the measured three-phase consensus latency
+            // (the 2f+1-th order statistic of the per-replica verification
+            // delays, plus message rounds) has mean ≈ 54.5 s, matching the
+            // paper's §VI-A parameterization.
+            consensus_verify: LatencyModel::Exponential { mean_secs: 70.0 },
+            view_timeout: SimTime::from_secs(600.0),
+            consensus_deadline: SimTime::from_secs(7_200.0),
+            bytes_per_tx: 250,
+            trace: TraceConfig::tiny(200),
+            directory: None,
+        }
+    }
+
+    /// A paper-scale configuration: `n_nodes` nodes grouped into
+    /// committees of roughly `target_committee_size` members.
+    pub fn with_nodes(n_nodes: u32, target_committee_size: u32) -> ElasticoConfig {
+        let committees = (n_nodes / target_committee_size.max(4)).max(2);
+        let bits = (committees as f64).log2().floor().max(1.0) as u32;
+        ElasticoConfig {
+            n_nodes,
+            pow: PowConfig::paper(bits.min(16)),
+            net: NetworkConfig::lan(n_nodes.max(64)),
+            trace: TraceConfig::jan_2016(),
+            ..ElasticoConfig::small_test()
+        }
+    }
+
+    /// Validates all components.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<()> {
+        self.pow.validate()?;
+        self.net.validate()?;
+        self.trace.validate()?;
+        if self.n_nodes < 8 {
+            return Err(Error::invalid_config("n_nodes", "need at least 8 nodes"));
+        }
+        if self.min_committee_size < 4 {
+            return Err(Error::invalid_config(
+                "min_committee_size",
+                "PBFT needs at least 4 members",
+            ));
+        }
+        if self.bytes_per_tx == 0 {
+            return Err(Error::invalid_config("bytes_per_tx", "must be positive"));
+        }
+        if let Some(directory) = &self.directory {
+            directory.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// The final block assembled by the final committee (stage 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FinalBlock {
+    /// The epoch this block closes.
+    pub epoch: EpochId,
+    /// Whether the final PBFT committed before its deadline.
+    pub committed: bool,
+    /// Digest of the admitted shard set.
+    pub digest: Hash32,
+    /// Total transactions across admitted shards.
+    pub total_txs: u64,
+    /// Latency of the final consensus itself.
+    pub consensus_latency: SimTime,
+    /// The admitted committees.
+    pub included: Vec<CommitteeId>,
+}
+
+/// Everything one epoch produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Which epoch this is.
+    pub epoch: EpochId,
+    /// Stage 1–2 output: the formed committees.
+    pub formed: Vec<FormedCommittee>,
+    /// Stage 3 output: each surviving committee's shard with its measured
+    /// two-phase latency (`ShardInfo` is exactly what MVCom consumes).
+    pub shards: Vec<ShardInfo>,
+    /// Raw PBFT results per committee (including failed runs).
+    pub consensus: Vec<(CommitteeId, ConsensusResult)>,
+    /// Stage 4 output.
+    pub final_block: FinalBlock,
+    /// Stage 5 output: the randomness seeding the next epoch's PoW.
+    pub next_randomness: Hash32,
+}
+
+impl EpochReport {
+    /// Convenience: the two-phase latency of the straggler (the largest
+    /// `l_i`), i.e. when a wait-for-all final committee could start.
+    pub fn straggler_latency(&self) -> SimTime {
+        self.shards
+            .iter()
+            .map(|s| s.two_phase_latency())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// The Elastico protocol simulator.
+///
+/// Owns the epoch counter and the evolving epoch randomness; each
+/// [`ElasticoSim::run_epoch`] executes all five stages.
+#[derive(Debug)]
+pub struct ElasticoSim {
+    config: ElasticoConfig,
+    trace: Trace,
+    rng: SimRng,
+    epoch: EpochId,
+    randomness: Hash32,
+}
+
+impl ElasticoSim {
+    /// Builds the simulator, generating the transaction trace from the
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation.
+    pub fn new(config: ElasticoConfig, seed: u64) -> Result<ElasticoSim> {
+        config.validate()?;
+        let mut master = rng::master(seed);
+        let trace_rng_seed = master.gen::<u64>();
+        let trace = Trace::generate(config.trace, trace_rng_seed);
+        Ok(ElasticoSim {
+            config,
+            trace,
+            rng: master,
+            epoch: EpochId::GENESIS,
+            randomness: Hash32::digest(b"elastico-genesis-randomness"),
+        })
+    }
+
+    /// The epoch the next `run_epoch` call will execute.
+    pub fn current_epoch(&self) -> EpochId {
+        self.epoch
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ElasticoConfig {
+        &self.config
+    }
+
+    /// Runs one epoch with the vanilla wait-for-all final committee.
+    ///
+    /// # Errors
+    ///
+    /// See [`ElasticoSim::run_epoch_with`].
+    pub fn run_epoch(&mut self) -> Result<EpochReport> {
+        self.run_epoch_with(&mut WaitForAll)
+    }
+
+    /// Runs one epoch, delegating shard admission to `selector` (stage 4).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Simulation`] when no committee survives formation or the
+    /// final committee cannot be seated.
+    pub fn run_epoch_with<S: ShardSelector>(&mut self, selector: &mut S) -> Result<EpochReport> {
+        // Stage 1: PoW identity lottery.
+        let mut stage_rng = rng::fork(&mut self.rng, "lottery");
+        let solutions = run_lottery(
+            &self.config.pow,
+            self.config.n_nodes,
+            self.randomness,
+            &mut stage_rng,
+        )?;
+
+        // Stage 2: committee formation + overlay configuration.
+        let formation =
+            CommitteeFormation::new(self.config.overlay, self.config.min_committee_size);
+        let mut form_rng = rng::fork(&mut self.rng, "formation");
+        let formed = formation.form(
+            &self.config.pow,
+            &solutions,
+            self.config.n_nodes,
+            &mut form_rng,
+        )?;
+        if formed.is_empty() {
+            return Err(Error::simulation(
+                "no committee reached the minimum size this epoch",
+            ));
+        }
+        // Optional high-fidelity stage 2: replace the parametric overlay
+        // cost with the measured directory-protocol completion times.
+        let formed = if let Some(directory) = self.config.directory {
+            let net_config = NetworkConfig {
+                nodes: self.config.n_nodes.max(self.config.net.nodes),
+                ..self.config.net
+            };
+            let mut overlay_net =
+                Network::new(net_config, rng::fork(&mut self.rng, "overlay-net"))?;
+            crate::directory::configure_overlay(&directory, &solutions, &formed, &mut overlay_net)?
+        } else {
+            formed
+        };
+
+        // Assign shard transaction counts from the trace.
+        let sampler = ShardSampler::new(&self.trace);
+        let mut sample_rng = rng::fork(&mut self.rng, "shards");
+        let tx_counts = sampler.sample_tx_counts(formed.len(), &mut sample_rng)?;
+
+        // Stage 3: intra-committee PBFT per committee.
+        let mut shards = Vec::with_capacity(formed.len());
+        let mut consensus = Vec::with_capacity(formed.len());
+        for (committee, txs) in formed.iter().zip(&tx_counts) {
+            let n = committee.members.len() as u32;
+            let digest = Hash32::digest(
+                &[
+                    self.randomness.as_bytes().as_slice(),
+                    &committee.id.value().to_le_bytes(),
+                    &txs.to_le_bytes(),
+                ]
+                .concat(),
+            );
+            let result = self.run_pbft(n, *txs, digest, &format!("pbft-{}", committee.id))?;
+            consensus.push((committee.id, result));
+            if result.committed {
+                shards.push(ShardInfo::new(
+                    committee.id,
+                    *txs,
+                    TwoPhaseLatency::new(committee.formation_latency, result.latency),
+                ));
+            }
+        }
+        if shards.is_empty() {
+            return Err(Error::simulation("no committee reached intra-consensus"));
+        }
+
+        // Stage 4: shard admission + final consensus. The final committee
+        // is the formed committee with the lowest id (Elastico designates
+        // a fixed final committee per epoch).
+        let included = selector.select(&shards);
+        let admitted: Vec<&ShardInfo> = shards
+            .iter()
+            .filter(|s| included.contains(&s.committee()))
+            .collect();
+        let total_txs: u64 = admitted.iter().map(|s| s.tx_count()).sum();
+        let final_digest = {
+            let mut bytes = Vec::with_capacity(admitted.len() * 8 + 32);
+            bytes.extend_from_slice(self.randomness.as_bytes());
+            for s in &admitted {
+                bytes.extend_from_slice(&s.committee().value().to_le_bytes());
+                bytes.extend_from_slice(&s.tx_count().to_le_bytes());
+            }
+            Hash32::digest(&bytes)
+        };
+        let final_committee_size = formed[0].members.len() as u32;
+        let final_result = self.run_pbft(
+            final_committee_size,
+            total_txs,
+            final_digest,
+            "pbft-final",
+        )?;
+        let final_block = FinalBlock {
+            epoch: self.epoch,
+            committed: final_result.committed,
+            digest: final_digest,
+            total_txs,
+            consensus_latency: final_result.latency,
+            included,
+        };
+
+        // Stage 5: refresh the epoch randomness.
+        let next_randomness = Hash32::digest(
+            &[
+                self.randomness.as_bytes().as_slice(),
+                final_digest.as_bytes().as_slice(),
+                &self.epoch.value().to_le_bytes(),
+            ]
+            .concat(),
+        );
+        let report = EpochReport {
+            epoch: self.epoch,
+            formed,
+            shards,
+            consensus,
+            final_block,
+            next_randomness,
+        };
+        self.randomness = next_randomness;
+        self.epoch = self.epoch.next();
+        Ok(report)
+    }
+
+    fn run_pbft(
+        &mut self,
+        n: u32,
+        txs: u64,
+        digest: Hash32,
+        label: &str,
+    ) -> Result<ConsensusResult> {
+        let mut config = PbftConfig::new(n.max(4))?;
+        config.block_bytes = (txs as usize).saturating_mul(self.config.bytes_per_tx);
+        config.verify_delay = self.config.consensus_verify;
+        config.view_timeout = self.config.view_timeout;
+        config.deadline = self.config.consensus_deadline;
+        let net_nodes = n.max(4).max(self.config.net.nodes);
+        let net_config = NetworkConfig {
+            nodes: net_nodes,
+            ..self.config.net
+        };
+        let network = Network::new(net_config, rng::fork(&mut self.rng, &format!("{label}-net")))?;
+        PbftRunner::new(config, network, rng::fork(&mut self.rng, label)).run(digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_produces_shards_and_final_block() {
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 1).unwrap();
+        let report = sim.run_epoch().unwrap();
+        assert_eq!(report.epoch, EpochId::GENESIS);
+        assert!(!report.shards.is_empty());
+        assert!(report.final_block.committed);
+        assert_eq!(
+            report.final_block.included.len(),
+            report.shards.len(),
+            "wait-for-all admits everything"
+        );
+        assert_eq!(
+            report.final_block.total_txs,
+            report.shards.iter().map(|s| s.tx_count()).sum::<u64>()
+        );
+        assert_eq!(sim.current_epoch(), EpochId(1));
+    }
+
+    #[test]
+    fn epochs_chain_through_randomness() {
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 2).unwrap();
+        let a = sim.run_epoch().unwrap();
+        let b = sim.run_epoch().unwrap();
+        assert_ne!(a.next_randomness, b.next_randomness);
+        assert_eq!(b.epoch, EpochId(1));
+        // Different randomness reshuffles committees: membership differs.
+        let members_a: Vec<_> = a.formed.iter().map(|c| c.members.clone()).collect();
+        let members_b: Vec<_> = b.formed.iter().map(|c| c.members.clone()).collect();
+        assert_ne!(members_a, members_b);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ElasticoSim::new(ElasticoConfig::small_test(), 7).unwrap();
+        let mut b = ElasticoSim::new(ElasticoConfig::small_test(), 7).unwrap();
+        assert_eq!(a.run_epoch().unwrap(), b.run_epoch().unwrap());
+    }
+
+    #[test]
+    fn two_phase_latency_components_are_positive() {
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 3).unwrap();
+        let report = sim.run_epoch().unwrap();
+        for shard in &report.shards {
+            assert!(shard.latency().formation().as_secs() > 0.0);
+            assert!(shard.latency().consensus().as_secs() > 0.0);
+            // Formation dominates consensus, as in Fig. 2(a).
+            assert!(shard.latency().formation() > shard.latency().consensus());
+        }
+    }
+
+    #[test]
+    fn custom_selector_filters_the_final_block() {
+        struct TakeOne;
+        impl ShardSelector for TakeOne {
+            fn select(&mut self, shards: &[ShardInfo]) -> Vec<CommitteeId> {
+                vec![shards[0].committee()]
+            }
+        }
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 4).unwrap();
+        let report = sim.run_epoch_with(&mut TakeOne).unwrap();
+        assert_eq!(report.final_block.included.len(), 1);
+        assert!(report.final_block.total_txs < report.shards.iter().map(|s| s.tx_count()).sum());
+    }
+
+    #[test]
+    fn straggler_latency_is_the_max() {
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 5).unwrap();
+        let report = sim.run_epoch().unwrap();
+        let max = report
+            .shards
+            .iter()
+            .map(|s| s.two_phase_latency())
+            .max()
+            .unwrap();
+        assert_eq!(report.straggler_latency(), max);
+    }
+
+    #[test]
+    fn with_nodes_derives_committee_bits() {
+        let config = ElasticoConfig::with_nodes(800, 100);
+        assert_eq!(config.n_nodes, 800);
+        assert_eq!(config.pow.committee_count(), 8);
+        assert!(config.validate().is_ok());
+    }
+
+    #[test]
+    fn message_level_overlay_path_runs_end_to_end() {
+        let config = ElasticoConfig {
+            directory: Some(crate::directory::DirectoryConfig::paper()),
+            ..ElasticoConfig::small_test()
+        };
+        let mut sim = ElasticoSim::new(config, 21).unwrap();
+        let report = sim.run_epoch().unwrap();
+        assert!(!report.shards.is_empty());
+        assert!(report.final_block.committed);
+        // Linear identity verification (3 s × 60 nodes = 180 s) keeps the
+        // formation latency well above the raw PoW completion.
+        for c in &report.formed {
+            assert!(
+                (c.formation_latency - c.pow_completed_at).as_secs() >= 150.0,
+                "overlay too cheap for {}",
+                c.id
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut c = ElasticoConfig::small_test();
+        c.n_nodes = 4;
+        assert!(c.validate().is_err());
+        let mut c = ElasticoConfig::small_test();
+        c.min_committee_size = 3;
+        assert!(c.validate().is_err());
+        let mut c = ElasticoConfig::small_test();
+        c.bytes_per_tx = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! An Elastico-style sharding-protocol simulator.
+//!
+//! The MVCom paper builds on Elastico (Luu et al., CCS '16), whose epoch
+//! has five stages (paper §I):
+//!
+//! 1. **Committee formation** — nodes solve PoW puzzles to establish
+//!    identities; the puzzle's last bits assign each node to a committee.
+//! 2. **Overlay configuration** — committee members discover each other by
+//!    exchanging membership through directory nodes, a cost that grows with
+//!    the network size.
+//! 3. **Intra-committee consensus** — each committee runs PBFT over its
+//!    shard of transactions.
+//! 4. **Final consensus** — the final committee merges the shards into a
+//!    global block (this is where MVCom's scheduler intervenes).
+//! 5. **Epoch randomness** — the final committee refreshes the shared
+//!    randomness that seeds the next epoch's PoW.
+//!
+//! This crate simulates all five stages on the `mvcom-simnet` substrate
+//! with real `mvcom-pbft` runs for stages 3 and 4, reproducing the
+//! *two-phase latency* measurements of paper Fig. 2 and providing the
+//! end-to-end epoch pipeline the integration tests and examples drive.
+//!
+//! * [`pow`] — the PoW identity lottery and formation-latency model.
+//! * [`formation`] — grouping solved identities into committees and
+//!   timing the overlay configuration.
+//! * [`epoch`] — the full five-stage epoch runner producing
+//!   [`ShardInfo`](mvcom_types::ShardInfo)s and a final block.
+//!
+//! # Example
+//!
+//! ```
+//! use mvcom_elastico::epoch::{ElasticoConfig, ElasticoSim};
+//!
+//! # fn main() -> Result<(), mvcom_types::Error> {
+//! let config = ElasticoConfig::small_test();
+//! let mut sim = ElasticoSim::new(config, 42)?;
+//! let report = sim.run_epoch()?;
+//! assert!(!report.shards.is_empty());
+//! assert!(report.final_block.committed);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod epoch;
+pub mod formation;
+pub mod pow;
+
+pub use directory::DirectoryConfig;
+pub use epoch::{ElasticoConfig, ElasticoSim, EpochReport, FinalBlock};
+pub use formation::{CommitteeFormation, FormedCommittee};
+pub use pow::{PowConfig, PowSolution};

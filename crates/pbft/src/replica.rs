@@ -1,0 +1,480 @@
+//! The per-node PBFT state machine.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use mvcom_types::Hash32;
+
+use crate::message::{Message, MessageKind};
+
+/// How a replica behaves — the failure-injection surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Crashed / partitioned: never sends anything.
+    Silent,
+    /// Byzantine leader behaviour: proposes conflicting digests to
+    /// different replicas (as a non-leader it behaves silently, the
+    /// strongest safe-but-unhelpful strategy).
+    Equivocate,
+}
+
+/// Where an outbound message goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Broadcast to every replica (including the sender's own handler).
+    All,
+    /// One specific replica, by committee-local index.
+    One(u32),
+}
+
+/// An outbound message queued by the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outbound {
+    /// Recipient(s).
+    pub target: Target,
+    /// The message.
+    pub message: Message,
+}
+
+/// One PBFT replica for a single-decision instance.
+///
+/// Quorum rules follow Castro–Liskov with `n = 3f+1`:
+/// * *prepared* after a valid pre-prepare plus `2f` matching prepares
+///   from distinct replicas;
+/// * *committed* after `2f+1` matching commits from distinct replicas.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    index: u32,
+    n: u32,
+    f: u32,
+    behavior: Behavior,
+    view: u64,
+    /// Digest accepted from the current view's pre-prepare.
+    accepted: Option<Hash32>,
+    prepares: HashMap<(u64, Hash32), HashSet<u32>>,
+    commits: HashMap<(u64, Hash32), HashSet<u32>>,
+    view_votes: HashMap<u64, HashSet<u32>>,
+    sent_proposal: HashSet<u64>,
+    sent_prepare: HashSet<u64>,
+    sent_commit: HashSet<u64>,
+    sent_view_change: HashSet<u64>,
+    committed: Option<Hash32>,
+}
+
+impl Replica {
+    /// Creates replica `index` of a committee of `n = 3f+1` members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` or `index >= n`.
+    pub fn new(index: u32, n: u32, behavior: Behavior) -> Replica {
+        assert!(n >= 4, "PBFT needs n >= 4 (got {n})");
+        assert!(index < n, "replica index {index} out of range {n}");
+        Replica {
+            index,
+            n,
+            f: (n - 1) / 3,
+            behavior,
+            view: 0,
+            accepted: None,
+            prepares: HashMap::new(),
+            commits: HashMap::new(),
+            view_votes: HashMap::new(),
+            sent_proposal: HashSet::new(),
+            sent_prepare: HashSet::new(),
+            sent_commit: HashSet::new(),
+            sent_view_change: HashSet::new(),
+            committed: None,
+        }
+    }
+
+    /// This replica's committee-local index.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The current view.
+    pub fn view(&self) -> u64 {
+        self.view
+    }
+
+    /// The fault threshold `f`.
+    pub fn fault_threshold(&self) -> u32 {
+        self.f
+    }
+
+    /// The digest this replica has committed, if any.
+    pub fn committed(&self) -> Option<Hash32> {
+        self.committed
+    }
+
+    /// The replica's configured behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// The leader of view `v` is replica `v mod n`.
+    pub fn leader_of(&self, view: u64) -> u32 {
+        (view % u64::from(self.n)) as u32
+    }
+
+    /// `true` if this replica leads its current view.
+    pub fn is_leader(&self) -> bool {
+        self.leader_of(self.view) == self.index
+    }
+
+    /// Leader action: propose `digest` in the current view.
+    ///
+    /// An [`Behavior::Equivocate`] leader emits *per-recipient* conflicting
+    /// digests (recipient-parity flip), a [`Behavior::Silent`] leader emits
+    /// nothing.
+    pub fn propose(&mut self, digest: Hash32) -> Vec<Outbound> {
+        if !self.is_leader() {
+            return Vec::new();
+        }
+        // At most one proposal per view (the runner may re-poll leaders).
+        if !self.sent_proposal.insert(self.view) {
+            return Vec::new();
+        }
+        match self.behavior {
+            Behavior::Honest => vec![Outbound {
+                target: Target::All,
+                message: Message {
+                    kind: MessageKind::PrePrepare,
+                    view: self.view,
+                    digest,
+                    from: self.index,
+                },
+            }],
+            Behavior::Silent => Vec::new(),
+            Behavior::Equivocate => (0..self.n)
+                .map(|to| {
+                    let mut twisted = digest;
+                    if to % 2 == 1 {
+                        twisted.0[0] ^= 0xFF;
+                    }
+                    Outbound {
+                        target: Target::One(to),
+                        message: Message {
+                            kind: MessageKind::PrePrepare,
+                            view: self.view,
+                            digest: twisted,
+                            from: self.index,
+                        },
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Local timeout: vote to depose the current leader.
+    pub fn on_timeout(&mut self) -> Vec<Outbound> {
+        if self.committed.is_some() || self.behavior != Behavior::Honest {
+            return Vec::new();
+        }
+        let next_view = self.view + 1;
+        if !self.sent_view_change.insert(next_view) {
+            return Vec::new();
+        }
+        vec![Outbound {
+            target: Target::All,
+            message: Message {
+                kind: MessageKind::ViewChange,
+                view: next_view,
+                digest: Hash32::ZERO,
+                from: self.index,
+            },
+        }]
+    }
+
+    /// Feeds one delivered message into the state machine, returning any
+    /// outbound messages it triggers.
+    pub fn on_message(&mut self, msg: Message) -> Vec<Outbound> {
+        if self.behavior != Behavior::Honest || self.committed.is_some() {
+            // Silent and equivocating replicas never *respond*; the
+            // equivocator only misbehaves when leading (see `propose`).
+            return Vec::new();
+        }
+        match msg.kind {
+            MessageKind::PrePrepare | MessageKind::NewView => self.on_pre_prepare(msg),
+            MessageKind::Prepare => self.on_prepare(msg),
+            MessageKind::Commit => self.on_commit(msg),
+            MessageKind::ViewChange => self.on_view_change(msg),
+        }
+    }
+
+    fn on_pre_prepare(&mut self, msg: Message) -> Vec<Outbound> {
+        if msg.view != self.view || msg.from != self.leader_of(self.view) {
+            return Vec::new();
+        }
+        if self.accepted.is_some() {
+            return Vec::new(); // at most one accepted proposal per view
+        }
+        self.accepted = Some(msg.digest);
+        if !self.sent_prepare.insert(self.view) {
+            return Vec::new();
+        }
+        let prepare = Message {
+            kind: MessageKind::Prepare,
+            view: self.view,
+            digest: msg.digest,
+            from: self.index,
+        };
+        // Count our own prepare immediately.
+        let mut out = self.on_prepare(prepare);
+        out.push(Outbound {
+            target: Target::All,
+            message: prepare,
+        });
+        out
+    }
+
+    fn on_prepare(&mut self, msg: Message) -> Vec<Outbound> {
+        if msg.view != self.view {
+            return Vec::new();
+        }
+        let votes = self.prepares.entry((msg.view, msg.digest)).or_default();
+        votes.insert(msg.from);
+        let enough = votes.len() as u32 >= 2 * self.f;
+        let matches_accepted = self.accepted == Some(msg.digest);
+        if enough && matches_accepted && self.sent_commit.insert(self.view) {
+            let commit = Message {
+                kind: MessageKind::Commit,
+                view: self.view,
+                digest: msg.digest,
+                from: self.index,
+            };
+            let mut out = self.on_commit(commit);
+            out.push(Outbound {
+                target: Target::All,
+                message: commit,
+            });
+            return out;
+        }
+        Vec::new()
+    }
+
+    fn on_commit(&mut self, msg: Message) -> Vec<Outbound> {
+        if msg.view != self.view {
+            return Vec::new();
+        }
+        let votes = self.commits.entry((msg.view, msg.digest)).or_default();
+        votes.insert(msg.from);
+        if votes.len() as u32 > 2 * self.f && self.accepted == Some(msg.digest) {
+            self.committed = Some(msg.digest);
+        }
+        Vec::new()
+    }
+
+    fn on_view_change(&mut self, msg: Message) -> Vec<Outbound> {
+        if msg.view <= self.view {
+            return Vec::new();
+        }
+        let votes = self.view_votes.entry(msg.view).or_default();
+        votes.insert(msg.from);
+        if votes.len() as u32 > 2 * self.f {
+            // Enter the new view; state for the old view is abandoned
+            // (single-decision instance: nothing prepared carries over
+            // unless we had committed, which short-circuits earlier).
+            self.view = msg.view;
+            self.accepted = None;
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest() -> Hash32 {
+        Hash32::digest(b"block")
+    }
+
+    /// Delivers `msg` to every replica, collecting the responses.
+    fn deliver_all(replicas: &mut [Replica], msg: Message) -> Vec<Outbound> {
+        replicas
+            .iter_mut()
+            .flat_map(|r| r.on_message(msg))
+            .collect()
+    }
+
+    /// Runs a full synchronous round-based exchange until quiescence.
+    fn run_to_quiescence(replicas: &mut [Replica], initial: Vec<Outbound>) {
+        let mut queue: Vec<Outbound> = initial;
+        let mut rounds = 0;
+        while !queue.is_empty() {
+            rounds += 1;
+            assert!(rounds < 100, "protocol did not quiesce");
+            let mut next = Vec::new();
+            for out in queue.drain(..) {
+                match out.target {
+                    Target::All => next.extend(deliver_all(replicas, out.message)),
+                    Target::One(idx) => {
+                        next.extend(replicas[idx as usize].on_message(out.message))
+                    }
+                }
+            }
+            queue = next;
+        }
+    }
+
+    fn committee(n: u32, behaviors: &[(u32, Behavior)]) -> Vec<Replica> {
+        (0..n)
+            .map(|i| {
+                let b = behaviors
+                    .iter()
+                    .find(|(idx, _)| *idx == i)
+                    .map(|(_, b)| *b)
+                    .unwrap_or(Behavior::Honest);
+                Replica::new(i, n, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 4")]
+    fn rejects_tiny_committees() {
+        Replica::new(0, 3, Behavior::Honest);
+    }
+
+    #[test]
+    fn leader_rotation() {
+        let r = Replica::new(0, 4, Behavior::Honest);
+        assert_eq!(r.leader_of(0), 0);
+        assert_eq!(r.leader_of(1), 1);
+        assert_eq!(r.leader_of(4), 0);
+        assert!(r.is_leader());
+        assert_eq!(r.fault_threshold(), 1);
+    }
+
+    #[test]
+    fn all_honest_replicas_commit_same_digest() {
+        let mut replicas = committee(4, &[]);
+        let proposal = replicas[0].propose(digest());
+        run_to_quiescence(&mut replicas, proposal);
+        for r in &replicas {
+            assert_eq!(r.committed(), Some(digest()), "replica {}", r.index());
+        }
+    }
+
+    #[test]
+    fn commits_with_f_silent_replicas() {
+        // n=7, f=2: two silent followers must not block commitment.
+        let mut replicas = committee(7, &[(5, Behavior::Silent), (6, Behavior::Silent)]);
+        let proposal = replicas[0].propose(digest());
+        run_to_quiescence(&mut replicas, proposal);
+        let committed = replicas
+            .iter()
+            .filter(|r| r.committed() == Some(digest()))
+            .count();
+        assert!(committed >= 5, "only {committed} replicas committed");
+    }
+
+    #[test]
+    fn does_not_commit_beyond_f_failures() {
+        // n=4, f=1, but TWO silent replicas: quorum 2f+1 = 3 commits is
+        // unreachable with only 2 honest participants.
+        let mut replicas = committee(4, &[(2, Behavior::Silent), (3, Behavior::Silent)]);
+        let proposal = replicas[0].propose(digest());
+        run_to_quiescence(&mut replicas, proposal);
+        assert!(replicas.iter().all(|r| r.committed().is_none()));
+    }
+
+    #[test]
+    fn equivocating_leader_cannot_split_honest_replicas() {
+        // n=4 with an equivocating leader: safety demands no two honest
+        // replicas commit different digests.
+        let mut replicas = committee(4, &[(0, Behavior::Equivocate)]);
+        let proposal = replicas[0].propose(digest());
+        run_to_quiescence(&mut replicas, proposal);
+        let committed: Vec<Hash32> = replicas
+            .iter()
+            .filter(|r| r.behavior() == Behavior::Honest)
+            .filter_map(|r| r.committed())
+            .collect();
+        let unique: std::collections::HashSet<Hash32> = committed.iter().copied().collect();
+        assert!(
+            unique.len() <= 1,
+            "honest replicas committed conflicting digests: {unique:?}"
+        );
+    }
+
+    #[test]
+    fn view_change_reaches_quorum_and_advances_view() {
+        let mut replicas = committee(4, &[(0, Behavior::Silent)]);
+        // Leader 0 is silent; every honest replica times out.
+        let mut msgs: Vec<Outbound> = Vec::new();
+        for r in replicas.iter_mut() {
+            msgs.extend(r.on_timeout());
+        }
+        assert_eq!(msgs.len(), 3); // replicas 1..3 vote
+        run_to_quiescence(&mut replicas, msgs);
+        for r in replicas.iter().filter(|r| r.behavior() == Behavior::Honest) {
+            assert_eq!(r.view(), 1, "replica {} stuck in view 0", r.index());
+        }
+        // New leader (replica 1) proposes and the protocol completes.
+        let proposal = replicas[1].propose(digest());
+        assert!(!proposal.is_empty());
+        run_to_quiescence(&mut replicas, proposal);
+        for r in replicas.iter().filter(|r| r.behavior() == Behavior::Honest) {
+            assert_eq!(r.committed(), Some(digest()));
+        }
+    }
+
+    #[test]
+    fn timeout_after_commit_is_a_no_op() {
+        let mut replicas = committee(4, &[]);
+        let proposal = replicas[0].propose(digest());
+        run_to_quiescence(&mut replicas, proposal);
+        assert!(replicas[1].on_timeout().is_empty());
+    }
+
+    #[test]
+    fn stale_view_messages_are_ignored() {
+        let mut r = Replica::new(1, 4, Behavior::Honest);
+        let stale = Message {
+            kind: MessageKind::PrePrepare,
+            view: 5,
+            digest: digest(),
+            from: 1,
+        };
+        assert!(r.on_message(stale).is_empty());
+        assert_eq!(r.committed(), None);
+    }
+
+    #[test]
+    fn pre_prepare_from_non_leader_rejected() {
+        let mut r = Replica::new(1, 4, Behavior::Honest);
+        let forged = Message {
+            kind: MessageKind::PrePrepare,
+            view: 0,
+            digest: digest(),
+            from: 2, // leader of view 0 is replica 0
+        };
+        assert!(r.on_message(forged).is_empty());
+    }
+
+    #[test]
+    fn second_pre_prepare_in_view_is_ignored() {
+        let mut r = Replica::new(1, 4, Behavior::Honest);
+        let first = Message {
+            kind: MessageKind::PrePrepare,
+            view: 0,
+            digest: digest(),
+            from: 0,
+        };
+        let second = Message {
+            digest: Hash32::digest(b"other"),
+            ..first
+        };
+        let out1 = r.on_message(first);
+        assert!(!out1.is_empty());
+        let out2 = r.on_message(second);
+        assert!(out2.is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! Driving a PBFT committee over the simulated network.
+
+use serde::{Deserialize, Serialize};
+
+use mvcom_simnet::event::Scheduler;
+use mvcom_simnet::{LatencyModel, Network, SimRng};
+use mvcom_types::{Error, Hash32, NodeId, Result, SimTime};
+
+use crate::message::Message;
+use crate::replica::{Behavior, Outbound, Replica, Target};
+
+/// Configuration of one PBFT consensus run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PbftConfig {
+    /// Committee size `n` (must be ≥ 4; tolerates `f = ⌊(n−1)/3⌋`).
+    pub n: u32,
+    /// Per-replica behaviours; defaults to all-honest. Index = replica.
+    pub behaviors: Vec<Behavior>,
+    /// Proposal (block body) size in bytes, for bandwidth modelling.
+    pub block_bytes: usize,
+    /// Per-replica verification delay applied when processing a proposal
+    /// (models transaction verification cost).
+    pub verify_delay: LatencyModel,
+    /// View-change timeout: how long a replica waits in a view without
+    /// committing before voting to depose the leader.
+    pub view_timeout: SimTime,
+    /// Give up entirely after this much simulated time.
+    pub deadline: SimTime,
+}
+
+impl PbftConfig {
+    /// A committee of `n` honest replicas with small verification cost and
+    /// generous timeouts.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] if `n < 4`.
+    pub fn new(n: u32) -> Result<PbftConfig> {
+        if n < 4 {
+            return Err(Error::invalid_config("n", format!("PBFT needs n >= 4, got {n}")));
+        }
+        Ok(PbftConfig {
+            n,
+            behaviors: vec![Behavior::Honest; n as usize],
+            block_bytes: 64 * 1024,
+            verify_delay: LatencyModel::Exponential { mean_secs: 2.0 },
+            view_timeout: SimTime::from_secs(60.0),
+            deadline: SimTime::from_secs(3_600.0),
+        })
+    }
+
+    /// Overrides one replica's behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n`.
+    #[must_use]
+    pub fn with_behavior(mut self, index: u32, behavior: Behavior) -> PbftConfig {
+        self.behaviors[index as usize] = behavior;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] for `n < 4`, behaviour-list length
+    /// mismatch, or non-positive timeouts.
+    pub fn validate(&self) -> Result<()> {
+        if self.n < 4 {
+            return Err(Error::invalid_config("n", "PBFT needs n >= 4"));
+        }
+        if self.behaviors.len() != self.n as usize {
+            return Err(Error::invalid_config(
+                "behaviors",
+                "must have exactly one behaviour per replica",
+            ));
+        }
+        if self.view_timeout <= SimTime::ZERO {
+            return Err(Error::invalid_config("view_timeout", "must be positive"));
+        }
+        if self.deadline <= SimTime::ZERO {
+            return Err(Error::invalid_config("deadline", "must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one consensus run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsensusResult {
+    /// Whether `2f+1` replicas committed before the deadline.
+    pub committed: bool,
+    /// Time from proposal to the `2f+1`-th commitment (or the deadline on
+    /// failure).
+    pub latency: SimTime,
+    /// The committed digest (zero if uncommitted).
+    pub digest: Hash32,
+    /// The view in which agreement was reached.
+    pub final_view: u64,
+    /// Total protocol messages delivered.
+    pub messages_delivered: u64,
+}
+
+/// Internal simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Deliver { to: u32, msg: Message },
+    ViewTimeout { replica: u32, view: u64 },
+}
+
+/// Runs one PBFT instance over a simulated network.
+pub struct PbftRunner {
+    config: PbftConfig,
+    network: Network,
+    rng: SimRng,
+}
+
+impl PbftRunner {
+    /// Creates a runner over `network`; the first `config.n` network nodes
+    /// host the replicas.
+    pub fn new(config: PbftConfig, network: Network, rng: SimRng) -> PbftRunner {
+        PbftRunner {
+            config,
+            network,
+            rng,
+        }
+    }
+
+    /// Executes the protocol to agreement on `digest` (or to the deadline).
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors, or [`Error::Simulation`] if the network is
+    /// smaller than the committee.
+    pub fn run(mut self, digest: Hash32) -> Result<ConsensusResult> {
+        self.config.validate()?;
+        if self.network.len() < self.config.n {
+            return Err(Error::simulation(format!(
+                "network has {} nodes but the committee needs {}",
+                self.network.len(),
+                self.config.n
+            )));
+        }
+        let n = self.config.n;
+        let quorum = 2 * ((n - 1) / 3) + 1;
+        let mut replicas: Vec<Replica> = (0..n)
+            .map(|i| Replica::new(i, n, self.config.behaviors[i as usize]))
+            .collect();
+        let mut sched: Scheduler<Event> = Scheduler::new();
+        let mut delivered: u64 = 0;
+        // Highest view for which each replica has an armed timeout timer.
+        let mut armed_view: Vec<u64> = vec![0; n as usize];
+
+        // Kick off: leader proposes, every replica arms its view-0 timer.
+        let initial = replicas[0].propose(digest);
+        self.dispatch(initial, 0, &mut sched);
+        for i in 0..n {
+            sched.schedule_in(self.config.view_timeout, Event::ViewTimeout { replica: i, view: 0 });
+        }
+
+        while let Some((now, event)) = sched.next_event() {
+            if now > self.config.deadline {
+                break;
+            }
+            match event {
+                Event::Deliver { to, msg } => {
+                    delivered += 1;
+                    // Verification cost for proposals.
+                    if matches!(
+                        msg.kind,
+                        crate::message::MessageKind::PrePrepare | crate::message::MessageKind::NewView
+                    ) {
+                        // The verification delay is modelled as already
+                        // elapsed: sample and fold into the outbound sends.
+                        let delay = self.config.verify_delay.sample(&mut self.rng);
+                        let out = replicas[to as usize].on_message(msg);
+                        self.dispatch_delayed(out, to, &mut sched, delay);
+                    } else {
+                        let out = replicas[to as usize].on_message(msg);
+                        self.dispatch(out, to, &mut sched);
+                    }
+                    // Entering a new view re-arms that replica's timeout —
+                    // even when the new leader is faulty and never
+                    // proposes, so successive view changes stay live.
+                    for i in 0..n {
+                        let view = replicas[i as usize].view();
+                        if view > armed_view[i as usize]
+                            && replicas[i as usize].committed().is_none()
+                        {
+                            armed_view[i as usize] = view;
+                            sched.schedule_in(
+                                self.config.view_timeout,
+                                Event::ViewTimeout { replica: i, view },
+                            );
+                        }
+                        // A view change that reached quorum makes the new
+                        // leader re-propose (at most once per view).
+                        if replicas[i as usize].is_leader()
+                            && view > 0
+                            && replicas[i as usize].committed().is_none()
+                        {
+                            let proposal = replicas[i as usize].propose(digest);
+                            if !proposal.is_empty() {
+                                self.dispatch(proposal, i, &mut sched);
+                            }
+                        }
+                    }
+                    // Termination: quorum of commits.
+                    let committed = replicas
+                        .iter()
+                        .filter(|r| r.committed().is_some())
+                        .count() as u32;
+                    if committed >= quorum {
+                        let d = replicas
+                            .iter()
+                            .find_map(|r| r.committed())
+                            .expect("counted commits");
+                        let final_view = replicas
+                            .iter()
+                            .find(|r| r.committed().is_some())
+                            .map(|r| r.view())
+                            .unwrap_or(0);
+                        return Ok(ConsensusResult {
+                            committed: true,
+                            latency: now,
+                            digest: d,
+                            final_view,
+                            messages_delivered: delivered,
+                        });
+                    }
+                }
+                Event::ViewTimeout { replica, view } => {
+                    if replicas[replica as usize].view() == view
+                        && replicas[replica as usize].committed().is_none()
+                    {
+                        let out = replicas[replica as usize].on_timeout();
+                        self.dispatch(out, replica, &mut sched);
+                    }
+                }
+            }
+        }
+        Ok(ConsensusResult {
+            committed: false,
+            latency: self.config.deadline,
+            digest: Hash32::ZERO,
+            final_view: replicas.iter().map(Replica::view).max().unwrap_or(0),
+            messages_delivered: delivered,
+        })
+    }
+
+    fn dispatch(&mut self, out: Vec<Outbound>, from: u32, sched: &mut Scheduler<Event>) {
+        self.dispatch_delayed(out, from, sched, SimTime::ZERO);
+    }
+
+    fn dispatch_delayed(
+        &mut self,
+        out: Vec<Outbound>,
+        from: u32,
+        sched: &mut Scheduler<Event>,
+        extra: SimTime,
+    ) {
+        let now = sched.now() + extra;
+        for ob in out {
+            let size = ob.message.wire_size(self.config.block_bytes);
+            match ob.target {
+                Target::All => {
+                    for to in 0..self.config.n {
+                        if to == from {
+                            // Local self-delivery is immediate.
+                            sched.schedule_at(now, Event::Deliver { to, msg: ob.message });
+                            continue;
+                        }
+                        if let Some(arrival) =
+                            self.network.send(NodeId(from), NodeId(to), size, now)
+                        {
+                            sched.schedule_at(arrival, Event::Deliver { to, msg: ob.message });
+                        }
+                    }
+                }
+                Target::One(to) => {
+                    if to == from {
+                        sched.schedule_at(now, Event::Deliver { to, msg: ob.message });
+                    } else if let Some(arrival) =
+                        self.network.send(NodeId(from), NodeId(to), size, now)
+                    {
+                        sched.schedule_at(arrival, Event::Deliver { to, msg: ob.message });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvcom_simnet::{rng, NetworkConfig};
+
+    fn digest() -> Hash32 {
+        Hash32::digest(b"shard")
+    }
+
+    fn run_with(config: PbftConfig, seed: u64) -> ConsensusResult {
+        let mut master = rng::master(seed);
+        let network = Network::new(
+            NetworkConfig::lan(config.n),
+            rng::fork(&mut master, "net"),
+        )
+        .unwrap();
+        PbftRunner::new(config, network, rng::fork(&mut master, "pbft"))
+            .run(digest())
+            .unwrap()
+    }
+
+    #[test]
+    fn honest_committee_commits_quickly() {
+        let result = run_with(PbftConfig::new(4).unwrap(), 1);
+        assert!(result.committed);
+        assert_eq!(result.digest, digest());
+        assert_eq!(result.final_view, 0);
+        assert!(result.latency.as_secs() < 60.0);
+        assert!(result.messages_delivered > 10);
+    }
+
+    #[test]
+    fn larger_committee_commits() {
+        let result = run_with(PbftConfig::new(13).unwrap(), 2);
+        assert!(result.committed);
+        assert_eq!(result.final_view, 0);
+    }
+
+    #[test]
+    fn tolerates_f_silent_followers() {
+        let config = PbftConfig::new(7)
+            .unwrap()
+            .with_behavior(5, Behavior::Silent)
+            .with_behavior(6, Behavior::Silent);
+        let result = run_with(config, 3);
+        assert!(result.committed);
+        assert_eq!(result.digest, digest());
+    }
+
+    #[test]
+    fn silent_leader_triggers_view_change_and_recovery() {
+        let config = PbftConfig::new(4)
+            .unwrap()
+            .with_behavior(0, Behavior::Silent);
+        let result = run_with(config, 4);
+        assert!(result.committed, "view change should recover the run");
+        assert!(result.final_view >= 1);
+        // Latency includes at least one full view timeout.
+        assert!(result.latency >= SimTime::from_secs(60.0));
+    }
+
+    #[test]
+    fn equivocating_leader_is_deposed_and_safety_holds() {
+        let config = PbftConfig::new(4)
+            .unwrap()
+            .with_behavior(0, Behavior::Equivocate);
+        let result = run_with(config, 5);
+        // Equivocation cannot split the committee; after the timeout a new
+        // honest leader commits the true digest.
+        assert!(result.committed);
+        assert_eq!(result.digest, digest());
+        assert!(result.final_view >= 1);
+    }
+
+    #[test]
+    fn too_many_faults_miss_the_deadline() {
+        let mut config = PbftConfig::new(4)
+            .unwrap()
+            .with_behavior(1, Behavior::Silent)
+            .with_behavior(2, Behavior::Silent);
+        config.deadline = SimTime::from_secs(300.0);
+        let result = run_with(config, 6);
+        assert!(!result.committed);
+        assert_eq!(result.latency, SimTime::from_secs(300.0));
+        assert_eq!(result.digest, Hash32::ZERO);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_with(PbftConfig::new(7).unwrap(), 9);
+        let b = run_with(PbftConfig::new(7).unwrap(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latency_grows_with_committee_size() {
+        // More replicas → more messages → later quorum completion (on
+        // average; use fixed seeds and a margin).
+        let small = run_with(PbftConfig::new(4).unwrap(), 10);
+        let large = run_with(PbftConfig::new(31).unwrap(), 10);
+        assert!(large.messages_delivered > small.messages_delivered * 10);
+    }
+
+    #[test]
+    fn network_too_small_is_an_error() {
+        let mut master = rng::master(0);
+        let network = Network::new(NetworkConfig::lan(3), rng::fork(&mut master, "net")).unwrap();
+        let err = PbftRunner::new(
+            PbftConfig::new(4).unwrap(),
+            network,
+            rng::fork(&mut master, "pbft"),
+        )
+        .run(digest());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PbftConfig::new(3).is_err());
+        let mut c = PbftConfig::new(4).unwrap();
+        c.behaviors.pop();
+        assert!(c.validate().is_err());
+        let mut c = PbftConfig::new(4).unwrap();
+        c.view_timeout = SimTime::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! Time-ordered event queue and simulation clock.
+//!
+//! The heart of the discrete-event engine: events carry a firing time and an
+//! arbitrary payload. [`EventQueue`] pops events in time order with **stable
+//! FIFO tie-breaking** (two events scheduled for the same instant fire in
+//! insertion order), which keeps whole simulations deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use mvcom_types::SimTime;
+
+/// An entry in the queue: `(time, sequence, payload)`.
+///
+/// `Reverse`-style ordering is implemented manually so that the earliest
+/// time (and, within a time, the lowest sequence number) is popped first.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timed events with deterministic FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use mvcom_simnet::EventQueue;
+/// use mvcom_types::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2.0), "later");
+/// q.push(SimTime::from_secs(1.0), "sooner");
+/// assert_eq!(q.pop().unwrap().1, "sooner");
+/// assert_eq!(q.pop().unwrap().1, "later");
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty. Ties fire in insertion order.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// An [`EventQueue`] paired with the current simulation time.
+///
+/// `Scheduler` enforces the monotone-clock invariant: events cannot be
+/// scheduled in the past, and popping an event advances the clock to its
+/// firing time.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler with the clock at time zero.
+    pub fn new() -> Scheduler<E> {
+        Scheduler {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) {
+        self.queue.push(self.now + delay, payload);
+    }
+
+    /// Schedules `payload` at the absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the current simulation time — a discrete
+    /// event simulator must never rewind.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event at {at} before current time {now}",
+            now = self.now
+        );
+        self.queue.push(at, payload);
+    }
+
+    /// Pops the earliest event and advances the clock to its firing time.
+    pub fn next_event(&mut self) -> Option<(SimTime, E)> {
+        let (time, payload) = self.queue.pop()?;
+        self.now = time;
+        Some((time, payload))
+    }
+
+    /// Firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(secs(3.0), 'c');
+        q.push(secs(1.0), 'a');
+        q.push(secs(2.0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_times_fire_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(secs(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(secs(1.0), ());
+        assert_eq!(q.peek_time(), Some(secs(1.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(secs(1.0), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scheduler_advances_clock() {
+        let mut s = Scheduler::new();
+        s.schedule_in(secs(2.0), "x");
+        s.schedule_in(secs(1.0), "y");
+        let (t, e) = s.next_event().unwrap();
+        assert_eq!((t, e), (secs(1.0), "y"));
+        assert_eq!(s.now(), secs(1.0));
+        // Relative scheduling is now relative to the advanced clock.
+        s.schedule_in(secs(0.5), "z");
+        let (t, e) = s.next_event().unwrap();
+        assert_eq!((t, e), (secs(1.5), "z"));
+        let (t, e) = s.next_event().unwrap();
+        assert_eq!((t, e), (secs(2.0), "x"));
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule_in(secs(5.0), ());
+        s.next_event();
+        s.schedule_at(secs(1.0), ());
+    }
+
+    #[test]
+    fn scheduler_pending_counts() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        assert!(s.is_idle());
+        s.schedule_in(secs(1.0), 1);
+        s.schedule_in(secs(2.0), 2);
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.peek_time(), Some(secs(1.0)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_maintains_order() {
+        let mut q = EventQueue::new();
+        q.push(secs(10.0), 10);
+        q.push(secs(1.0), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(secs(5.0), 5);
+        q.push(secs(2.0), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 10);
+    }
+}

@@ -1,0 +1,219 @@
+//! Push-gossip (epidemic) broadcast over the simulated network.
+//!
+//! Elastico's directory stage floods identity announcements; modelling the
+//! flood as per-pair unicast would be quadratic in messages, so protocols
+//! use epidemic rounds: every informed node pushes to `fanout` random
+//! peers each round until the rumor saturates. [`GossipRun::spread`]
+//! simulates exactly that on a [`Network`], returning per-node delivery
+//! times, and [`expected_rounds`] gives the classic `O(log n)` analytic
+//! estimate used for capacity planning.
+
+use std::collections::HashMap;
+
+use mvcom_types::{NodeId, Result, SimTime};
+
+use crate::net::Network;
+
+/// Configuration of one gossip dissemination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipConfig {
+    /// Peers each informed node pushes to per round.
+    pub fanout: u32,
+    /// Payload size per push, bytes.
+    pub payload_bytes: usize,
+    /// Stop after this many rounds even if uninformed nodes remain
+    /// (crashed or partitioned nodes never learn the rumor).
+    pub max_rounds: u32,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            fanout: 3,
+            payload_bytes: 256,
+            max_rounds: 64,
+        }
+    }
+}
+
+/// The analytic expectation of rounds to saturate `n` nodes with the given
+/// fanout: `log_{fanout+1}(n)` rounds of exponential growth plus a small
+/// tail constant (Karp et al.'s push-gossip bound shape).
+pub fn expected_rounds(n: u32, fanout: u32) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let base = (fanout + 1) as f64;
+    (f64::from(n)).ln() / base.ln() + 1.5
+}
+
+/// One gossip dissemination run.
+#[derive(Debug)]
+pub struct GossipRun<'a> {
+    network: &'a mut Network,
+    config: GossipConfig,
+}
+
+impl<'a> GossipRun<'a> {
+    /// Prepares a run over `network`.
+    pub fn new(network: &'a mut Network, config: GossipConfig) -> GossipRun<'a> {
+        GossipRun { network, config }
+    }
+
+    /// Spreads a rumor from `origin` starting at `start`, returning each
+    /// reached node's delivery time (the `origin` maps to `start`).
+    ///
+    /// Rounds are synchronous in the model: a node informed in round `r`
+    /// pushes in round `r+1`; per-push delivery times come from the
+    /// network's latency model, and a node's delivery time is the earliest
+    /// push that reached it.
+    ///
+    /// # Errors
+    ///
+    /// [`mvcom_types::Error::Simulation`] if `origin` is down.
+    pub fn spread(
+        &mut self,
+        origin: NodeId,
+        start: SimTime,
+    ) -> Result<HashMap<NodeId, SimTime>> {
+        if !self.network.is_up(origin) {
+            return Err(mvcom_types::Error::simulation(format!(
+                "gossip origin {origin} is down"
+            )));
+        }
+        let n = self.network.len();
+        let mut delivered: HashMap<NodeId, SimTime> = HashMap::new();
+        delivered.insert(origin, start);
+        let mut frontier = vec![origin];
+        for _ in 0..self.config.max_rounds {
+            if frontier.is_empty() || delivered.len() as u32 >= n {
+                break;
+            }
+            let mut next_frontier = Vec::new();
+            for &node in &frontier {
+                let sent_at = delivered[&node];
+                for _ in 0..self.config.fanout {
+                    let peer = self.network.random_node();
+                    if peer == node {
+                        continue;
+                    }
+                    if let Some(arrival) =
+                        self.network
+                            .send(node, peer, self.config.payload_bytes, sent_at)
+                    {
+                        match delivered.get(&peer) {
+                            Some(&existing) if existing <= arrival => {}
+                            _ => {
+                                delivered.insert(peer, arrival);
+                                next_frontier.push(peer);
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next_frontier;
+        }
+        Ok(delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetworkConfig;
+    use crate::rng;
+
+    fn network(n: u32, seed: u64) -> Network {
+        Network::new(NetworkConfig::lan(n), rng::master(seed)).unwrap()
+    }
+
+    #[test]
+    fn rumor_reaches_almost_everyone() {
+        let mut net = network(100, 1);
+        let mut run = GossipRun::new(&mut net, GossipConfig::default());
+        let delivered = run.spread(NodeId(0), SimTime::ZERO).unwrap();
+        assert!(
+            delivered.len() >= 95,
+            "only {} of 100 nodes reached",
+            delivered.len()
+        );
+        assert_eq!(delivered[&NodeId(0)], SimTime::ZERO);
+    }
+
+    #[test]
+    fn delivery_times_are_causal_and_increasing_outward() {
+        let mut net = network(50, 2);
+        let mut run = GossipRun::new(&mut net, GossipConfig::default());
+        let start = SimTime::from_secs(10.0);
+        let delivered = run.spread(NodeId(3), start).unwrap();
+        for (&node, &t) in &delivered {
+            if node != NodeId(3) {
+                assert!(t > start, "{node} delivered at {t} before start");
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_are_never_reached() {
+        let mut net = network(30, 3);
+        net.crash(NodeId(7));
+        net.crash(NodeId(8));
+        let config = GossipConfig {
+            fanout: 5, // small populations need extra fanout to saturate
+            ..GossipConfig::default()
+        };
+        let mut run = GossipRun::new(&mut net, config);
+        let delivered = run.spread(NodeId(0), SimTime::ZERO).unwrap();
+        assert!(!delivered.contains_key(&NodeId(7)));
+        assert!(!delivered.contains_key(&NodeId(8)));
+        assert!(delivered.len() >= 20, "reached only {}", delivered.len());
+    }
+
+    #[test]
+    fn dead_origin_errors() {
+        let mut net = network(10, 4);
+        net.crash(NodeId(0));
+        let mut run = GossipRun::new(&mut net, GossipConfig::default());
+        assert!(run.spread(NodeId(0), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn expected_rounds_grows_logarithmically() {
+        assert_eq!(expected_rounds(1, 3), 0.0);
+        let r100 = expected_rounds(100, 3);
+        let r10_000 = expected_rounds(10_000, 3);
+        assert!(r10_000 < 2.5 * r100, "{r100} → {r10_000} should be ~2×");
+        assert!(r10_000 > r100);
+        // Higher fanout means fewer rounds.
+        assert!(expected_rounds(1_000, 7) < expected_rounds(1_000, 2));
+    }
+
+    #[test]
+    fn empirical_rounds_match_the_analytic_estimate() {
+        // Measure saturation time in units of ~1 link delay and compare
+        // against the O(log n) estimate within a generous factor.
+        let mut net = network(200, 5);
+        let mut run = GossipRun::new(&mut net, GossipConfig::default());
+        let delivered = run.spread(NodeId(0), SimTime::ZERO).unwrap();
+        let latest = delivered.values().max().unwrap().as_secs();
+        let link = 0.05; // LAN mean
+        let rounds = latest / link;
+        let expected = expected_rounds(200, 3);
+        assert!(
+            rounds < 6.0 * expected,
+            "empirical rounds {rounds:.1} vs expected {expected:.1}"
+        );
+    }
+
+    #[test]
+    fn partition_confines_the_rumor() {
+        let mut net = network(20, 6);
+        net.set_partition(vec![
+            (0..10).map(NodeId).collect(),
+            (10..20).map(NodeId).collect(),
+        ]);
+        let mut run = GossipRun::new(&mut net, GossipConfig::default());
+        let delivered = run.spread(NodeId(0), SimTime::ZERO).unwrap();
+        assert!(delivered.keys().all(|id| id.0 < 10));
+    }
+}

@@ -1,0 +1,285 @@
+//! Parametric latency models.
+//!
+//! Every random delay in the simulator — PoW solve times, link latency,
+//! transaction-verification cost — is described by a [`LatencyModel`] so
+//! experiment configurations are plain data (serializable, printable) rather
+//! than closures.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp, LogNormal, Uniform};
+use serde::{Deserialize, Serialize};
+
+use mvcom_types::{Error, Result, SimTime};
+
+/// A probability distribution over non-negative delays (seconds).
+///
+/// # Example
+///
+/// ```
+/// use mvcom_simnet::{LatencyModel, rng};
+///
+/// let model = LatencyModel::exponential(600.0).unwrap();
+/// let mut rng = rng::master(1);
+/// let sample = model.sample(&mut rng);
+/// assert!(sample.as_secs() >= 0.0);
+/// assert!((model.mean() - 600.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LatencyModel {
+    /// Always exactly `secs`.
+    Constant {
+        /// The fixed delay in seconds.
+        secs: f64,
+    },
+    /// Uniform on `[low, high)` seconds.
+    Uniform {
+        /// Inclusive lower bound in seconds.
+        low: f64,
+        /// Exclusive upper bound in seconds.
+        high: f64,
+    },
+    /// Exponential with the given mean (e.g. PoW solve time, mean 600 s in
+    /// the paper's setup).
+    Exponential {
+        /// Mean in seconds (`1/λ`).
+        mean_secs: f64,
+    },
+    /// Log-normal given the mean and standard deviation **of the resulting
+    /// delay** (not of the underlying normal); heavy-tailed link delays.
+    LogNormal {
+        /// Mean of the delay in seconds.
+        mean_secs: f64,
+        /// Standard deviation of the delay in seconds.
+        std_secs: f64,
+    },
+    /// A constant floor plus an exponential tail: `offset + Exp(mean)`.
+    /// Models delays with a deterministic propagation floor (e.g. a network
+    /// round trip) and a stochastic queueing tail.
+    ShiftedExponential {
+        /// The deterministic floor in seconds.
+        offset_secs: f64,
+        /// Mean of the exponential tail in seconds.
+        mean_secs: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A constant delay.
+    pub fn constant(secs: f64) -> Result<LatencyModel> {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(Error::invalid_config(
+                "constant.secs",
+                format!("must be finite and non-negative, got {secs}"),
+            ));
+        }
+        Ok(LatencyModel::Constant { secs })
+    }
+
+    /// A uniform delay on `[low, high)`.
+    pub fn uniform(low: f64, high: f64) -> Result<LatencyModel> {
+        if !(low.is_finite() && high.is_finite()) || low < 0.0 || high <= low {
+            return Err(Error::invalid_config(
+                "uniform",
+                format!("need 0 <= low < high, got [{low}, {high})"),
+            ));
+        }
+        Ok(LatencyModel::Uniform { low, high })
+    }
+
+    /// An exponential delay with the given mean.
+    pub fn exponential(mean_secs: f64) -> Result<LatencyModel> {
+        if !mean_secs.is_finite() || mean_secs <= 0.0 {
+            return Err(Error::invalid_config(
+                "exponential.mean_secs",
+                format!("must be positive, got {mean_secs}"),
+            ));
+        }
+        Ok(LatencyModel::Exponential { mean_secs })
+    }
+
+    /// A log-normal delay with the given mean and standard deviation of the
+    /// *delay itself*.
+    pub fn log_normal(mean_secs: f64, std_secs: f64) -> Result<LatencyModel> {
+        if !(mean_secs.is_finite() && std_secs.is_finite()) || mean_secs <= 0.0 || std_secs <= 0.0
+        {
+            return Err(Error::invalid_config(
+                "log_normal",
+                format!("need positive mean and std, got mean={mean_secs}, std={std_secs}"),
+            ));
+        }
+        Ok(LatencyModel::LogNormal {
+            mean_secs,
+            std_secs,
+        })
+    }
+
+    /// A delay with a deterministic floor and an exponential tail.
+    pub fn shifted_exponential(offset_secs: f64, mean_secs: f64) -> Result<LatencyModel> {
+        if !offset_secs.is_finite() || offset_secs < 0.0 {
+            return Err(Error::invalid_config(
+                "shifted_exponential.offset_secs",
+                format!("must be finite and non-negative, got {offset_secs}"),
+            ));
+        }
+        if !mean_secs.is_finite() || mean_secs <= 0.0 {
+            return Err(Error::invalid_config(
+                "shifted_exponential.mean_secs",
+                format!("must be positive, got {mean_secs}"),
+            ));
+        }
+        Ok(LatencyModel::ShiftedExponential {
+            offset_secs,
+            mean_secs,
+        })
+    }
+
+    /// Draws one delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        match *self {
+            LatencyModel::Constant { secs } => SimTime::from_secs(secs),
+            LatencyModel::Uniform { low, high } => {
+                SimTime::from_secs(Uniform::new(low, high).sample(rng))
+            }
+            LatencyModel::Exponential { mean_secs } => {
+                let exp = Exp::new(1.0 / mean_secs).expect("validated at construction");
+                SimTime::from_secs(exp.sample(rng))
+            }
+            LatencyModel::LogNormal {
+                mean_secs,
+                std_secs,
+            } => {
+                // Convert the desired delay moments into the underlying
+                // normal parameters: if X ~ LogNormal(mu, sigma) then
+                // E[X] = exp(mu + sigma^2/2), Var[X] = (exp(sigma^2)-1)E[X]^2.
+                let cv2 = (std_secs / mean_secs).powi(2);
+                let sigma2 = (1.0 + cv2).ln();
+                let mu = mean_secs.ln() - sigma2 / 2.0;
+                let ln = LogNormal::new(mu, sigma2.sqrt()).expect("validated at construction");
+                SimTime::from_secs(ln.sample(rng))
+            }
+            LatencyModel::ShiftedExponential {
+                offset_secs,
+                mean_secs,
+            } => {
+                let exp = Exp::new(1.0 / mean_secs).expect("validated at construction");
+                SimTime::from_secs(offset_secs + exp.sample(rng))
+            }
+        }
+    }
+
+    /// The analytic mean of the distribution, in seconds.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LatencyModel::Constant { secs } => secs,
+            LatencyModel::Uniform { low, high } => (low + high) / 2.0,
+            LatencyModel::Exponential { mean_secs } => mean_secs,
+            LatencyModel::LogNormal { mean_secs, .. } => mean_secs,
+            LatencyModel::ShiftedExponential {
+                offset_secs,
+                mean_secs,
+            } => offset_secs + mean_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    fn sample_mean(model: &LatencyModel, n: usize, seed: u64) -> f64 {
+        let mut r = rng::master(seed);
+        (0..n).map(|_| model.sample(&mut r).as_secs()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_always_equal() {
+        let m = LatencyModel::constant(3.5).unwrap();
+        let mut r = rng::master(0);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r).as_secs(), 3.5);
+        }
+        assert_eq!(m.mean(), 3.5);
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_mean() {
+        let m = LatencyModel::uniform(2.0, 4.0).unwrap();
+        let mut r = rng::master(1);
+        for _ in 0..1000 {
+            let s = m.sample(&mut r).as_secs();
+            assert!((2.0..4.0).contains(&s));
+        }
+        assert!((sample_mean(&m, 20_000, 2) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let m = LatencyModel::exponential(600.0).unwrap();
+        let empirical = sample_mean(&m, 50_000, 3);
+        assert!(
+            (empirical - 600.0).abs() / 600.0 < 0.03,
+            "empirical mean {empirical}"
+        );
+    }
+
+    #[test]
+    fn log_normal_moments_match() {
+        let m = LatencyModel::log_normal(54.5, 10.0).unwrap();
+        let empirical = sample_mean(&m, 50_000, 4);
+        assert!(
+            (empirical - 54.5).abs() / 54.5 < 0.03,
+            "empirical mean {empirical}"
+        );
+        // All samples positive.
+        let mut r = rng::master(5);
+        for _ in 0..1000 {
+            assert!(m.sample(&mut r).as_secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn shifted_exponential_floor_and_mean() {
+        let m = LatencyModel::shifted_exponential(2.0, 3.0).unwrap();
+        let mut r = rng::master(6);
+        for _ in 0..1000 {
+            assert!(m.sample(&mut r).as_secs() >= 2.0);
+        }
+        assert_eq!(m.mean(), 5.0);
+        let empirical = sample_mean(&m, 50_000, 7);
+        assert!((empirical - 5.0).abs() < 0.1, "empirical mean {empirical}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(LatencyModel::shifted_exponential(-1.0, 1.0).is_err());
+        assert!(LatencyModel::shifted_exponential(1.0, 0.0).is_err());
+        assert!(LatencyModel::constant(-1.0).is_err());
+        assert!(LatencyModel::constant(f64::NAN).is_err());
+        assert!(LatencyModel::uniform(3.0, 2.0).is_err());
+        assert!(LatencyModel::uniform(-1.0, 2.0).is_err());
+        assert!(LatencyModel::exponential(0.0).is_err());
+        assert!(LatencyModel::exponential(-5.0).is_err());
+        assert!(LatencyModel::log_normal(0.0, 1.0).is_err());
+        assert!(LatencyModel::log_normal(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = LatencyModel::exponential(600.0).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: LatencyModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel::log_normal(10.0, 2.0).unwrap();
+        let mut a = rng::master(7);
+        let mut b = rng::master(7);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut a), m.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Simulated peer-to-peer network.
+//!
+//! [`Network`] models message delivery between nodes: each send samples a
+//! delay from a [`LatencyModel`] and returns the arrival time, which callers
+//! feed into their [`Scheduler`](crate::event::Scheduler). Nodes can crash
+//! and recover, and arbitrary partitions can be installed; messages to or
+//! from an unreachable node are dropped (returning `None`), which is exactly
+//! how the final committee "perceives a failed member committee by using the
+//! ping network protocol" — the observed latency becomes infinite.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mvcom_types::{Error, NodeId, Result, SimTime};
+
+use crate::latency::LatencyModel;
+
+/// Static configuration of a simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Number of nodes, identified `0..nodes`.
+    pub nodes: u32,
+    /// Delay model for one point-to-point message.
+    pub link_latency: LatencyModel,
+    /// Extra per-KiB serialization/transfer delay in seconds (bandwidth
+    /// term); `0.0` disables size-dependent delay.
+    pub secs_per_kib: f64,
+}
+
+impl NetworkConfig {
+    /// A LAN-ish default: 50 ms ± jitter links, 1 Gbit/s-ish bandwidth.
+    pub fn lan(nodes: u32) -> NetworkConfig {
+        NetworkConfig {
+            nodes,
+            link_latency: LatencyModel::ShiftedExponential {
+                offset_secs: 0.030,
+                mean_secs: 0.020,
+            },
+            secs_per_kib: 8.0 / 1_000_000.0,
+        }
+    }
+
+    /// A WAN-ish default: 200 ms links with heavy jitter, 50 Mbit/s.
+    pub fn wan(nodes: u32) -> NetworkConfig {
+        NetworkConfig {
+            nodes,
+            link_latency: LatencyModel::ShiftedExponential {
+                offset_secs: 0.120,
+                mean_secs: 0.080,
+            },
+            secs_per_kib: 8.0 / 50_000.0,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes == 0 {
+            return Err(Error::invalid_config("nodes", "network needs at least one node"));
+        }
+        if !self.secs_per_kib.is_finite() || self.secs_per_kib < 0.0 {
+            return Err(Error::invalid_config(
+                "secs_per_kib",
+                format!("must be finite and non-negative, got {}", self.secs_per_kib),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Counters describing everything a [`Network`] delivered or dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Messages accepted for delivery.
+    pub delivered: u64,
+    /// Messages dropped because an endpoint was down or partitioned away.
+    pub dropped: u64,
+    /// Total payload bytes accepted for delivery.
+    pub bytes: u64,
+}
+
+/// A simulated P2P network with crashes and partitions.
+///
+/// The network is *timeless*: it computes arrival times but does not own the
+/// event queue, so several protocols can share one network while driving
+/// their own schedulers.
+///
+/// # Example
+///
+/// ```
+/// use mvcom_simnet::{Network, NetworkConfig, rng};
+/// use mvcom_types::{NodeId, SimTime};
+///
+/// let mut net = Network::new(NetworkConfig::lan(4), rng::master(1)).unwrap();
+/// let sent_at = SimTime::ZERO;
+/// let arrival = net.send(NodeId(0), NodeId(1), 256, sent_at).unwrap();
+/// assert!(arrival > sent_at);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    rng: crate::rng::SimRng,
+    down: HashSet<NodeId>,
+    /// Partition groups: nodes in different groups cannot communicate.
+    /// Empty means fully connected.
+    partition: Vec<HashSet<NodeId>>,
+    stats: NetworkStats,
+}
+
+impl Network {
+    /// Creates a network from a validated configuration and an RNG stream.
+    pub fn new(config: NetworkConfig, rng: crate::rng::SimRng) -> Result<Network> {
+        config.validate()?;
+        Ok(Network {
+            config,
+            rng,
+            down: HashSet::new(),
+            partition: Vec::new(),
+            stats: NetworkStats::default(),
+        })
+    }
+
+    /// The network's static configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Delivery/drop counters so far.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> u32 {
+        self.config.nodes
+    }
+
+    /// Returns `true` if the network has no nodes (never true for a
+    /// validated config; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.config.nodes == 0
+    }
+
+    /// Marks `node` as crashed: every message to or from it is dropped.
+    pub fn crash(&mut self, node: NodeId) {
+        self.down.insert(node);
+    }
+
+    /// Recovers a crashed node.
+    pub fn recover(&mut self, node: NodeId) {
+        self.down.remove(&node);
+    }
+
+    /// Returns `true` if `node` is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        node.0 < self.config.nodes && !self.down.contains(&node)
+    }
+
+    /// Installs a partition: nodes in different groups cannot exchange
+    /// messages. Nodes absent from every group remain connected to each
+    /// other (they form an implicit extra group).
+    pub fn set_partition(&mut self, groups: Vec<HashSet<NodeId>>) {
+        self.partition = groups;
+    }
+
+    /// Removes any partition.
+    pub fn heal_partition(&mut self) {
+        self.partition.clear();
+    }
+
+    fn group_of(&self, node: NodeId) -> Option<usize> {
+        self.partition.iter().position(|g| g.contains(&node))
+    }
+
+    /// Returns `true` if `a` and `b` can currently exchange messages.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.is_up(a) || !self.is_up(b) {
+            return false;
+        }
+        self.group_of(a) == self.group_of(b)
+    }
+
+    /// Sends `payload_bytes` from `from` to `to` at time `sent_at`.
+    ///
+    /// Returns the arrival time, or `None` if the message is dropped
+    /// (either endpoint down or partitioned away). Self-sends arrive
+    /// immediately (zero network delay).
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload_bytes: usize,
+        sent_at: SimTime,
+    ) -> Option<SimTime> {
+        if !self.connected(from, to) {
+            self.stats.dropped += 1;
+            return None;
+        }
+        self.stats.delivered += 1;
+        self.stats.bytes += payload_bytes as u64;
+        if from == to {
+            return Some(sent_at);
+        }
+        let link = self.config.link_latency.sample(&mut self.rng);
+        let transfer =
+            SimTime::from_secs(self.config.secs_per_kib * (payload_bytes as f64 / 1024.0));
+        Some(sent_at + link + transfer)
+    }
+
+    /// Broadcasts from `from` to every node in `recipients`, returning
+    /// `(recipient, arrival)` for each message that was delivered.
+    pub fn broadcast<I>(
+        &mut self,
+        from: NodeId,
+        recipients: I,
+        payload_bytes: usize,
+        sent_at: SimTime,
+    ) -> Vec<(NodeId, SimTime)>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        recipients
+            .into_iter()
+            .filter(|&to| to != from)
+            .filter_map(|to| self.send(from, to, payload_bytes, sent_at).map(|t| (to, t)))
+            .collect()
+    }
+
+    /// The latency a `ping` from `from` to `to` would observe: a sampled
+    /// round trip, or [`SimTime::INFINITY`] when unreachable — the failure
+    /// detector the paper describes in §V-A.
+    pub fn ping(&mut self, from: NodeId, to: NodeId) -> SimTime {
+        if !self.connected(from, to) {
+            return SimTime::INFINITY;
+        }
+        let out = self.config.link_latency.sample(&mut self.rng);
+        let back = self.config.link_latency.sample(&mut self.rng);
+        out + back
+    }
+
+    /// Mutable access to the RNG stream, for callers that need correlated
+    /// auxiliary draws (e.g. jittering retry timers).
+    pub fn rng_mut(&mut self) -> &mut crate::rng::SimRng {
+        &mut self.rng
+    }
+
+    /// Samples `n` link delays without sending anything — used to model
+    /// gossip fan-out cost analytically.
+    pub fn sample_delays(&mut self, n: usize) -> Vec<SimTime> {
+        (0..n)
+            .map(|_| self.config.link_latency.sample(&mut self.rng))
+            .collect()
+    }
+
+    /// Convenience: draw from an arbitrary distribution using the network's
+    /// RNG stream.
+    pub fn sample_from(&mut self, model: &LatencyModel) -> SimTime {
+        model.sample(&mut self.rng)
+    }
+
+    /// Uniformly random node id, e.g. for gossip peer selection.
+    pub fn random_node(&mut self) -> NodeId {
+        NodeId(self.rng.gen_range(0..self.config.nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    fn net(nodes: u32) -> Network {
+        Network::new(NetworkConfig::lan(nodes), rng::master(11)).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(NetworkConfig::lan(0).validate().is_err());
+        assert!(NetworkConfig::lan(3).validate().is_ok());
+        let bad = NetworkConfig {
+            secs_per_kib: -1.0,
+            ..NetworkConfig::lan(3)
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn send_returns_future_arrival() {
+        let mut n = net(4);
+        let sent = SimTime::from_secs(10.0);
+        let arrival = n.send(NodeId(0), NodeId(1), 128, sent).unwrap();
+        assert!(arrival > sent);
+        assert_eq!(n.stats().delivered, 1);
+        assert_eq!(n.stats().bytes, 128);
+    }
+
+    #[test]
+    fn self_send_is_instant() {
+        let mut n = net(2);
+        let sent = SimTime::from_secs(5.0);
+        assert_eq!(n.send(NodeId(1), NodeId(1), 64, sent), Some(sent));
+    }
+
+    #[test]
+    fn crash_drops_messages_and_ping_is_infinite() {
+        let mut n = net(3);
+        n.crash(NodeId(2));
+        assert!(!n.is_up(NodeId(2)));
+        assert_eq!(n.send(NodeId(0), NodeId(2), 10, SimTime::ZERO), None);
+        assert_eq!(n.send(NodeId(2), NodeId(0), 10, SimTime::ZERO), None);
+        assert_eq!(n.ping(NodeId(0), NodeId(2)), SimTime::INFINITY);
+        // Pings are observations, not messages: only the two sends count.
+        assert_eq!(n.stats().dropped, 2);
+        n.recover(NodeId(2));
+        assert!(n.is_up(NodeId(2)));
+        assert!(n.send(NodeId(0), NodeId(2), 10, SimTime::ZERO).is_some());
+        assert!(!n.ping(NodeId(0), NodeId(2)).is_infinite());
+    }
+
+    #[test]
+    fn out_of_range_node_is_down() {
+        let n = net(3);
+        assert!(!n.is_up(NodeId(3)));
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut n = net(4);
+        n.set_partition(vec![
+            [NodeId(0), NodeId(1)].into_iter().collect(),
+            [NodeId(2)].into_iter().collect(),
+        ]);
+        assert!(n.connected(NodeId(0), NodeId(1)));
+        assert!(!n.connected(NodeId(0), NodeId(2)));
+        // Node 3 is in no explicit group: it forms the implicit group.
+        assert!(!n.connected(NodeId(3), NodeId(0)));
+        assert!(n.connected(NodeId(3), NodeId(3)));
+        n.heal_partition();
+        assert!(n.connected(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn broadcast_skips_sender_and_dead_nodes() {
+        let mut n = net(5);
+        n.crash(NodeId(4));
+        let deliveries = n.broadcast(
+            NodeId(0),
+            (0..5).map(NodeId),
+            32,
+            SimTime::ZERO,
+        );
+        let recipients: Vec<u32> = deliveries.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(recipients, vec![1, 2, 3]);
+        for (_, t) in deliveries {
+            assert!(t > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn bandwidth_term_grows_with_payload() {
+        let config = NetworkConfig {
+            nodes: 2,
+            link_latency: LatencyModel::Constant { secs: 0.1 },
+            secs_per_kib: 0.01,
+        };
+        let mut n = Network::new(config, rng::master(0)).unwrap();
+        let small = n.send(NodeId(0), NodeId(1), 1024, SimTime::ZERO).unwrap();
+        let large = n.send(NodeId(0), NodeId(1), 10 * 1024, SimTime::ZERO).unwrap();
+        assert!((small.as_secs() - 0.11).abs() < 1e-9);
+        assert!((large.as_secs() - 0.20).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = net(4);
+        let mut b = Network::new(NetworkConfig::lan(4), rng::master(11)).unwrap();
+        for i in 0..50u32 {
+            let from = NodeId(i % 4);
+            let to = NodeId((i + 1) % 4);
+            assert_eq!(
+                a.send(from, to, 100, SimTime::ZERO),
+                b.send(from, to, 100, SimTime::ZERO)
+            );
+        }
+    }
+
+    #[test]
+    fn random_node_in_range() {
+        let mut n = net(7);
+        for _ in 0..100 {
+            assert!(n.random_node().0 < 7);
+        }
+    }
+}

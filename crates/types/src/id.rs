@@ -1,0 +1,162 @@
+//! Newtype identifiers for the entities of a sharded blockchain.
+//!
+//! Each identifier wraps a primitive integer but is a distinct type, so a
+//! [`NodeId`] can never be confused with a [`CommitteeId`] at compile time
+//! (C-NEWTYPE). All identifiers are cheap `Copy` types ordered by their
+//! numeric value.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw numeric value of this identifier.
+            #[inline]
+            pub const fn value(self) -> $inner {
+                self.0
+            }
+
+            /// Returns the identifier as a `usize` index, for dense tables.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(value: $inner) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for $inner {
+            #[inline]
+            fn from(id: $name) -> Self {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a single blockchain node (a miner / processor).
+    NodeId,
+    u32,
+    "node-"
+);
+
+define_id!(
+    /// Identifier of a committee — a PoW-elected group of nodes that runs
+    /// intra-committee PBFT over one shard of transactions.
+    CommitteeId,
+    u32,
+    "committee-"
+);
+
+define_id!(
+    /// Identifier of an epoch `j ∈ J`; one global block is appended to the
+    /// root chain per epoch.
+    EpochId,
+    u64,
+    "epoch-"
+);
+
+define_id!(
+    /// Identifier of a shard — the agreed transaction set produced by one
+    /// member committee within one epoch.
+    ShardId,
+    u32,
+    "shard-"
+);
+
+define_id!(
+    /// Identifier of a single transaction.
+    TxId,
+    u64,
+    "tx-"
+);
+
+define_id!(
+    /// Identifier of a transaction block in the (synthetic) Bitcoin trace.
+    BlockId,
+    u64,
+    "block-"
+);
+
+impl EpochId {
+    /// The first epoch.
+    pub const GENESIS: EpochId = EpochId(0);
+
+    /// Returns the epoch that follows this one.
+    #[inline]
+    pub const fn next(self) -> EpochId {
+        EpochId(self.0 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NodeId(7).to_string(), "node-7");
+        assert_eq!(CommitteeId(3).to_string(), "committee-3");
+        assert_eq!(EpochId(0).to_string(), "epoch-0");
+        assert_eq!(ShardId(12).to_string(), "shard-12");
+        assert_eq!(TxId(99).to_string(), "tx-99");
+        assert_eq!(BlockId(5).to_string(), "block-5");
+    }
+
+    #[test]
+    fn ids_round_trip_through_primitives() {
+        let id = CommitteeId::from(42u32);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(id.value(), 42);
+        assert_eq!(id.index(), 42usize);
+    }
+
+    #[test]
+    fn epoch_next_increments() {
+        assert_eq!(EpochId::GENESIS.next(), EpochId(1));
+        assert_eq!(EpochId(9).next(), EpochId(10));
+    }
+
+    #[test]
+    fn ids_order_numerically() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EpochId(10) > EpochId(9));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&CommitteeId(5)).unwrap();
+        assert_eq!(json, "5");
+        let back: CommitteeId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, CommitteeId(5));
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        // Compile-time property; this test documents the intent.
+        fn takes_node(_: NodeId) {}
+        takes_node(NodeId(1));
+    }
+}

@@ -1,0 +1,165 @@
+//! The two-phase latency of a member committee.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// The *two-phase latency* of a member committee within one epoch.
+///
+/// The paper (§I, Fig. 2) defines this as the sum of:
+///
+/// 1. **formation latency** — the time the committee's nodes spend solving
+///    the PoW identity puzzle and assembling the committee (Elastico
+///    stages 1–2), and
+/// 2. **consensus latency** — the time the committee spends running the
+///    three PBFT phases to agree on its shard (Elastico stage 3).
+///
+/// The scheduler only ever consumes the total ([`TwoPhaseLatency::total`]),
+/// but the split is preserved because Fig. 2 reports the two components
+/// separately.
+///
+/// # Example
+///
+/// ```
+/// use mvcom_types::{SimTime, TwoPhaseLatency};
+///
+/// let l = TwoPhaseLatency::new(SimTime::from_secs(600.0), SimTime::from_secs(54.5));
+/// assert_eq!(l.total().as_secs(), 654.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct TwoPhaseLatency {
+    formation: SimTime,
+    consensus: SimTime,
+}
+
+impl TwoPhaseLatency {
+    /// Creates a two-phase latency from its components.
+    #[inline]
+    pub fn new(formation: SimTime, consensus: SimTime) -> TwoPhaseLatency {
+        TwoPhaseLatency {
+            formation,
+            consensus,
+        }
+    }
+
+    /// Creates a latency whose total is `total`, attributed entirely to the
+    /// formation phase. Useful when only the aggregate is known (e.g. when
+    /// re-entering an epoch after a DDL carry-over).
+    #[inline]
+    pub fn from_total(total: SimTime) -> TwoPhaseLatency {
+        TwoPhaseLatency {
+            formation: total,
+            consensus: SimTime::ZERO,
+        }
+    }
+
+    /// The committee-formation latency (PoW election + overlay setup).
+    #[inline]
+    pub fn formation(self) -> SimTime {
+        self.formation
+    }
+
+    /// The intra-committee PBFT consensus latency.
+    #[inline]
+    pub fn consensus(self) -> SimTime {
+        self.consensus
+    }
+
+    /// The total two-phase latency `l_i` used by the MVCom objective.
+    #[inline]
+    pub fn total(self) -> SimTime {
+        self.formation + self.consensus
+    }
+
+    /// Reduces the latency by `ddl`, clamping at zero — the Fig. 3 rule for
+    /// a committee refused at epoch `j` re-entering epoch `j+1`.
+    ///
+    /// The reduction is applied to the formation component first (that phase
+    /// happened earliest), then to the consensus component.
+    pub fn carried_over(self, ddl: SimTime) -> TwoPhaseLatency {
+        let new_formation = self.formation.saturating_sub(ddl);
+        let remainder = ddl.saturating_sub(self.formation);
+        TwoPhaseLatency {
+            formation: new_formation,
+            consensus: self.consensus.saturating_sub(remainder),
+        }
+    }
+}
+
+impl fmt::Display for TwoPhaseLatency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (formation {}, consensus {})",
+            self.total(),
+            self.formation,
+            self.consensus
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn total_is_sum_of_phases() {
+        let l = TwoPhaseLatency::new(secs(600.0), secs(54.5));
+        assert_eq!(l.formation(), secs(600.0));
+        assert_eq!(l.consensus(), secs(54.5));
+        assert_eq!(l.total(), secs(654.5));
+    }
+
+    #[test]
+    fn from_total_attributes_to_formation() {
+        let l = TwoPhaseLatency::from_total(secs(100.0));
+        assert_eq!(l.formation(), secs(100.0));
+        assert_eq!(l.consensus(), SimTime::ZERO);
+        assert_eq!(l.total(), secs(100.0));
+    }
+
+    #[test]
+    fn carry_over_reduces_formation_first() {
+        let l = TwoPhaseLatency::new(secs(600.0), secs(50.0));
+        let carried = l.carried_over(secs(400.0));
+        assert_eq!(carried.formation(), secs(200.0));
+        assert_eq!(carried.consensus(), secs(50.0));
+        assert_eq!(carried.total(), secs(250.0));
+    }
+
+    #[test]
+    fn carry_over_spills_into_consensus() {
+        let l = TwoPhaseLatency::new(secs(600.0), secs(50.0));
+        let carried = l.carried_over(secs(620.0));
+        assert_eq!(carried.formation(), SimTime::ZERO);
+        assert_eq!(carried.consensus(), secs(30.0));
+    }
+
+    #[test]
+    fn carry_over_clamps_at_zero() {
+        let l = TwoPhaseLatency::new(secs(600.0), secs(50.0));
+        let carried = l.carried_over(secs(10_000.0));
+        assert_eq!(carried.total(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ordering_follows_components() {
+        let a = TwoPhaseLatency::new(secs(100.0), secs(1.0));
+        let b = TwoPhaseLatency::new(secs(100.0), secs(2.0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_mentions_both_phases() {
+        let l = TwoPhaseLatency::new(secs(1.0), secs(2.0));
+        let s = l.to_string();
+        assert!(s.contains("formation"));
+        assert!(s.contains("consensus"));
+    }
+}

@@ -1,0 +1,270 @@
+//! The `mvcom` command-line tool.
+//!
+//! ```text
+//! mvcom dataset generate [--blocks N] [--seed S] [--out FILE]
+//! mvcom dataset stats <FILE>                      # JSON or CSV trace
+//! mvcom schedule [--committees N] [--alpha A] [--capacity C]
+//!                [--n-min K] [--solver se|sa|dp|woa|greedy|bnb]
+//!                [--seed S] [--trace FILE]
+//! mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]
+//! ```
+
+use std::process::ExitCode;
+
+use mvcom::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("dataset") => dataset(&args[1..]),
+        Some("schedule") => schedule(&args[1..]),
+        Some("simulate") => simulate(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(Error::invalid_config(
+            "subcommand",
+            format!("unknown subcommand `{other}`"),
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  \
+         mvcom dataset generate [--blocks N] [--seed S] [--out FILE]\n  \
+         mvcom dataset stats <FILE>\n  \
+         mvcom schedule [--committees N] [--alpha A] [--capacity C] [--n-min K]\n           \
+         [--solver se|sa|dp|woa|greedy|bnb] [--seed S] [--trace FILE]\n  \
+         mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]"
+    );
+}
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags> {
+        let mut pairs = Vec::new();
+        let mut positional = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter.next().ok_or_else(|| {
+                    Error::invalid_config("flags", format!("--{key} needs a value"))
+                })?;
+                pairs.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Flags { pairs, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                Error::invalid_config("flags", format!("--{key} got a non-numeric value `{raw}`"))
+            }),
+        }
+    }
+}
+
+fn load_trace(flags: &Flags, default_seed: u64) -> Result<Trace> {
+    match flags.get("trace") {
+        None => Ok(Trace::generate(
+            TraceConfig::jan_2016(),
+            flags.num("seed", default_seed)?,
+        )),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| Error::invalid_config("trace", format!("reading {path}: {e}")))?;
+            if text.trim_start().starts_with('{') {
+                Trace::from_json(&text)
+            } else {
+                Trace::from_csv(&text)
+            }
+        }
+    }
+}
+
+fn dataset(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args.get(1..).unwrap_or(&[]))?;
+    match args.first().map(String::as_str) {
+        Some("generate") => {
+            let blocks: usize = flags.num("blocks", 1378usize)?;
+            let seed: u64 = flags.num("seed", 2016u64)?;
+            let trace = Trace::generate(TraceConfig::tiny(blocks), seed);
+            let json = trace.to_json();
+            match flags.get("out") {
+                Some(path) => {
+                    std::fs::write(path, &json).map_err(|e| {
+                        Error::invalid_config("out", format!("writing {path}: {e}"))
+                    })?;
+                    println!(
+                        "wrote {path}: {} blocks, {} TXs",
+                        trace.blocks().len(),
+                        trace.total_txs()
+                    );
+                }
+                None => println!("{json}"),
+            }
+            Ok(())
+        }
+        Some("stats") => {
+            let path = flags.positional.first().ok_or_else(|| {
+                Error::invalid_config("dataset stats", "needs a trace file argument")
+            })?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| Error::invalid_config("trace", format!("reading {path}: {e}")))?;
+            let trace = if text.trim_start().starts_with('{') {
+                Trace::from_json(&text)?
+            } else {
+                Trace::from_csv(&text)?
+            };
+            let blocks = trace.blocks();
+            println!("blocks:        {}", blocks.len());
+            println!("transactions:  {}", trace.total_txs());
+            println!("mean txs/blk:  {:.1}", trace.mean_txs());
+            println!(
+                "time span:     {}s ({} → {})",
+                blocks.last().map(|b| b.btime).unwrap_or(0) - blocks[0].btime,
+                blocks[0].btime,
+                blocks.last().map(|b| b.btime).unwrap_or(0),
+            );
+            Ok(())
+        }
+        _ => Err(Error::invalid_config(
+            "dataset",
+            "expected `generate` or `stats`",
+        )),
+    }
+}
+
+fn schedule(args: &[String]) -> Result<()> {
+    use mvcom::baselines::{dp::DpConfig, sa::SaConfig, woa::WoaConfig};
+    let flags = Flags::parse(args)?;
+    let committees: usize = flags.num("committees", 50usize)?;
+    let alpha: f64 = flags.num("alpha", 1.5f64)?;
+    let seed: u64 = flags.num("seed", 0u64)?;
+    let capacity: u64 = flags.num("capacity", 1_000 * committees as u64)?;
+    let n_min: usize = flags.num("n-min", committees / 2)?;
+    let solver = flags.get("solver").unwrap_or("se");
+
+    let trace = load_trace(&flags, seed)?;
+    let mut gen = EpochGenerator::new(&trace, LatencyConfig::paper(), seed);
+    let shards = gen.next_epoch_with_replacement(committees, 1)?;
+    let instance = InstanceBuilder::new()
+        .alpha(alpha)
+        .capacity(capacity)
+        .n_min(n_min)
+        .shards(shards)
+        .build()?;
+
+    let (name, solution): (String, Solution) = match solver {
+        "se" => {
+            let outcome = SeEngine::new(&instance, SeConfig::paper(seed))?.run();
+            ("SE".into(), outcome.best_solution)
+        }
+        "sa" => {
+            let o = SaSolver::new(SaConfig::paper(seed)).solve(&instance)?;
+            ("SA".into(), o.best_solution)
+        }
+        "dp" => {
+            let o = DpSolver::new(DpConfig::paper()).solve(&instance)?;
+            ("DP".into(), o.best_solution)
+        }
+        "woa" => {
+            let o = WoaSolver::new(WoaConfig::paper(seed)).solve(&instance)?;
+            ("WOA".into(), o.best_solution)
+        }
+        "greedy" => {
+            let o = GreedySolver::new().solve(&instance)?;
+            ("greedy".into(), o.best_solution)
+        }
+        "bnb" => {
+            let o = BnbSolver::default().solve(&instance)?;
+            ("branch-and-bound".into(), o.best_solution)
+        }
+        other => {
+            return Err(Error::invalid_config(
+                "solver",
+                format!("unknown solver `{other}`"),
+            ))
+        }
+    };
+    let metrics = ScheduleMetrics::compute(&instance, &solution);
+    println!(
+        "{name} schedule over |I| = {} (α = {alpha}, Ĉ = {capacity}, N_min = {n_min}):",
+        instance.len()
+    );
+    println!("  utility:          {:.1}", instance.utility(&solution));
+    println!("  admitted:         {} committees", metrics.admitted);
+    println!("  block txs:        {} / {capacity}", metrics.admitted_txs);
+    println!("  deadline:         {:.1}s", metrics.ddl_secs);
+    println!("  cumulative age:   {:.1}s", metrics.cumulative_age);
+    println!("  mean tx age:      {:.1}s", metrics.mean_tx_age_secs);
+    println!("  epoch throughput: {:.2} TX/s", metrics.tps);
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args)?;
+    let nodes: u32 = flags.num("nodes", 240u32)?;
+    let epochs: usize = flags.num("epochs", 3usize)?;
+    let seed: u64 = flags.num("seed", 0u64)?;
+    let scheduler = flags.get("scheduler").unwrap_or("all");
+    let mut sim = ElasticoSim::new(ElasticoConfig::with_nodes(nodes, 12), seed)?;
+    let mut se_selector = SeSelector::adaptive(seed, 0.6);
+    for _ in 0..epochs {
+        let report = match scheduler {
+            "se" => sim.run_epoch_with(&mut se_selector)?,
+            "all" => sim.run_epoch_with(&mut WaitForAll)?,
+            other => {
+                return Err(Error::invalid_config(
+                    "scheduler",
+                    format!("unknown scheduler `{other}` (use se|all)"),
+                ))
+            }
+        };
+        let start = report
+            .shards
+            .iter()
+            .filter(|s| report.final_block.included.contains(&s.committee()))
+            .map(|s| s.two_phase_latency())
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        println!(
+            "epoch {}: {} committees, {} shards, {} admitted, final consensus from {:.0}s, block {} TXs ({})",
+            report.epoch.value(),
+            report.formed.len(),
+            report.shards.len(),
+            report.final_block.included.len(),
+            start.as_secs(),
+            report.final_block.total_txs,
+            if report.final_block.committed { "committed" } else { "FAILED" },
+        );
+    }
+    Ok(())
+}
