@@ -79,10 +79,35 @@ impl Solver for GreedySolver {
                 }
             }
         }
+        // The additive repair can dead-end: large positive-density shards
+        // may fill the capacity before N_min is reached, leaving no room
+        // for the shards that would satisfy the floor. Rebuild
+        // feasibility-first in that case: admit the N_min lightest shards
+        // (the minimum-weight way to satisfy the cardinality floor), then
+        // density-fill whatever capacity remains.
         if !instance.is_feasible(&solution) {
-            return Err(Error::infeasible(
-                "greedy repair could not satisfy N_min within the capacity",
-            ));
+            let mut by_weight: Vec<usize> = (0..n).collect();
+            by_weight.sort_by_key(|&i| instance.shards()[i].tx_count());
+            solution = Solution::empty(n);
+            for &i in by_weight.iter().take(instance.n_min()) {
+                if solution.tx_total() + instance.shards()[i].tx_count() <= instance.capacity() {
+                    solution.insert(i, instance);
+                }
+            }
+            for &i in &order {
+                if !solution.contains(i)
+                    && instance.marginal_utility(i) > 0.0
+                    && solution.tx_total() + instance.shards()[i].tx_count()
+                        <= instance.capacity()
+                {
+                    solution.insert(i, instance);
+                }
+            }
+            if !instance.is_feasible(&solution) {
+                return Err(Error::infeasible(
+                    "greedy repair could not satisfy N_min within the capacity",
+                ));
+            }
         }
         let best_utility = instance.utility(&solution);
         Ok(SolverOutcome {

@@ -1,0 +1,195 @@
+//! Offline shim for the subset of `criterion` used by the bench targets:
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Rather than criterion's statistical sampling, this harness times a
+//! small fixed number of iterations per benchmark and prints mean
+//! wall-clock time — enough to compare orders of magnitude offline while
+//! keeping `cargo bench` fast and dependency-free.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (after one warm-up call).
+const DEFAULT_ITERATIONS: u32 = 3;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, f);
+        self
+    }
+}
+
+/// Identifier combining a function name and a parameter, printed as
+/// `name/param` like upstream criterion.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion for APIs that accept either a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_text(self) -> String {
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_text());
+        run_benchmark(&label, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.text);
+        run_benchmark(&label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        total_nanos: 0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    if bencher.iterations > 0 {
+        let mean = bencher.total_nanos / bencher.iterations as u128;
+        eprintln!("  {label}: {} ns/iter (n={})", mean, bencher.iterations);
+    } else {
+        eprintln!("  {label}: no iterations recorded");
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    total_nanos: u128,
+    iterations: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up draw, untimed.
+        black_box(routine());
+        for _ in 0..DEFAULT_ITERATIONS {
+            let start = Instant::now();
+            black_box(routine());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $cfg;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline shim for `rand_chacha`, implementing a genuine ChaCha8 stream
+//! cipher core behind the `ChaCha8Rng` name.
+//!
+//! The workspace relies on ChaCha8 for *portable determinism*: the same
+//! seed must yield the same stream on every platform and in every build.
+//! This implementation follows RFC 8439's state layout (16 little-endian
+//! words: 4 constants, 8 key words, 2 counter words, 2 nonce words) with
+//! 8 rounds. Output word order is the canonical keystream order. Streams
+//! are not guaranteed to be bit-identical to the upstream `rand_chacha`
+//! crate, which is fine: the workspace asserts self-consistency, not
+//! upstream equivalence.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A deterministic, seedable ChaCha generator with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14).
+    counter: u64,
+    /// Buffered keystream block.
+    buf: [u32; 16],
+    /// Next unread word index in `buf`; 16 means "refill needed".
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce words stay zero: a single stream per seed.
+        let initial = state;
+        // ChaCha8 = 4 double rounds (column + diagonal).
+        for _ in 0..4 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.buf.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (word, bytes) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_word().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let mut bytes = [0u8; 16];
+        a.fill_bytes(&mut bytes);
+        for chunk in bytes.chunks_exact(4) {
+            assert_eq!(
+                u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]),
+                b.next_u32()
+            );
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable in this offline build).
+//!
+//! The macros only need the *shape* of an item — its name, its field
+//! names, and its variants — because the companion `serde` shim resolves
+//! field types through inference (`Deserialize::from_value(...)` in a
+//! struct literal). Type tokens are therefore skipped, not parsed.
+//!
+//! Supported shapes (everything the workspace derives): unit structs,
+//! tuple structs, named-field structs, and enums whose variants are
+//! unit, tuple, or named-field. Generic items are rejected with a
+//! compile error. `#[serde(...)]` attributes are accepted and ignored;
+//! the only one the workspace uses is `#[serde(transparent)]` on newtype
+//! structs, and newtype structs already serialize transparently (as
+//! their inner value, matching upstream serde's newtype behaviour).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct { arity: usize },
+    NamedStruct { fields: Vec<String> },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let body = match which {
+        Which::Serialize => gen_serialize(&item),
+        Which::Deserialize => gen_deserialize(&item),
+    };
+    body.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips outer attributes (`#[...]`, including expanded doc comments) and
+/// a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The attribute body `[...]`.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn next_ident(tokens: &mut Tokens, what: &str) -> Result<String, String> {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("serde shim derive: expected {what}, found {other:?}")),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = next_ident(&mut tokens, "`struct` or `enum`")?;
+    let name = next_ident(&mut tokens, "item name")?;
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err("serde shim derive: generic types are not supported".into());
+        }
+    }
+    let kind = match (keyword.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct {
+                fields: parse_named_fields(&g)?,
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct {
+                arity: tuple_arity(&g),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Kind::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Kind::Enum {
+            variants: parse_variants(&g)?,
+        },
+        (kw, other) => {
+            return Err(format!(
+                "serde shim derive: unsupported item shape ({kw}, next token {other:?})"
+            ));
+        }
+    };
+    Ok(Item { name, kind })
+}
+
+/// Extracts field names from a `{ ... }` group, skipping each field's
+/// type tokens (balanced over `<`/`>`) up to the next top-level comma.
+fn parse_named_fields(group: &Group) -> Result<Vec<String>, String> {
+    let mut tokens = group.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde shim derive: expected field, got {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde shim derive: expected `:`, got {other:?}")),
+        }
+        skip_type(&mut tokens);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Consumes type tokens until (and including) a comma at angle-bracket
+/// depth zero, or the end of the stream.
+fn skip_type(tokens: &mut Tokens) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant: the number of
+/// non-empty top-level comma-separated segments.
+fn tuple_arity(group: &Group) -> usize {
+    let mut depth = 0i32;
+    let mut segments = 0usize;
+    let mut segment_has_tokens = false;
+    for tok in group.stream() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if segment_has_tokens {
+                        segments += 1;
+                    }
+                    segment_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        segments += 1;
+    }
+    segments
+}
+
+fn parse_variants(group: &Group) -> Result<Vec<Variant>, String> {
+    let mut tokens = group.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde shim derive: expected variant, got {other:?}")),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g);
+                tokens.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g)?;
+                tokens.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant and/or the separating comma.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        tokens.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+const S: &str = "::serde::Serialize::to_value";
+const D: &str = "::serde::Deserialize::from_value";
+
+fn string_lit(text: &str) -> String {
+    format!("::std::string::String::from(\"{text}\")")
+}
+
+/// `vec![a, b, c]` without relying on prelude macros in generated code.
+fn vec_expr(items: &[String]) -> String {
+    if items.is_empty() {
+        "::std::vec::Vec::new()".to_string()
+    } else {
+        format!("::std::vec::Vec::from([{}])", items.join(", "))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct { arity: 1 } => format!("{S}(&self.0)"),
+        Kind::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity).map(|i| format!("{S}(&self.{i})")).collect();
+            format!("::serde::Value::Array({})", vec_expr(&items))
+        }
+        Kind::NamedStruct { fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({}, {S}(&self.{f}))", string_lit(f)))
+                .collect();
+            format!("::serde::Value::Object({})", vec_expr(&pairs))
+        }
+        Kind::Enum { variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = string_lit(vname);
+                let arm = match &v.shape {
+                    Shape::Unit => {
+                        format!("{name}::{vname} => ::serde::Value::Str({tag}),")
+                    }
+                    Shape::Tuple(1) => format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object({}),",
+                        vec_expr(&[format!("({tag}, {S}(__f0))")])
+                    ),
+                    Shape::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> =
+                            binders.iter().map(|b| format!("{S}({b})")).collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object({}),",
+                            binders.join(", "),
+                            vec_expr(&[format!(
+                                "({tag}, ::serde::Value::Array({}))",
+                                vec_expr(&items)
+                            )])
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("({}, {S}({f}))", string_lit(f)))
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object({}),",
+                            fields.join(", "),
+                            vec_expr(&[format!(
+                                "({tag}, ::serde::Value::Object({}))",
+                                vec_expr(&pairs)
+                            )])
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => {
+            format!("let _ = __v; ::std::result::Result::Ok({name})")
+        }
+        Kind::TupleStruct { arity: 1 } => {
+            format!("::std::result::Result::Ok({name}({D}(__v)?))")
+        }
+        Kind::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity).map(|i| format!("{D}(&__items[{i}])?")).collect();
+            format!(
+                "let __items = ::serde::expect_array(__v, \"{name}\", {arity})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::NamedStruct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {D}(::serde::get_field(__fields, \"{f}\"))?,"))
+                .collect();
+            format!(
+                "let __fields = ::serde::expect_object(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join("\n")
+            )
+        }
+        Kind::Enum { variants } => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            format!(
+                "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
+                v.name
+            )
+        })
+        .collect();
+    let mut data_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        let arm = match &v.shape {
+            Shape::Unit => continue,
+            Shape::Tuple(1) => format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({D}(__inner)?)),"
+            ),
+            Shape::Tuple(arity) => {
+                let items: Vec<String> =
+                    (0..*arity).map(|i| format!("{D}(&__items[{i}])?")).collect();
+                format!(
+                    "\"{vname}\" => {{\n\
+                     let __items = ::serde::expect_array(__inner, \"{name}::{vname}\", {arity})?;\n\
+                     ::std::result::Result::Ok({name}::{vname}({}))\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: {D}(::serde::get_field(__fields, \"{f}\"))?,"))
+                    .collect();
+                format!(
+                    "\"{vname}\" => {{\n\
+                     let __fields = ::serde::expect_object(__inner, \"{name}::{vname}\")?;\n\
+                     ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                     }}",
+                    inits.join("\n")
+                )
+            }
+        };
+        data_arms.push(arm);
+    }
+    let mut match_arms = Vec::new();
+    if !unit_arms.is_empty() {
+        match_arms.push(format!(
+            "::serde::Value::Str(__s) => match __s.as_str() {{\n\
+             {}\n\
+             __other => ::std::result::Result::Err(::serde::unknown_variant(\"{name}\", __other)),\n\
+             }},",
+            unit_arms.join("\n")
+        ));
+    }
+    if !data_arms.is_empty() {
+        match_arms.push(format!(
+            "::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+             let (__tag, __inner) = &__pairs[0];\n\
+             match __tag.as_str() {{\n\
+             {}\n\
+             __other => ::std::result::Result::Err(::serde::unknown_variant(\"{name}\", __other)),\n\
+             }}\n\
+             }},",
+            data_arms.join("\n")
+        ));
+    }
+    match_arms
+        .push(format!("__other => ::std::result::Result::Err(::serde::Error::expected(\"{name}\", __other)),"));
+    format!("match __v {{ {} }}", match_arms.join("\n"))
+}
