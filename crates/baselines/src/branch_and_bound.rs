@@ -177,7 +177,10 @@ impl Solver for BnbSolver {
             let db = instance.marginal_utility(b) / instance.shards()[b].tx_count().max(1) as f64;
             db.total_cmp(&da).then(a.cmp(&b))
         });
-        let values: Vec<f64> = order.iter().map(|&i| instance.marginal_utility(i)).collect();
+        let values: Vec<f64> = order
+            .iter()
+            .map(|&i| instance.marginal_utility(i))
+            .collect();
         let weights: Vec<u64> = order
             .iter()
             .map(|&i| instance.shards()[i].tx_count())

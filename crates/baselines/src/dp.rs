@@ -221,7 +221,9 @@ mod tests {
             )
             .build()
             .unwrap();
-        let dp = DpSolver::new(DpConfig { max_buckets: 500 }).solve(&inst).unwrap();
+        let dp = DpSolver::new(DpConfig { max_buckets: 500 })
+            .solve(&inst)
+            .unwrap();
         let exact = ExhaustiveSolver::new().solve(&inst).unwrap();
         assert!(
             (dp.best_utility - exact.best_utility).abs() < 1e-6,
@@ -236,7 +238,9 @@ mod tests {
         let inst = tiny();
         let exact = ExhaustiveSolver::new().solve(&inst).unwrap();
         for max_buckets in [8usize, 64, 1024] {
-            let dp = DpSolver::new(DpConfig { max_buckets }).solve(&inst).unwrap();
+            let dp = DpSolver::new(DpConfig { max_buckets })
+                .solve(&inst)
+                .unwrap();
             check_outcome(&inst, &dp).unwrap();
             assert!(
                 dp.best_utility <= exact.best_utility + 1e-9,
@@ -250,8 +254,12 @@ mod tests {
         // Quantization loss is (weakly) monotone in granularity on average;
         // verify the coarse table does not beat the fine one.
         let inst = instance(40, 5);
-        let fine = DpSolver::new(DpConfig { max_buckets: 4096 }).solve(&inst).unwrap();
-        let coarse = DpSolver::new(DpConfig { max_buckets: 16 }).solve(&inst).unwrap();
+        let fine = DpSolver::new(DpConfig { max_buckets: 4096 })
+            .solve(&inst)
+            .unwrap();
+        let coarse = DpSolver::new(DpConfig { max_buckets: 16 })
+            .solve(&inst)
+            .unwrap();
         assert!(coarse.best_utility <= fine.best_utility + 1e-9);
     }
 

@@ -103,11 +103,8 @@ mod tests {
         // No feasible solution may beat it (spot-check a few).
         let all: Vec<usize> = (0..inst.len()).collect();
         for k in inst.n_min()..=inst.len().min(6) {
-            let sol = mvcom_core::Solution::from_indices(
-                inst.len(),
-                all[..k].iter().copied(),
-                &inst,
-            );
+            let sol =
+                mvcom_core::Solution::from_indices(inst.len(), all[..k].iter().copied(), &inst);
             if inst.is_feasible(&sol) {
                 assert!(inst.utility(&sol) <= outcome.best_utility + 1e-9);
             }

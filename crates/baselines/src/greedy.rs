@@ -97,8 +97,7 @@ impl Solver for GreedySolver {
             for &i in &order {
                 if !solution.contains(i)
                     && instance.marginal_utility(i) > 0.0
-                    && solution.tx_total() + instance.shards()[i].tx_count()
-                        <= instance.capacity()
+                    && solution.tx_total() + instance.shards()[i].tx_count() <= instance.capacity()
                 {
                     solution.insert(i, instance);
                 }

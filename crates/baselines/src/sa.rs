@@ -54,7 +54,10 @@ impl SaConfig {
             return Err(Error::invalid_config("iterations", "must be positive"));
         }
         if !(self.t_min.is_finite() && self.t_min > 0.0 && self.t_min <= self.t0) {
-            return Err(Error::invalid_config("t_min", "must satisfy 0 < t_min <= t0"));
+            return Err(Error::invalid_config(
+                "t_min",
+                "must satisfy 0 < t_min <= t0",
+            ));
         }
         Ok(())
     }
@@ -125,7 +128,9 @@ impl Solver for SaSolver {
             current.insert(i, instance);
         }
         if !instance.is_feasible(&current) {
-            return Err(Error::infeasible("no initial SA state satisfies the constraints"));
+            return Err(Error::infeasible(
+                "no initial SA state satisfies the constraints",
+            ));
         }
         let mut current_u = instance.utility(&current);
         let mut best = current.clone();
@@ -224,7 +229,10 @@ mod tests {
     fn trajectory_is_monotone_best_so_far() {
         let inst = instance(25, 1);
         let outcome = SaSolver::new(SaConfig::paper(2)).solve(&inst).unwrap();
-        assert_eq!(outcome.trajectory.len() as u64, SaConfig::paper(2).iterations + 1);
+        assert_eq!(
+            outcome.trajectory.len() as u64,
+            SaConfig::paper(2).iterations + 1
+        );
         for w in outcome.trajectory.windows(2) {
             assert!(w[1].1 >= w[0].1 - 1e-9);
         }
@@ -260,12 +268,42 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(SaConfig { t0: 0.0, ..SaConfig::paper(0) }.validate().is_err());
-        assert!(SaConfig { cooling: 1.0, ..SaConfig::paper(0) }.validate().is_err());
-        assert!(SaConfig { cooling: 0.0, ..SaConfig::paper(0) }.validate().is_err());
-        assert!(SaConfig { iterations: 0, ..SaConfig::paper(0) }.validate().is_err());
-        assert!(SaConfig { t_min: 0.0, ..SaConfig::paper(0) }.validate().is_err());
-        assert!(SaConfig { t_min: 1e9, ..SaConfig::paper(0) }.validate().is_err());
+        assert!(SaConfig {
+            t0: 0.0,
+            ..SaConfig::paper(0)
+        }
+        .validate()
+        .is_err());
+        assert!(SaConfig {
+            cooling: 1.0,
+            ..SaConfig::paper(0)
+        }
+        .validate()
+        .is_err());
+        assert!(SaConfig {
+            cooling: 0.0,
+            ..SaConfig::paper(0)
+        }
+        .validate()
+        .is_err());
+        assert!(SaConfig {
+            iterations: 0,
+            ..SaConfig::paper(0)
+        }
+        .validate()
+        .is_err());
+        assert!(SaConfig {
+            t_min: 0.0,
+            ..SaConfig::paper(0)
+        }
+        .validate()
+        .is_err());
+        assert!(SaConfig {
+            t_min: 1e9,
+            ..SaConfig::paper(0)
+        }
+        .validate()
+        .is_err());
         assert!(SaConfig::paper(0).validate().is_ok());
     }
 }

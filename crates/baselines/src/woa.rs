@@ -50,7 +50,10 @@ impl WoaConfig {
     /// [`Error::InvalidConfig`] naming the offending parameter.
     pub fn validate(&self) -> Result<()> {
         if self.population < 2 {
-            return Err(Error::invalid_config("population", "need at least two whales"));
+            return Err(Error::invalid_config(
+                "population",
+                "need at least two whales",
+            ));
         }
         if self.iterations == 0 {
             return Err(Error::invalid_config("iterations", "must be positive"));
@@ -163,21 +166,20 @@ impl Solver for WoaSolver {
         let mut best_utility = f64::NEG_INFINITY;
         let mut trajectory = Vec::with_capacity(self.config.iterations as usize + 1);
 
-        let evaluate =
-            |position: &[f64],
-             rng: &mut mvcom_simnet::SimRng,
-             best_position: &mut Vec<f64>,
-             best_solution: &mut Option<Solution>,
-             best_utility: &mut f64| {
-                if let Some(sol) = Self::decode(position, instance, rng) {
-                    let u = instance.utility(&sol);
-                    if u > *best_utility {
-                        *best_utility = u;
-                        *best_solution = Some(sol);
-                        *best_position = position.to_vec();
-                    }
+        let evaluate = |position: &[f64],
+                        rng: &mut mvcom_simnet::SimRng,
+                        best_position: &mut Vec<f64>,
+                        best_solution: &mut Option<Solution>,
+                        best_utility: &mut f64| {
+            if let Some(sol) = Self::decode(position, instance, rng) {
+                let u = instance.utility(&sol);
+                if u > *best_utility {
+                    *best_utility = u;
+                    *best_solution = Some(sol);
+                    *best_position = position.to_vec();
                 }
-            };
+            }
+        };
 
         for whale in &whales {
             evaluate(
@@ -308,9 +310,24 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(WoaConfig { population: 1, ..WoaConfig::paper(0) }.validate().is_err());
-        assert!(WoaConfig { iterations: 0, ..WoaConfig::paper(0) }.validate().is_err());
-        assert!(WoaConfig { spiral_b: 0.0, ..WoaConfig::paper(0) }.validate().is_err());
+        assert!(WoaConfig {
+            population: 1,
+            ..WoaConfig::paper(0)
+        }
+        .validate()
+        .is_err());
+        assert!(WoaConfig {
+            iterations: 0,
+            ..WoaConfig::paper(0)
+        }
+        .validate()
+        .is_err());
+        assert!(WoaConfig {
+            spiral_b: 0.0,
+            ..WoaConfig::paper(0)
+        }
+        .validate()
+        .is_err());
         assert!(WoaConfig::paper(0).validate().is_ok());
     }
 }

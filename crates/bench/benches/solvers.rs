@@ -36,7 +36,14 @@ fn bench_solvers(c: &mut Criterion) {
             iterations: 100,
             ..WoaConfig::paper(1)
         };
-        b.iter(|| black_box(WoaSolver::new(config).solve(&instance).unwrap().best_utility));
+        b.iter(|| {
+            black_box(
+                WoaSolver::new(config)
+                    .solve(&instance)
+                    .unwrap()
+                    .best_utility,
+            )
+        });
     });
     group.finish();
 }

@@ -13,7 +13,10 @@ fn main() -> ExitCode {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
     if !dir.is_dir() {
-        eprintln!("error: {} is not a directory (run `repro` first)", dir.display());
+        eprintln!(
+            "error: {} is not a directory (run `repro` first)",
+            dir.display()
+        );
         return ExitCode::FAILURE;
     }
     match mvcom_bench::figures::render_all(&dir) {

@@ -98,8 +98,8 @@ pub fn dynamics(scale: Scale) -> Result<FigureReport> {
         let drop = record.utility_before - record.utility_after;
         // Recovery time: iterations from the event until current_best
         // re-reaches the post-event best's 99% level.
-        let target = online.outcome.best_utility
-            - 0.01 * online.outcome.best_utility.abs().max(1.0);
+        let target =
+            online.outcome.best_utility - 0.01 * online.outcome.best_utility.abs().max(1.0);
         let recovery = online
             .outcome
             .trajectory

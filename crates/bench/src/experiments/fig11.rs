@@ -63,7 +63,8 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
     // within a few percent of the near-exact DP.
     report.check(
         "SE converges at or above SA and WOA at every |I|",
-        gaps.iter().all(|&(_, se, sa, _, woa, _)| se >= sa.max(woa) - 1e-9),
+        gaps.iter()
+            .all(|&(_, se, sa, _, woa, _)| se >= sa.max(woa) - 1e-9),
     );
     // Gap to DP is normalized by the utility span SE actually climbs
     // (start → DP), not by |DP| alone: the raw DP utility can sit near

@@ -57,14 +57,11 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
         "SE utility grows with α",
         se_by_alpha.windows(2).all(|w| w[1] > w[0]),
     );
-    report.check(
-        "every algorithm improves from α=1.5 to α=10",
-        {
-            let first = all_by_alpha.first().expect("alphas");
-            let last = all_by_alpha.last().expect("alphas");
-            last.1 > first.1 && last.2 > first.2 && last.3 > first.3 && last.4 > first.4
-        },
-    );
+    report.check("every algorithm improves from α=1.5 to α=10", {
+        let first = all_by_alpha.first().expect("alphas");
+        let last = all_by_alpha.last().expect("alphas");
+        last.1 > first.1 && last.2 > first.2 && last.3 > first.3 && last.4 > first.4
+    });
     report.check(
         "SE at or above every baseline for every α",
         all_by_alpha

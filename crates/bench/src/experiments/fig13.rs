@@ -45,9 +45,7 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
                 cdf.len()
             ));
         }
-        let median = |name: &str| {
-            Ecdf::from_samples(samples[name].clone()).quantile(0.5)
-        };
+        let median = |name: &str| Ecdf::from_samples(samples[name].clone()).quantile(0.5);
         let best_baseline = median("SA").max(median("DP")).max(median("WOA"));
         medians.push((alpha, median("SE"), best_baseline));
     }

@@ -11,11 +11,7 @@ use crate::harness::{downsample, FigureReport, Scale};
 
 const TARGET_COMMITTEE: u32 = 12;
 
-fn collect_latencies(
-    n_nodes: u32,
-    epochs: usize,
-    seed: u64,
-) -> Result<(Vec<f64>, Vec<f64>)> {
+fn collect_latencies(n_nodes: u32, epochs: usize, seed: u64) -> Result<(Vec<f64>, Vec<f64>)> {
     let mut sim = ElasticoSim::new(ElasticoConfig::with_nodes(n_nodes, TARGET_COMMITTEE), seed)?;
     let mut formation = Vec::new();
     let mut consensus = Vec::new();

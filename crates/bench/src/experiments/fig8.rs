@@ -48,7 +48,10 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
             .expect("gamma in sweep")
     };
     let spread = at(1).abs().max(1.0);
-    report.check("Γ=10 converges at least as high as Γ=1", at(10) >= at(1) - 1e-9);
+    report.check(
+        "Γ=10 converges at least as high as Γ=1",
+        at(10) >= at(1) - 1e-9,
+    );
     report.check(
         "benefit saturates: |U(25) − U(10)| ≤ |U(10) − U(1)| + 5% of scale",
         (at(25) - at(10)).abs() <= (at(10) - at(1)).abs() + 0.05 * spread,

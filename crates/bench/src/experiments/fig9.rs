@@ -44,7 +44,9 @@ pub fn fig9a(scale: Scale) -> Result<FigureReport> {
     report.add_csv(
         "fig9a.csv",
         &["iteration", "utility"],
-        points.iter().map(|p| vec![p.iteration as f64, p.current_best]),
+        points
+            .iter()
+            .map(|p| vec![p.iteration as f64, p.current_best]),
     );
     report.add_csv(
         "fig9a_events.csv",
@@ -99,12 +101,12 @@ pub fn fig9b(scale: Scale) -> Result<FigureReport> {
         .iter()
         .enumerate()
         .map(|(k, s)| {
-            let relabeled = ShardInfo::new(
-                CommitteeId(10_000 + k as u32),
-                s.tx_count(),
-                s.latency(),
-            );
-            TimedEvent::join(iters / 4 + (k as u64) * (iters / (2 * n_joins as u64)), relabeled)
+            let relabeled =
+                ShardInfo::new(CommitteeId(10_000 + k as u32), s.tx_count(), s.latency());
+            TimedEvent::join(
+                iters / 4 + (k as u64) * (iters / (2 * n_joins as u64)),
+                relabeled,
+            )
         })
         .collect();
     let online = run_online(
@@ -119,7 +121,9 @@ pub fn fig9b(scale: Scale) -> Result<FigureReport> {
     report.add_csv(
         "fig9b.csv",
         &["iteration", "utility"],
-        points.iter().map(|p| vec![p.iteration as f64, p.current_best]),
+        points
+            .iter()
+            .map(|p| vec![p.iteration as f64, p.current_best]),
     );
     report.note(format!(
         "{} joins applied; epoch grew {} → {}; final utility {:.1}",

@@ -63,7 +63,12 @@ fn grouped_series(rows: &[(String, f64, f64)]) -> Vec<Series> {
         .collect()
 }
 
-fn write_svg(dir: &Path, name: &str, svg: Option<String>, written: &mut Vec<PathBuf>) -> Result<()> {
+fn write_svg(
+    dir: &Path,
+    name: &str,
+    svg: Option<String>,
+    written: &mut Vec<PathBuf>,
+) -> Result<()> {
     let Some(svg) = svg else { return Ok(()) };
     let path = dir.join(name);
     fs::write(&path, svg).map_err(|e| Error::simulation(format!("writing {path:?}: {e}")))?;
@@ -98,7 +103,12 @@ fn render_convergence(
                 .map(|r| (r[gi].clone(), parse_f64(&r[xi]), parse_f64(&r[yi])))
                 .collect();
             let chart = Chart::new(title, "iteration", "system utility");
-            write_svg(dir, &format!("{stem}.svg"), chart.render_lines(&grouped_series(&data)), written)?;
+            write_svg(
+                dir,
+                &format!("{stem}.svg"),
+                chart.render_lines(&grouped_series(&data)),
+                written,
+            )?;
         }
         Some(facet_col) => {
             let fi = column(&header, facet_col)?;
@@ -149,11 +159,17 @@ pub fn render_all(dir: &Path) -> Result<Vec<PathBuf>> {
         let series = vec![
             Series {
                 label: "committee formation".into(),
-                points: rows.iter().map(|r| (parse_f64(&r[xi]), parse_f64(&r[fi]))).collect(),
+                points: rows
+                    .iter()
+                    .map(|r| (parse_f64(&r[xi]), parse_f64(&r[fi])))
+                    .collect(),
             },
             Series {
                 label: "intra-committee consensus".into(),
-                points: rows.iter().map(|r| (parse_f64(&r[xi]), parse_f64(&r[ci]))).collect(),
+                points: rows
+                    .iter()
+                    .map(|r| (parse_f64(&r[xi]), parse_f64(&r[ci])))
+                    .collect(),
             },
         ];
         let chart = Chart::new(
@@ -178,7 +194,10 @@ pub fn render_all(dir: &Path) -> Result<Vec<PathBuf>> {
             let yi = column(&header, "cdf")?;
             series.push(Series {
                 label: label.into(),
-                points: rows.iter().map(|r| (parse_f64(&r[xi]), parse_f64(&r[yi]))).collect(),
+                points: rows
+                    .iter()
+                    .map(|r| (parse_f64(&r[xi]), parse_f64(&r[yi])))
+                    .collect(),
             });
         }
         let chart = Chart::new(
@@ -198,14 +217,25 @@ pub fn render_all(dir: &Path) -> Result<Vec<PathBuf>> {
         let yi = column(&header, "utility")?;
         let data: Vec<(String, f64, f64)> = rows
             .iter()
-            .map(|r| (format!("Γ = {}", r[gi]), parse_f64(&r[xi]), parse_f64(&r[yi])))
+            .map(|r| {
+                (
+                    format!("Γ = {}", r[gi]),
+                    parse_f64(&r[xi]),
+                    parse_f64(&r[yi]),
+                )
+            })
             .collect();
         let chart = Chart::new(
             "Fig. 8 — SE convergence vs parallel threads Γ",
             "iteration",
             "system utility",
         );
-        write_svg(dir, "fig8.svg", chart.render_lines(&grouped_series(&data)), &mut written)?;
+        write_svg(
+            dir,
+            "fig8.svg",
+            chart.render_lines(&grouped_series(&data)),
+            &mut written,
+        )?;
     }
 
     // Fig. 9(a)/(b): single trajectory each.
@@ -222,7 +252,10 @@ pub fn render_all(dir: &Path) -> Result<Vec<PathBuf>> {
         let yi = column(&header, "utility")?;
         let series = vec![Series {
             label: "SE (Γ = 1)".into(),
-            points: rows.iter().map(|r| (parse_f64(&r[xi]), parse_f64(&r[yi]))).collect(),
+            points: rows
+                .iter()
+                .map(|r| (parse_f64(&r[xi]), parse_f64(&r[yi])))
+                .collect(),
         }];
         let chart = Chart::new(title, "iteration", "system utility");
         write_svg(
@@ -319,7 +352,12 @@ pub fn render_all(dir: &Path) -> Result<Vec<PathBuf>> {
                 "algorithm",
                 "converged utility (median, IQR)",
             );
-            write_svg(dir, &format!("fig13_alpha_{alpha}.svg"), chart.render_bars(&bars), &mut written)?;
+            write_svg(
+                dir,
+                &format!("fig13_alpha_{alpha}.svg"),
+                chart.render_bars(&bars),
+                &mut written,
+            )?;
         }
     }
 
@@ -337,12 +375,13 @@ pub fn render_all(dir: &Path) -> Result<Vec<PathBuf>> {
                 whisker: None,
             })
             .collect();
-        let chart = Chart::new(
-            "Ablation — deadline policy",
-            "policy",
-            "converged utility",
-        );
-        write_svg(dir, "ablation_ddl.svg", chart.render_bars(&bars), &mut written)?;
+        let chart = Chart::new("Ablation — deadline policy", "policy", "converged utility");
+        write_svg(
+            dir,
+            "ablation_ddl.svg",
+            chart.render_bars(&bars),
+            &mut written,
+        )?;
     }
 
     Ok(written)
@@ -412,7 +451,10 @@ mod tests {
             .iter()
             .map(|p| p.file_name().unwrap().to_string_lossy().to_string())
             .collect();
-        assert!(names.contains(&"fig12_alpha_1.5.svg".to_string()), "{names:?}");
+        assert!(
+            names.contains(&"fig12_alpha_1.5.svg".to_string()),
+            "{names:?}"
+        );
         assert!(names.contains(&"fig12_alpha_5.svg".to_string()));
         assert!(names.contains(&"fig13_alpha_1.5.svg".to_string()));
     }

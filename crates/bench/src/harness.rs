@@ -90,8 +90,10 @@ impl FigureReport {
 
     /// Appends a shape-check verdict line.
     pub fn check(&mut self, description: &str, passed: bool) {
-        self.summary
-            .push(format!("[{}] {description}", if passed { "OK" } else { "MISMATCH" }));
+        self.summary.push(format!(
+            "[{}] {description}",
+            if passed { "OK" } else { "MISMATCH" }
+        ));
     }
 
     /// Writes all CSV files under `out_dir` and returns the paths written.
@@ -258,11 +260,7 @@ mod tests {
     #[test]
     fn csv_rendering() {
         let mut report = FigureReport::new("test");
-        report.add_csv(
-            "t.csv",
-            &["a", "b"],
-            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
-        );
+        report.add_csv("t.csv", &["a", "b"], vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(report.files[0].1, "a,b\n1,2\n3,4\n");
     }
 

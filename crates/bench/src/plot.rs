@@ -276,7 +276,9 @@ fn fmt_tick(v: f64) -> String {
 
 /// Escapes XML-special characters in labels.
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -296,7 +298,9 @@ mod tests {
             },
             Series {
                 label: "SA".into(),
-                points: (0..50).map(|i| (i as f64, (i as f64).ln().max(0.0))).collect(),
+                points: (0..50)
+                    .map(|i| (i as f64, (i as f64).ln().max(0.0)))
+                    .collect(),
             },
         ];
         let svg = chart().render_lines(&series).unwrap();
@@ -313,7 +317,10 @@ mod tests {
     fn empty_series_yield_none() {
         assert!(chart().render_lines(&[]).is_none());
         assert!(chart()
-            .render_lines(&[Series { label: "x".into(), points: vec![] }])
+            .render_lines(&[Series {
+                label: "x".into(),
+                points: vec![]
+            }])
             .is_none());
         assert!(chart().render_bars(&[]).is_none());
     }
@@ -331,9 +338,21 @@ mod tests {
     #[test]
     fn bar_chart_draws_bars_and_whiskers() {
         let bars = vec![
-            Bar { label: "SE".into(), value: 10.0, whisker: Some((8.0, 12.0)) },
-            Bar { label: "SA".into(), value: 9.0, whisker: None },
-            Bar { label: "DP".into(), value: -2.0, whisker: None },
+            Bar {
+                label: "SE".into(),
+                value: 10.0,
+                whisker: Some((8.0, 12.0)),
+            },
+            Bar {
+                label: "SA".into(),
+                value: 9.0,
+                whisker: None,
+            },
+            Bar {
+                label: "DP".into(),
+                value: -2.0,
+                whisker: None,
+            },
         ];
         let svg = chart().render_bars(&bars).unwrap();
         assert_eq!(svg.matches("<rect").count(), 1 + 3); // background + bars

@@ -193,7 +193,13 @@ mod tests {
             .n_min(n / 4)
             .shards(
                 (0..n)
-                    .map(|i| shard(i as u32, 60 + (i as u64 * 7) % 80, 300.0 + (i as f64 * 53.0) % 700.0))
+                    .map(|i| {
+                        shard(
+                            i as u32,
+                            60 + (i as u64 * 7) % 80,
+                            300.0 + (i as f64 * 53.0) % 700.0,
+                        )
+                    })
                     .collect(),
             )
             .build()
@@ -262,13 +268,8 @@ mod tests {
     fn leave_records_perturbation() {
         let inst = instance(20);
         let events = vec![TimedEvent::leave(60, CommitteeId(2))];
-        let online = run_online(
-            &inst,
-            SeConfig::fast_test(5),
-            &events,
-            DynamicsPolicy::Trim,
-        )
-        .unwrap();
+        let online =
+            run_online(&inst, SeConfig::fast_test(5), &events, DynamicsPolicy::Trim).unwrap();
         let rec = &online.events[0];
         assert!(rec.utility_before.is_finite());
         assert!(rec.utility_after.is_finite());
@@ -281,13 +282,7 @@ mod tests {
     fn invalid_events_propagate_errors() {
         let inst = instance(10);
         let events = vec![TimedEvent::leave(10, CommitteeId(777))];
-        assert!(run_online(
-            &inst,
-            SeConfig::fast_test(6),
-            &events,
-            DynamicsPolicy::Trim
-        )
-        .is_err());
+        assert!(run_online(&inst, SeConfig::fast_test(6), &events, DynamicsPolicy::Trim).is_err());
     }
 
     #[test]

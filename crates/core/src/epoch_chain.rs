@@ -306,8 +306,7 @@ mod tests {
         if first.carried_out == 0 {
             return; // everything admitted; nothing to check
         }
-        let pending_before: Vec<ShardInfo> =
-            chain.pending.iter().map(|c| c.shard).collect();
+        let pending_before: Vec<ShardInfo> = chain.pending.iter().map(|c| c.shard).collect();
         // Carried latencies are the refused originals minus the DDL.
         for p in &pending_before {
             assert!(p.two_phase_latency() <= first.ddl);
@@ -367,7 +366,15 @@ mod tests {
             .find(|s| s.committee() == carried.committee())
             .unwrap();
         let reduction = original.two_phase_latency() - carried.two_phase_latency();
-        assert!((reduction.as_secs() - outcome.ddl.as_secs().min(original.two_phase_latency().as_secs())).abs() < 1e-9);
+        assert!(
+            (reduction.as_secs()
+                - outcome
+                    .ddl
+                    .as_secs()
+                    .min(original.two_phase_latency().as_secs()))
+            .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -397,7 +397,9 @@ impl InstanceBuilder {
             )));
         }
         if self.capacity == 0 {
-            return Err(Error::invalid_instance("final-block capacity must be positive"));
+            return Err(Error::invalid_instance(
+                "final-block capacity must be positive",
+            ));
         }
         let mut seen = std::collections::HashSet::new();
         for s in &self.shards {
@@ -475,7 +477,9 @@ pub fn knapsack_reduction(
         ));
     }
     if capacity == 0 {
-        return Err(Error::invalid_instance("knapsack capacity must be positive"));
+        return Err(Error::invalid_instance(
+            "knapsack capacity must be positive",
+        ));
     }
     if weights.contains(&0) {
         return Err(Error::invalid_instance("knapsack weights must be positive"));
@@ -773,7 +777,7 @@ mod tests {
         // Optimal knapsack: items 1+2 → value 220.
         let inst = knapsack_reduction(&[60.0, 100.0, 120.0], &[10, 20, 30], 50, 2.0).unwrap();
         assert_eq!(inst.len(), 4); // 3 items + sentinel
-        // Per-item marginal utility equals the knapsack value.
+                                   // Per-item marginal utility equals the knapsack value.
         assert!((inst.marginal_utility(0) - 60.0).abs() < 1e-9);
         assert!((inst.marginal_utility(1) - 100.0).abs() < 1e-9);
         assert!((inst.marginal_utility(2) - 120.0).abs() < 1e-9);

@@ -34,10 +34,12 @@
 //! [`crate::dynamics`].
 
 pub mod chain;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod parallel;
 
+pub use checkpoint::{ChainSnapshot, SeCheckpoint};
 pub use config::SeConfig;
 pub use engine::{SeEngine, SeOutcome, Trajectory, TrajectoryPoint};
-pub use parallel::ParallelRunner;
+pub use parallel::{ParallelRunner, ResetStats};

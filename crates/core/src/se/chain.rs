@@ -263,11 +263,31 @@ mod tests {
         // Capacity admits exactly the 3 smallest shards; random subsets of
         // size 3 rarely fit, the deterministic fallback must.
         let shards = vec![
-            ShardInfo::new(CommitteeId(0), 10, TwoPhaseLatency::from_total(SimTime::from_secs(1.0))),
-            ShardInfo::new(CommitteeId(1), 10, TwoPhaseLatency::from_total(SimTime::from_secs(2.0))),
-            ShardInfo::new(CommitteeId(2), 10, TwoPhaseLatency::from_total(SimTime::from_secs(3.0))),
-            ShardInfo::new(CommitteeId(3), 500, TwoPhaseLatency::from_total(SimTime::from_secs(4.0))),
-            ShardInfo::new(CommitteeId(4), 500, TwoPhaseLatency::from_total(SimTime::from_secs(5.0))),
+            ShardInfo::new(
+                CommitteeId(0),
+                10,
+                TwoPhaseLatency::from_total(SimTime::from_secs(1.0)),
+            ),
+            ShardInfo::new(
+                CommitteeId(1),
+                10,
+                TwoPhaseLatency::from_total(SimTime::from_secs(2.0)),
+            ),
+            ShardInfo::new(
+                CommitteeId(2),
+                10,
+                TwoPhaseLatency::from_total(SimTime::from_secs(3.0)),
+            ),
+            ShardInfo::new(
+                CommitteeId(3),
+                500,
+                TwoPhaseLatency::from_total(SimTime::from_secs(4.0)),
+            ),
+            ShardInfo::new(
+                CommitteeId(4),
+                500,
+                TwoPhaseLatency::from_total(SimTime::from_secs(5.0)),
+            ),
         ];
         let inst = InstanceBuilder::new()
             .capacity(30)
@@ -294,8 +314,7 @@ mod tests {
             if let Some(p) = chain.propose(&inst, &cfg, &mut rng) {
                 assert!(chain.solution().contains(p.out));
                 assert!(!chain.solution().contains(p.inc));
-                let new_total = chain.solution().tx_total()
-                    - inst.shards()[p.out].tx_count()
+                let new_total = chain.solution().tx_total() - inst.shards()[p.out].tx_count()
                     + inst.shards()[p.inc].tx_count();
                 assert!(new_total <= inst.capacity());
                 assert!(p.ln_timer.is_finite());
@@ -310,9 +329,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let chain = Chain::init(&inst, 6, &cfg, &mut rng).unwrap();
         let p = chain.propose(&inst, &cfg, &mut rng).unwrap();
-        assert!(
-            (p.delta - inst.swap_delta(chain.solution(), p.out, p.inc)).abs() < 1e-9
-        );
+        assert!((p.delta - inst.swap_delta(chain.solution(), p.out, p.inc)).abs() < 1e-9);
     }
 
     #[test]
@@ -364,9 +381,21 @@ mod tests {
         // Solution holds the only small shard; every swap would blow the
         // capacity.
         let shards = vec![
-            ShardInfo::new(CommitteeId(0), 10, TwoPhaseLatency::from_total(SimTime::from_secs(1.0))),
-            ShardInfo::new(CommitteeId(1), 900, TwoPhaseLatency::from_total(SimTime::from_secs(2.0))),
-            ShardInfo::new(CommitteeId(2), 900, TwoPhaseLatency::from_total(SimTime::from_secs(3.0))),
+            ShardInfo::new(
+                CommitteeId(0),
+                10,
+                TwoPhaseLatency::from_total(SimTime::from_secs(1.0)),
+            ),
+            ShardInfo::new(
+                CommitteeId(1),
+                900,
+                TwoPhaseLatency::from_total(SimTime::from_secs(2.0)),
+            ),
+            ShardInfo::new(
+                CommitteeId(2),
+                900,
+                TwoPhaseLatency::from_total(SimTime::from_secs(3.0)),
+            ),
         ];
         let inst = InstanceBuilder::new()
             .capacity(100)
@@ -383,8 +412,7 @@ mod tests {
     #[test]
     fn refresh_utility_tracks_instance_changes() {
         let inst = instance(10, 10_000);
-        let mut chain =
-            Chain::from_solution(&inst, Solution::from_indices(10, [0, 1, 2], &inst));
+        let mut chain = Chain::from_solution(&inst, Solution::from_indices(10, [0, 1, 2], &inst));
         let grown = inst
             .with_joined(ShardInfo::new(
                 CommitteeId(99),
@@ -394,8 +422,7 @@ mod tests {
             .unwrap();
         // The new straggler pushes the DDL out; ages of selected shards grow
         // and utility must drop once recomputed over the grown instance.
-        let mut moved =
-            Chain::from_solution(&grown, Solution::from_indices(11, [0, 1, 2], &grown));
+        let mut moved = Chain::from_solution(&grown, Solution::from_indices(11, [0, 1, 2], &grown));
         moved.refresh_utility(&grown);
         chain.refresh_utility(&inst);
         assert!(moved.utility() < chain.utility());

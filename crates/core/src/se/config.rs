@@ -179,14 +179,38 @@ mod tests {
         let cases: Vec<SeConfig> = vec![
             SeConfig { gamma: 0, ..base },
             SeConfig { beta: 0.0, ..base },
-            SeConfig { beta: f64::NAN, ..base },
-            SeConfig { tau: f64::INFINITY, ..base },
-            SeConfig { max_iterations: 0, ..base },
-            SeConfig { convergence_tol: -1.0, ..base },
-            SeConfig { swap_attempts: 0, ..base },
-            SeConfig { proposal_fanout: 0, ..base },
-            SeConfig { init_attempts: 0, ..base },
-            SeConfig { record_every: 0, ..base },
+            SeConfig {
+                beta: f64::NAN,
+                ..base
+            },
+            SeConfig {
+                tau: f64::INFINITY,
+                ..base
+            },
+            SeConfig {
+                max_iterations: 0,
+                ..base
+            },
+            SeConfig {
+                convergence_tol: -1.0,
+                ..base
+            },
+            SeConfig {
+                swap_attempts: 0,
+                ..base
+            },
+            SeConfig {
+                proposal_fanout: 0,
+                ..base
+            },
+            SeConfig {
+                init_attempts: 0,
+                ..base
+            },
+            SeConfig {
+                record_every: 0,
+                ..base
+            },
         ];
         for (i, c) in cases.iter().enumerate() {
             assert!(c.validate().is_err(), "case {i} should be rejected");

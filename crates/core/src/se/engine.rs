@@ -7,6 +7,7 @@ use mvcom_types::{Error, Result, ShardInfo};
 use crate::dynamics::DynamicsPolicy;
 use crate::problem::Instance;
 use crate::se::chain::Chain;
+use crate::se::checkpoint::{ChainSnapshot, SeCheckpoint};
 use crate::se::config::SeConfig;
 use crate::solution::Solution;
 
@@ -105,6 +106,7 @@ pub struct SeEngine {
     best_utility: f64,
     last_improvement: u64,
     trajectory: Trajectory,
+    restored_chains: usize,
 }
 
 impl SeEngine {
@@ -129,6 +131,7 @@ impl SeEngine {
             best_utility: f64::NEG_INFINITY,
             last_improvement: 0,
             trajectory: Trajectory::default(),
+            restored_chains: 0,
         };
         engine.build_replicas(None)?;
         engine.seed_best();
@@ -175,6 +178,104 @@ impl SeEngine {
             .iter()
             .flat_map(|r| r.chains.iter().map(|c| (c.cardinality(), c.utility())))
             .collect()
+    }
+
+    /// Chains rebuilt from a checkpoint by [`SeEngine::from_checkpoint`]
+    /// over this engine's lifetime (0 for a fresh engine).
+    pub fn restored_chains(&self) -> usize {
+        self.restored_chains
+    }
+
+    /// Takes a version-stamped, serializable snapshot of the full solver
+    /// state: every chain's current solution per replica, the best
+    /// solution so far, and both clocks. See [`crate::se::checkpoint`].
+    pub fn checkpoint(&self) -> SeCheckpoint {
+        SeCheckpoint {
+            version: self.iteration,
+            seed: self.config.seed,
+            iteration: self.iteration,
+            vtime: self.vtime,
+            best_selected: self.best_solution.iter_selected().collect(),
+            best_utility: self.best_utility,
+            replicas: self
+                .replicas
+                .iter()
+                .map(|r| {
+                    r.chains
+                        .iter()
+                        .map(|c| ChainSnapshot {
+                            cardinality: c.cardinality(),
+                            selected: c.solution().iter_selected().collect(),
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint taken against the *same*
+    /// instance shape: chains resume from their recorded solutions, clocks
+    /// resume from the recorded values, and fresh deterministic RNG
+    /// streams are derived from `seed ^ version` (so a restored run is
+    /// reproducible without serializing RNG internals).
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors; [`Error::InvalidConfig`] when the checkpoint
+    /// is internally corrupt ([`SeCheckpoint::validate`]), does not match
+    /// `config.seed`, or indexes shards the instance does not have.
+    pub fn from_checkpoint(
+        instance: &Instance,
+        config: SeConfig,
+        ckpt: &SeCheckpoint,
+    ) -> Result<SeEngine> {
+        config.validate()?;
+        ckpt.validate(instance.len())?;
+        if ckpt.seed != config.seed {
+            return Err(Error::invalid_config(
+                "seed",
+                format!(
+                    "checkpoint was taken under seed {} but the config says {}",
+                    ckpt.seed, config.seed
+                ),
+            ));
+        }
+        let mut master = mvcom_simnet::rng::master(config.seed ^ ckpt.version);
+        let mut replicas = Vec::with_capacity(ckpt.replicas.len());
+        let mut restored_chains = 0usize;
+        for (g, snapshots) in ckpt.replicas.iter().enumerate() {
+            let rng = mvcom_simnet::rng::fork(&mut master, &format!("replica-{g}-restored"));
+            let chains: Vec<Chain> = snapshots
+                .iter()
+                .map(|snap| {
+                    let solution = Solution::from_indices(
+                        instance.len(),
+                        snap.selected.iter().copied(),
+                        instance,
+                    );
+                    Chain::from_solution(instance, solution)
+                })
+                .collect();
+            restored_chains += chains.len();
+            replicas.push(Replica { chains, rng });
+        }
+        let best_solution =
+            Solution::from_indices(instance.len(), ckpt.best_selected.iter().copied(), instance);
+        let mut engine = SeEngine {
+            instance: instance.clone(),
+            config,
+            replicas,
+            iteration: ckpt.iteration,
+            vtime: ckpt.vtime,
+            best_utility: ckpt.best_utility,
+            best_solution,
+            last_improvement: ckpt.iteration,
+            trajectory: Trajectory::default(),
+            restored_chains,
+        };
+        engine.seed_best();
+        engine.record_point();
+        Ok(engine)
     }
 
     /// Runs one iteration (one *round* of the concurrently running
@@ -550,7 +651,9 @@ mod tests {
         .best_utility;
         let u10 = SeEngine::new(
             &inst,
-            SeConfig::paper(6).with_gamma(10).with_max_iterations(budget),
+            SeConfig::paper(6)
+                .with_gamma(10)
+                .with_max_iterations(budget),
         )
         .unwrap()
         .run()
@@ -659,6 +762,116 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_round_trips_and_resumes_the_run() {
+        let inst = instance(25);
+        let mut engine = SeEngine::new(&inst, SeConfig::fast_test(31)).unwrap();
+        for _ in 0..80 {
+            engine.step();
+        }
+        let before = engine.current_best_utility();
+        let ckpt = engine.checkpoint();
+        assert_eq!(ckpt.version, 80);
+        assert!(ckpt.validate(inst.len()).is_ok());
+
+        // The snapshot survives a process boundary as JSON.
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let ckpt: crate::se::SeCheckpoint = serde_json::from_str(&json).unwrap();
+
+        // The killed solver's replacement resumes from the snapshot.
+        let mut restored =
+            SeEngine::from_checkpoint(&inst, SeConfig::fast_test(31), &ckpt).unwrap();
+        assert_eq!(restored.iteration(), 80);
+        assert_eq!(restored.restored_chains(), ckpt.chain_count());
+        assert!(restored.restored_chains() > 0);
+        assert!(
+            restored.current_best_utility() >= before - 1e-9,
+            "restored chains must stand where the originals stood"
+        );
+        for _ in 0..200 {
+            restored.step();
+        }
+        let outcome = restored.finish();
+        assert!(inst.is_feasible(&outcome.best_solution));
+        assert!(outcome.best_utility >= before - 1e-9);
+    }
+
+    #[test]
+    fn from_checkpoint_rejects_mismatch_and_corruption() {
+        let inst = instance(12);
+        let mut engine = SeEngine::new(&inst, SeConfig::fast_test(32)).unwrap();
+        for _ in 0..20 {
+            engine.step();
+        }
+        let ckpt = engine.checkpoint();
+        // Wrong seed.
+        assert!(SeEngine::from_checkpoint(&inst, SeConfig::fast_test(33), &ckpt).is_err());
+        // Corrupt indices (point past the instance).
+        let mut bad = ckpt.clone();
+        bad.best_selected = vec![inst.len() + 5];
+        assert!(SeEngine::from_checkpoint(&inst, SeConfig::fast_test(32), &bad).is_err());
+        // A smaller instance cannot host the snapshot.
+        let small = instance(6);
+        assert!(SeEngine::from_checkpoint(&small, SeConfig::fast_test(32), &ckpt).is_err());
+    }
+
+    #[test]
+    fn post_failure_restore_reconverges_within_the_theorem_2_bound() {
+        // Kill the solver mid-run, restore from its checkpoint, then lose
+        // a committee (Trim): Theorem 2 bounds the post-perturbation
+        // utility by the best utility of the trimmed space, and the
+        // restored engine must re-converge to a utility within that bound.
+        let inst = instance(20);
+        let mut engine = SeEngine::new(&inst, SeConfig::fast_test(34)).unwrap();
+        for _ in 0..150 {
+            engine.step();
+        }
+        let ckpt = engine.checkpoint();
+        drop(engine); // the solver process dies here
+
+        let mut restored =
+            SeEngine::from_checkpoint(&inst, SeConfig::fast_test(34), &ckpt).unwrap();
+        restored
+            .handle_leave(CommitteeId(4), DynamicsPolicy::Trim)
+            .unwrap();
+        for _ in 0..400 {
+            restored.step();
+        }
+        let outcome = restored.finish();
+
+        // The best utility over the trimmed space G, computed by an
+        // independent fresh solve of the survivor instance.
+        let trimmed = InstanceBuilder::new()
+            .alpha(1.5)
+            .capacity(inst.capacity())
+            .n_min(inst.n_min())
+            .shards(
+                inst.shards()
+                    .iter()
+                    .filter(|s| s.committee() != CommitteeId(4))
+                    .copied()
+                    .collect(),
+            )
+            .build()
+            .unwrap();
+        let best_trimmed = SeEngine::new(&trimmed, SeConfig::paper(35).with_max_iterations(3_000))
+            .unwrap()
+            .run()
+            .best_utility;
+        let bound = crate::theory::perturbation_bound(best_trimmed);
+        assert!(trimmed.is_feasible(&outcome.best_solution));
+        assert!(
+            outcome.best_utility <= bound + 1e-9,
+            "post-failure utility {} exceeds the Theorem 2 bound {bound}",
+            outcome.best_utility
+        );
+        assert!(
+            outcome.best_utility >= 0.9 * bound,
+            "restored engine failed to re-converge: {} vs bound {bound}",
+            outcome.best_utility
+        );
+    }
+
+    #[test]
     fn finds_optimum_on_tiny_instance() {
         // 6 shards, exhaustively checkable: SE must land on the optimum.
         let shards = vec![
@@ -679,11 +892,7 @@ mod tests {
         // Exhaustive optimum.
         let mut best = f64::NEG_INFINITY;
         for mask in 0u32..64 {
-            let sol = Solution::from_indices(
-                6,
-                (0..6).filter(|&i| mask >> i & 1 == 1),
-                &inst,
-            );
+            let sol = Solution::from_indices(6, (0..6).filter(|&i| mask >> i & 1 == 1), &inst);
             if inst.is_feasible(&sol) {
                 best = best.max(inst.utility(&sol));
             }

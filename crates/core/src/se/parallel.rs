@@ -16,6 +16,8 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use serde::{Deserialize, Serialize};
+
 use mvcom_types::{Error, Result};
 
 use crate::problem::Instance;
@@ -40,16 +42,94 @@ impl SharedBest {
         }
     }
 
-    fn offer(&self, utility: f64, solution: &Solution) {
+    /// Publishes a candidate; returns `true` when it improved the global
+    /// best (the publishing replica then broadcasts a RESET).
+    fn offer(&self, utility: f64, solution: &Solution) -> bool {
         let mut slot = self.slot.lock();
         if slot.as_ref().is_none_or(|(u, _)| utility > *u) {
             *slot = Some((utility, solution.clone()));
             self.improvements.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
         }
     }
 
     fn take(self) -> Option<(f64, Solution)> {
         self.slot.into_inner()
+    }
+}
+
+/// Counters describing RESET traffic on the [`ResetBus`] during one
+/// parallel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResetStats {
+    /// RESET signals successfully broadcast (version advanced).
+    pub broadcast: u64,
+    /// RESET deliveries applied by a replica (version change observed).
+    pub applied: u64,
+    /// Broadcast attempts dropped as lost/stale/duplicate: the sender's
+    /// observed version was already superseded when it tried to publish.
+    pub ignored_stale: u64,
+}
+
+/// The version-stamped RESET broadcast channel of Fig. 5.
+///
+/// Every signal carries a version: a broadcast only succeeds when the
+/// sender's observed version is still current (compare-and-swap), so a
+/// signal raced by a concurrent broadcast is *stale* and dropped instead
+/// of double-resetting the receivers. Replicas apply a RESET at most once
+/// per version, making lost or duplicated deliveries harmless — exactly
+/// the at-most-once semantics a crashed-and-recovered solver process
+/// needs when it replays its signal log.
+#[derive(Debug, Default)]
+struct ResetBus {
+    version: AtomicU64,
+    broadcast: AtomicU64,
+    applied: AtomicU64,
+    ignored_stale: AtomicU64,
+}
+
+impl ResetBus {
+    /// Broadcasts a RESET stamped against `observed`; returns `false` (and
+    /// counts the signal stale) when another broadcast won the race.
+    fn broadcast_from(&self, observed: u64) -> bool {
+        match self.version.compare_exchange(
+            observed,
+            observed + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                self.broadcast.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                self.ignored_stale.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Polls for a new version; updates `last_seen` and returns `true` when
+    /// a RESET should be applied.
+    fn poll(&self, last_seen: &mut u64) -> bool {
+        let current = self.version.load(Ordering::Acquire);
+        if current != *last_seen {
+            *last_seen = current;
+            self.applied.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn stats(&self) -> ResetStats {
+        ResetStats {
+            broadcast: self.broadcast.load(Ordering::Relaxed),
+            applied: self.applied.load(Ordering::Relaxed),
+            ignored_stale: self.ignored_stale.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -95,17 +175,30 @@ impl ParallelRunner {
     /// Configuration errors, or [`Error::Infeasible`] when no chain can be
     /// initialized and the full selection is infeasible.
     pub fn run(&self, instance: &Instance) -> Result<(f64, Solution)> {
+        self.run_with_stats(instance)
+            .map(|(utility, solution, _)| (utility, solution))
+    }
+
+    /// Like [`ParallelRunner::run`], additionally returning the RESET
+    /// traffic counters of the run's [`ResetBus`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelRunner::run`].
+    pub fn run_with_stats(&self, instance: &Instance) -> Result<(f64, Solution, ResetStats)> {
         self.config.validate()?;
         let shared = SharedBest::new();
+        let resets = ResetBus::default();
         let stop = AtomicBool::new(false);
         let config = self.config;
 
         crossbeam::scope(|scope| {
             for g in 0..config.gamma {
                 let shared = &shared;
+                let resets = &resets;
                 let stop = &stop;
                 scope.spawn(move |_| {
-                    run_replica(instance, &config, g, shared, stop);
+                    run_replica(instance, &config, g, shared, resets, stop);
                 });
             }
         })
@@ -118,19 +211,22 @@ impl ParallelRunner {
                 shared.offer(instance.utility(&full), &full);
             }
         }
+        let stats = resets.stats();
         shared
             .take()
+            .map(|(utility, solution)| (utility, solution, stats))
             .ok_or_else(|| Error::infeasible("no replica produced a feasible solution"))
     }
 }
 
 /// One replica: the full chain family raced locally, publishing
-/// improvements to the shared best tracker.
+/// improvements to the shared best tracker and RESET signals to the bus.
 fn run_replica(
     instance: &Instance,
     config: &SeConfig,
     replica_idx: usize,
     shared: &SharedBest,
+    resets: &ResetBus,
     stop: &AtomicBool,
 ) {
     let mut master = mvcom_simnet::rng::master(config.seed);
@@ -146,8 +242,12 @@ fn run_replica(
     if chains.is_empty() {
         return;
     }
+    let mut last_seen = 0u64;
     for chain in &chains {
-        shared.offer(chain.utility(), chain.solution());
+        if shared.offer(chain.utility(), chain.solution()) {
+            resets.poll(&mut last_seen);
+            resets.broadcast_from(last_seen);
+        }
     }
 
     let mut since_improvement = 0u64;
@@ -157,7 +257,6 @@ fn run_replica(
         }
         // One round: every chain's local timer race fires once (State
         // Transit), then all timers are RESET for the next round.
-        let improved_before = shared.improvements.load(Ordering::Relaxed);
         let mut any_fired = false;
         for chain in chains.iter_mut() {
             let Some(proposal) = chain.race(instance, config, &mut rng) else {
@@ -165,13 +264,21 @@ fn run_replica(
             };
             chain.apply(&proposal, instance);
             any_fired = true;
-            shared.offer(chain.utility(), chain.solution());
+            if shared.offer(chain.utility(), chain.solution()) {
+                // A global improvement: broadcast a RESET stamped against
+                // the freshest version this replica has seen. Losing the
+                // CAS race means another replica's RESET already covered
+                // this window — the stale signal is dropped, not re-applied.
+                resets.poll(&mut last_seen);
+                resets.broadcast_from(last_seen);
+            }
         }
         if !any_fired {
             break;
         }
-        let improved_after = shared.improvements.load(Ordering::Relaxed);
-        if improved_after > improved_before {
+        // A RESET (from any replica, including this one) restarts the
+        // local convergence clock, exactly once per version.
+        if resets.poll(&mut last_seen) {
             since_improvement = 0;
         } else {
             since_improvement += 1;
@@ -234,6 +341,23 @@ mod tests {
             parallel_u >= virtual_u * 0.9,
             "parallel {parallel_u} vs virtual {virtual_u}"
         );
+    }
+
+    #[test]
+    fn reset_traffic_is_accounted_for() {
+        let inst = instance(24);
+        let (utility, solution, resets) = ParallelRunner::new(SeConfig::fast_test(6).with_gamma(4))
+            .run_with_stats(&inst)
+            .unwrap();
+        assert!(inst.is_feasible(&solution));
+        assert!(utility.is_finite());
+        // The initial seeding alone improves the shared best at least
+        // once, so at least one RESET is broadcast and applied.
+        assert!(resets.broadcast > 0, "{resets:?}");
+        assert!(resets.applied >= resets.broadcast, "{resets:?}");
+        // Every attempt either advanced the version or was dropped stale;
+        // no signal is double-counted.
+        assert!(resets.applied <= resets.broadcast * 4, "{resets:?}");
     }
 
     #[test]

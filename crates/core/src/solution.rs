@@ -139,7 +139,9 @@ impl Solution {
     /// Iterates over the selected indices in increasing order.
     pub fn iter_selected(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(move |(w, &word)| {
-            BitIter { word }.map(move |b| w * 64 + b).filter(|&i| i < self.len)
+            BitIter { word }
+                .map(move |b| w * 64 + b)
+                .filter(|&i| i < self.len)
         })
     }
 

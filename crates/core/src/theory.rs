@@ -102,7 +102,8 @@ pub fn ln_mixing_time_upper(
     assert!(n >= 2, "need at least two shards");
     let spread = u_max - u_min;
     let poly = (4 * n * (n * n - n)) as f64;
-    let bracket = (1.0 / (2.0 * epsilon)).ln() + 0.5 * (n as f64) * std::f64::consts::LN_2
+    let bracket = (1.0 / (2.0 * epsilon)).ln()
+        + 0.5 * (n as f64) * std::f64::consts::LN_2
         + 0.5 * beta * spread;
     poly.ln() + 1.5 * beta * spread + tau + bracket.ln()
 }
@@ -153,11 +154,11 @@ pub fn enumerate_states(instance: &Instance, cardinality: usize) -> Result<Vec<S
 /// log-sum-exp trick so large `β·U` cannot overflow.
 pub fn stationary_distribution(instance: &Instance, beta: f64, states: &[Solution]) -> Vec<f64> {
     assert!(!states.is_empty(), "need at least one state");
-    let log_weights: Vec<f64> = states
+    let log_weights: Vec<f64> = states.iter().map(|s| beta * instance.utility(s)).collect();
+    let max = log_weights
         .iter()
-        .map(|s| beta * instance.utility(s))
-        .collect();
-    let max = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let unnorm: Vec<f64> = log_weights.iter().map(|&w| (w - max).exp()).collect();
     let z: f64 = unnorm.iter().sum();
     unnorm.into_iter().map(|w| w / z).collect()
@@ -285,7 +286,12 @@ pub fn spectral_gap(instance: &Instance, beta: f64, tau: f64, states: &[Solution
     // Shift to make the dominant eigenvalue the one we can power-iterate:
     // B = S + c·I with c ≥ max |S_ii| has top eigenvalue c (eigenvector
     // √π); the second eigenvalue is c − λ₂.
-    let c = s.iter().enumerate().map(|(i, row)| row[i].abs()).fold(0.0f64, f64::max) + 1.0;
+    let c = s
+        .iter()
+        .enumerate()
+        .map(|(i, row)| row[i].abs())
+        .fold(0.0f64, f64::max)
+        + 1.0;
     let sqrt_pi: Vec<f64> = pi.iter().map(|p| p.sqrt()).collect();
     let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
     let mut v: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 17) as f64 - 8.0).collect();
@@ -342,7 +348,12 @@ impl<'a> CtmcSimulator<'a> {
     /// # Panics
     ///
     /// Panics if `initial` violates the capacity constraint.
-    pub fn new(instance: &'a Instance, beta: f64, tau: f64, initial: Solution) -> CtmcSimulator<'a> {
+    pub fn new(
+        instance: &'a Instance,
+        beta: f64,
+        tau: f64,
+        initial: Solution,
+    ) -> CtmcSimulator<'a> {
         assert!(
             instance.within_capacity(&initial),
             "initial state violates capacity"
@@ -377,9 +388,7 @@ impl<'a> CtmcSimulator<'a> {
             let exponents: Vec<f64> = neighbors
                 .iter()
                 .map(|&(out, inc)| {
-                    0.5 * self.beta
-                        * (self.instance.swap_delta(&self.state, out, inc))
-                        - self.tau
+                    0.5 * self.beta * (self.instance.swap_delta(&self.state, out, inc)) - self.tau
                 })
                 .collect();
             let max_e = exponents.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -555,7 +564,10 @@ mod tests {
             .max_by(|a, b| inst.utility(a.1).total_cmp(&inst.utility(b.1)))
             .unwrap()
             .0;
-        assert!(p.iter().enumerate().all(|(i, &pi)| pi <= p[best] + 1e-12 || i == best));
+        assert!(p
+            .iter()
+            .enumerate()
+            .all(|(i, &pi)| pi <= p[best] + 1e-12 || i == best));
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl TraceConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.n_blocks == 0 {
-            return Err(Error::invalid_config("n_blocks", "trace needs at least one block"));
+            return Err(Error::invalid_config(
+                "n_blocks",
+                "trace needs at least one block",
+            ));
         }
         if !(self.mean_interval_secs.is_finite() && self.mean_interval_secs > 0.0) {
             return Err(Error::invalid_config(
@@ -110,7 +113,9 @@ impl Trace {
                 let nonce: u64 = rng.gen();
                 TxBlock {
                     id: BlockId(i as u64),
-                    bhash: Hash32::digest(&[(i as u64).to_le_bytes(), nonce.to_le_bytes()].concat()),
+                    bhash: Hash32::digest(
+                        &[(i as u64).to_le_bytes(), nonce.to_le_bytes()].concat(),
+                    ),
                     btime: btime as u64,
                     txs,
                 }
@@ -183,7 +188,11 @@ impl Trace {
                 continue;
             }
             let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-            if lineno == 0 && fields.first().is_some_and(|f| f.eq_ignore_ascii_case("blockid")) {
+            if lineno == 0
+                && fields
+                    .first()
+                    .is_some_and(|f| f.eq_ignore_ascii_case("blockid"))
+            {
                 continue; // header row
             }
             if fields.len() != 4 {

@@ -139,9 +139,7 @@ pub fn configure_overlay(
 
     // Step 3: verification — each directory member serially verifies all
     // n identities after hearing them.
-    let verification = SimTime::from_secs(
-        config.verify_secs_per_identity * solutions.len() as f64,
-    );
+    let verification = SimTime::from_secs(config.verify_secs_per_identity * solutions.len() as f64);
 
     // Step 4: roster multicast per committee from the first directory
     // member; overlay completes at the last member's arrival.
@@ -209,8 +207,7 @@ mod tests {
         let mean = |n: u32, seed: u64| {
             let (sols, committees, mut net) = setup(n, seed);
             let configured =
-                configure_overlay(&DirectoryConfig::paper(), &sols, &committees, &mut net)
-                    .unwrap();
+                configure_overlay(&DirectoryConfig::paper(), &sols, &committees, &mut net).unwrap();
             configured
                 .iter()
                 .map(|c| c.formation_latency.as_secs())
@@ -260,9 +257,12 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(DirectoryConfig { directory_size: 0, ..DirectoryConfig::paper() }
-            .validate()
-            .is_err());
+        assert!(DirectoryConfig {
+            directory_size: 0,
+            ..DirectoryConfig::paper()
+        }
+        .validate()
+        .is_err());
         assert!(DirectoryConfig {
             verify_secs_per_identity: f64::NAN,
             ..DirectoryConfig::paper()

@@ -122,6 +122,31 @@ impl ElasticoConfig {
         if self.bytes_per_tx == 0 {
             return Err(Error::invalid_config("bytes_per_tx", "must be positive"));
         }
+        if self.view_timeout.as_secs() <= 0.0 || self.view_timeout.is_infinite() {
+            return Err(Error::invalid_config(
+                "view_timeout",
+                format!("must be positive and finite, got {}", self.view_timeout),
+            ));
+        }
+        if self.consensus_deadline.as_secs() <= 0.0 || self.consensus_deadline.is_infinite() {
+            return Err(Error::invalid_config(
+                "consensus_deadline",
+                format!(
+                    "must be positive and finite, got {}",
+                    self.consensus_deadline
+                ),
+            ));
+        }
+        if self.view_timeout >= self.consensus_deadline {
+            return Err(Error::invalid_config(
+                "view_timeout",
+                format!(
+                    "view timeout {} must be strictly below the consensus deadline {} \
+                     or no view change can ever complete",
+                    self.view_timeout, self.consensus_deadline
+                ),
+            ));
+        }
         if let Some(directory) = &self.directory {
             directory.validate()?;
         }
@@ -162,6 +187,19 @@ pub struct EpochReport {
     pub final_block: FinalBlock,
     /// Stage 5 output: the randomness seeding the next epoch's PoW.
     pub next_randomness: Hash32,
+    /// Fault-tolerance telemetry, present when the epoch ran under
+    /// [`ElasticoSim::run_epoch_recovering`](crate::recovery). `None` for
+    /// the vanilla runners (and when deserializing reports written before
+    /// this field existed).
+    pub robustness: Option<crate::recovery::RobustnessReport>,
+}
+
+/// Output of epoch stages 1–3, handed to a stage-4 admission strategy.
+#[derive(Debug, Clone)]
+pub(crate) struct StageOutput {
+    pub(crate) formed: Vec<FormedCommittee>,
+    pub(crate) shards: Vec<ShardInfo>,
+    pub(crate) consensus: Vec<(CommitteeId, ConsensusResult)>,
 }
 
 impl EpochReport {
@@ -236,6 +274,16 @@ impl ElasticoSim {
     /// [`Error::Simulation`] when no committee survives formation or the
     /// final committee cannot be seated.
     pub fn run_epoch_with<S: ShardSelector>(&mut self, selector: &mut S) -> Result<EpochReport> {
+        let stages = self.run_stages()?;
+        let included = selector.select(&stages.shards);
+        self.finish_epoch(stages, included, None)
+    }
+
+    /// Stages 1–3 (lottery, formation, intra-committee consensus), shared
+    /// by the vanilla runner and the fault-tolerant runner in
+    /// [`crate::recovery`]. The RNG fork order here is load-bearing: it is
+    /// what makes a seed reproduce an epoch bit-for-bit.
+    pub(crate) fn run_stages(&mut self) -> Result<StageOutput> {
         // Stage 1: PoW identity lottery.
         let mut stage_rng = rng::fork(&mut self.rng, "lottery");
         let solutions = run_lottery(
@@ -305,11 +353,28 @@ impl ElasticoSim {
         if shards.is_empty() {
             return Err(Error::simulation("no committee reached intra-consensus"));
         }
+        Ok(StageOutput {
+            formed,
+            shards,
+            consensus,
+        })
+    }
 
-        // Stage 4: shard admission + final consensus. The final committee
-        // is the formed committee with the lowest id (Elastico designates
-        // a fixed final committee per epoch).
-        let included = selector.select(&shards);
+    /// Stages 4–5: final consensus over the `included` shard set, then the
+    /// epoch-randomness refresh. The final committee is the formed
+    /// committee with the lowest id (Elastico designates a fixed final
+    /// committee per epoch).
+    pub(crate) fn finish_epoch(
+        &mut self,
+        stages: StageOutput,
+        included: Vec<CommitteeId>,
+        robustness: Option<crate::recovery::RobustnessReport>,
+    ) -> Result<EpochReport> {
+        let StageOutput {
+            formed,
+            shards,
+            consensus,
+        } = stages;
         let admitted: Vec<&ShardInfo> = shards
             .iter()
             .filter(|s| included.contains(&s.committee()))
@@ -325,12 +390,8 @@ impl ElasticoSim {
             Hash32::digest(&bytes)
         };
         let final_committee_size = formed[0].members.len() as u32;
-        let final_result = self.run_pbft(
-            final_committee_size,
-            total_txs,
-            final_digest,
-            "pbft-final",
-        )?;
+        let final_result =
+            self.run_pbft(final_committee_size, total_txs, final_digest, "pbft-final")?;
         let final_block = FinalBlock {
             epoch: self.epoch,
             committed: final_result.committed,
@@ -356,10 +417,17 @@ impl ElasticoSim {
             consensus,
             final_block,
             next_randomness,
+            robustness,
         };
         self.randomness = next_randomness;
         self.epoch = self.epoch.next();
         Ok(report)
+    }
+
+    /// Forks a labelled RNG stream off the simulator's master stream, for
+    /// auxiliary networks (shard submission, chaos) owned by other modules.
+    pub(crate) fn fork_rng(&mut self, label: &str) -> SimRng {
+        rng::fork(&mut self.rng, label)
     }
 
     fn run_pbft(
@@ -379,7 +447,10 @@ impl ElasticoSim {
             nodes: net_nodes,
             ..self.config.net
         };
-        let network = Network::new(net_config, rng::fork(&mut self.rng, &format!("{label}-net")))?;
+        let network = Network::new(
+            net_config,
+            rng::fork(&mut self.rng, &format!("{label}-net")),
+        )?;
         PbftRunner::new(config, network, rng::fork(&mut self.rng, label)).run(digest)
     }
 }
@@ -506,5 +577,35 @@ mod tests {
         let mut c = ElasticoConfig::small_test();
         c.bytes_per_tx = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_timeout_orderings() {
+        // Vanishing or infinite timers.
+        let mut c = ElasticoConfig::small_test();
+        c.view_timeout = SimTime::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = ElasticoConfig::small_test();
+        c.view_timeout = SimTime::INFINITY;
+        assert!(c.validate().is_err());
+        let mut c = ElasticoConfig::small_test();
+        c.consensus_deadline = SimTime::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = ElasticoConfig::small_test();
+        c.consensus_deadline = SimTime::INFINITY;
+        assert!(c.validate().is_err());
+        // A view timeout at or above the deadline means a single view
+        // change already blows the deadline.
+        let mut c = ElasticoConfig::small_test();
+        c.view_timeout = c.consensus_deadline;
+        assert!(c.validate().is_err());
+        let mut c = ElasticoConfig::small_test();
+        c.view_timeout = c.consensus_deadline + SimTime::from_secs(1.0);
+        assert!(c.validate().is_err());
+        // The error message names the offending relationship.
+        let mut c = ElasticoConfig::small_test();
+        c.view_timeout = c.consensus_deadline;
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("view_timeout"), "got: {msg}");
     }
 }

@@ -227,7 +227,10 @@ mod tests {
         let overlay = OverlayConfig::paper();
         let mut r = rng::master(5);
         let mut mean = |n: u32| -> f64 {
-            (0..500).map(|_| overlay.sample(n, &mut r).as_secs()).sum::<f64>() / 500.0
+            (0..500)
+                .map(|_| overlay.sample(n, &mut r).as_secs())
+                .sum::<f64>()
+                / 500.0
         };
         let at_100 = mean(100);
         let at_1000 = mean(1_000);

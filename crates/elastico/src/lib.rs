@@ -25,6 +25,11 @@
 //!   timing the overlay configuration.
 //! * [`epoch`] — the full five-stage epoch runner producing
 //!   [`ShardInfo`](mvcom_types::ShardInfo)s and a final block.
+//! * [`detector`] — the phi-accrual heartbeat failure detector the final
+//!   committee runs over its member committees (paper §V-A).
+//! * [`recovery`] — the fault-tolerant epoch runner: chaos-wrapped shard
+//!   submission with retries, heartbeat-driven failure detection, online
+//!   re-solving, and graceful degradation to a survivors-only block.
 //!
 //! # Example
 //!
@@ -44,12 +49,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod detector;
 pub mod directory;
 pub mod epoch;
 pub mod formation;
 pub mod pow;
+pub mod recovery;
 
+pub use detector::{CommitteeHealth, DetectorStats, HeartbeatConfig, HeartbeatMonitor};
 pub use directory::DirectoryConfig;
 pub use epoch::{ElasticoConfig, ElasticoSim, EpochReport, FinalBlock};
 pub use formation::{CommitteeFormation, FormedCommittee};
 pub use pow::{PowConfig, PowSolution};
+pub use recovery::{RecoveryConfig, RecoverySelector, RobustnessReport, SurvivorsOnly};

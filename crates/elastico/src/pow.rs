@@ -148,8 +148,7 @@ mod tests {
             ..PowConfig::paper(2)
         };
         let sols = run_lottery(&config, 20_000, Hash32::digest(b"s"), &mut r).unwrap();
-        let mean: f64 =
-            sols.iter().map(|s| s.solved_at.as_secs()).sum::<f64>() / sols.len() as f64;
+        let mean: f64 = sols.iter().map(|s| s.solved_at.as_secs()).sum::<f64>() / sols.len() as f64;
         assert!((mean - 600.0).abs() / 600.0 < 0.05, "mean solve {mean}");
     }
 
@@ -186,18 +185,30 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        assert!(PowConfig { mean_solve_secs: 0.0, ..PowConfig::paper(2) }
-            .validate()
-            .is_err());
-        assert!(PowConfig { committee_bits: 0, ..PowConfig::paper(2) }
-            .validate()
-            .is_err());
-        assert!(PowConfig { committee_bits: 20, ..PowConfig::paper(2) }
-            .validate()
-            .is_err());
-        assert!(PowConfig { power_spread: 1.0, ..PowConfig::paper(2) }
-            .validate()
-            .is_err());
+        assert!(PowConfig {
+            mean_solve_secs: 0.0,
+            ..PowConfig::paper(2)
+        }
+        .validate()
+        .is_err());
+        assert!(PowConfig {
+            committee_bits: 0,
+            ..PowConfig::paper(2)
+        }
+        .validate()
+        .is_err());
+        assert!(PowConfig {
+            committee_bits: 20,
+            ..PowConfig::paper(2)
+        }
+        .validate()
+        .is_err());
+        assert!(PowConfig {
+            power_spread: 1.0,
+            ..PowConfig::paper(2)
+        }
+        .validate()
+        .is_err());
         let mut r = rng::master(0);
         assert!(run_lottery(&PowConfig::paper(2), 0, Hash32::ZERO, &mut r).is_err());
     }

@@ -1,0 +1,462 @@
+//! The fault-tolerant epoch runner.
+//!
+//! [`ElasticoSim::run_epoch_recovering`] replaces stage 4's wait-for-all
+//! admission with a deadline-aware pipeline that survives committees dying
+//! mid-epoch:
+//!
+//! 1. **Shard submission over a chaos-wrapped network** — each member
+//!    committee ships its shard to the final committee over a simulated
+//!    submission network with the configured [`ChaosConfig`] installed.
+//!    Dropped submissions are retried with capped exponential backoff; a
+//!    committee that cannot get its shard through before the consensus
+//!    deadline is excluded (and recorded as timed out).
+//! 2. **Heartbeat monitoring** — while the scheduler works, the final
+//!    committee pings every submitted committee at a fixed interval
+//!    through [`Network::ping_at`]; the phi-accrual
+//!    [`HeartbeatMonitor`](crate::detector::HeartbeatMonitor) turns
+//!    missed pongs into failure verdicts (paper §V-A: a failed committee
+//!    is perceived as infinite ping latency).
+//! 3. **Online re-solving** — each detected failure is forwarded to the
+//!    [`RecoverySelector`], which removes the committee from the
+//!    scheduler's solution space (the MVCom implementation trims the SE
+//!    engine via `DynamicsPolicy::Trim`) and keeps iterating.
+//! 4. **Graceful degradation** — the final block is assembled from the
+//!    surviving admitted committees; a detected failure degrades the block
+//!    instead of aborting the epoch.
+//!
+//! The submission network maps the final committee to [`FINAL_NODE`] and
+//! the *i*-th surviving shard of the epoch to [`submission_node`]`(i)`;
+//! [`ChaosConfig`] crash schedules address those node ids.
+
+use serde::{Deserialize, Serialize};
+
+use mvcom_simnet::{ChaosConfig, ChaosInjector, ChaosStats, Network, NetworkConfig};
+use mvcom_types::{CommitteeId, Error, NodeId, Result, ShardInfo, SimTime};
+
+use crate::detector::{CommitteeHealth, HeartbeatConfig, HeartbeatMonitor};
+use crate::epoch::{ElasticoSim, EpochReport};
+
+/// The final committee's node id on the submission network.
+pub const FINAL_NODE: NodeId = NodeId(0);
+
+/// The submission-network node id of the `i`-th surviving shard (in
+/// [`EpochReport::shards`] order). Chaos crash schedules that should kill
+/// an admitted committee mid-epoch address this id.
+pub fn submission_node(shard_index: usize) -> NodeId {
+    NodeId(shard_index as u32 + 1)
+}
+
+/// An online admission strategy that can react to committee failures —
+/// the seam where the MVCom SE engine plugs into the recovering epoch
+/// runner (its implementation lives in the root crate, which wires
+/// detected failures into `SeEngine::handle_leave` with
+/// `DynamicsPolicy::Trim`).
+pub trait RecoverySelector {
+    /// Called once with the shards that survived submission; builds the
+    /// scheduling problem.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; aborts the epoch.
+    fn begin(&mut self, shards: &[ShardInfo]) -> Result<()>;
+
+    /// Runs `iterations` more solver steps. Called between heartbeat
+    /// rounds so detection latency and solving overlap.
+    fn advance(&mut self, iterations: u64);
+
+    /// A committee was declared failed; remove it from the solution space.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; aborts the epoch.
+    fn on_failure(&mut self, committee: CommitteeId) -> Result<()>;
+
+    /// Returns the final admitted committee set.
+    fn finish(&mut self) -> Vec<CommitteeId>;
+}
+
+/// The trivial recovery strategy: admit every submitted shard, drop the
+/// ones that die. Reproduces wait-for-all Elastico, but fault-tolerant.
+#[derive(Debug, Clone, Default)]
+pub struct SurvivorsOnly {
+    admitted: Vec<CommitteeId>,
+}
+
+impl RecoverySelector for SurvivorsOnly {
+    fn begin(&mut self, shards: &[ShardInfo]) -> Result<()> {
+        self.admitted = shards.iter().map(|s| s.committee()).collect();
+        Ok(())
+    }
+
+    fn advance(&mut self, _iterations: u64) {}
+
+    fn on_failure(&mut self, committee: CommitteeId) -> Result<()> {
+        self.admitted.retain(|&c| c != committee);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Vec<CommitteeId> {
+        self.admitted.clone()
+    }
+}
+
+/// Tunables of the fault-tolerant epoch runner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Fault model installed on the submission network.
+    pub chaos: ChaosConfig,
+    /// Heartbeat failure-detector parameters.
+    pub heartbeat: HeartbeatConfig,
+    /// Maximum resubmission attempts per shard after the first send.
+    pub max_submission_retries: u32,
+    /// First retry delay; later retries double it.
+    pub backoff_base: SimTime,
+    /// Upper bound on any single retry delay.
+    pub backoff_cap: SimTime,
+    /// Solver iterations granted to the [`RecoverySelector`] per heartbeat
+    /// round.
+    pub solver_iterations_per_round: u64,
+}
+
+impl RecoveryConfig {
+    /// Fault-free defaults: no chaos, 30 s heartbeats, 8 retries backing
+    /// off from 5 s to a 300 s cap, 50 solver iterations per round.
+    pub fn paper() -> RecoveryConfig {
+        RecoveryConfig {
+            chaos: ChaosConfig::none(),
+            heartbeat: HeartbeatConfig::paper(),
+            max_submission_retries: 8,
+            backoff_base: SimTime::from_secs(5.0),
+            backoff_cap: SimTime::from_secs(300.0),
+            solver_iterations_per_round: 50,
+        }
+    }
+
+    /// Validates all components.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<()> {
+        self.chaos.validate()?;
+        self.heartbeat.validate()?;
+        if self.backoff_base.as_secs() <= 0.0 || self.backoff_base.is_infinite() {
+            return Err(Error::invalid_config(
+                "backoff_base",
+                format!("must be positive and finite, got {}", self.backoff_base),
+            ));
+        }
+        if self.backoff_cap < self.backoff_base {
+            return Err(Error::invalid_config(
+                "backoff_cap",
+                format!(
+                    "cap {} is below the base delay {}",
+                    self.backoff_cap, self.backoff_base
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Fault-tolerance telemetry of one recovering epoch, embedded in
+/// [`EpochReport::robustness`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// Heartbeat pings sent by the final committee.
+    pub heartbeats_sent: u64,
+    /// Heartbeats that went unanswered.
+    pub heartbeats_missed: u64,
+    /// Committees declared failed, with the detection time.
+    pub failures_detected: Vec<(CommitteeId, SimTime)>,
+    /// Committees classified as stragglers at epoch end (alive but with
+    /// round-trips far above the population median).
+    pub stragglers: Vec<CommitteeId>,
+    /// Shard resubmission attempts beyond each first send.
+    pub submission_retries: u64,
+    /// Committees whose shard never got through before the deadline.
+    pub submissions_timed_out: Vec<CommitteeId>,
+    /// Fault counters of the submission-network chaos injector.
+    pub chaos: ChaosStats,
+    /// Whether the final block lost at least one admitted committee to a
+    /// detected failure (graceful degradation engaged).
+    pub degraded: bool,
+}
+
+impl ElasticoSim {
+    /// Runs one epoch under the fault-tolerant stage-4 pipeline described
+    /// in the [module docs](crate::recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Simulation`] when stages 1–3 fail, when no shard survives
+    /// submission, or when every submitted committee dies before the final
+    /// consensus; configuration errors from an invalid `recovery`.
+    pub fn run_epoch_recovering<S: RecoverySelector>(
+        &mut self,
+        selector: &mut S,
+        recovery: &RecoveryConfig,
+    ) -> Result<EpochReport> {
+        recovery.validate()?;
+        let stages = self.run_stages()?;
+        let deadline = self.config().consensus_deadline;
+        let bytes_per_tx = self.config().bytes_per_tx;
+
+        // The submission network: node 0 is the final committee, node 1+i
+        // the i-th surviving shard's committee, chaos installed on top.
+        let net_config = NetworkConfig {
+            nodes: stages.shards.len() as u32 + 1,
+            ..self.config().net
+        };
+        let mut net = Network::new(net_config, self.fork_rng("submission-net"))?;
+        net.set_chaos(ChaosInjector::new(
+            recovery.chaos.clone(),
+            self.fork_rng("chaos"),
+        )?);
+
+        // Phase 1: shard submission with capped exponential backoff.
+        let mut submitted: Vec<(ShardInfo, SimTime)> = Vec::new();
+        let mut submission_retries = 0u64;
+        let mut submissions_timed_out = Vec::new();
+        for (idx, shard) in stages.shards.iter().enumerate() {
+            let from = submission_node(idx);
+            let payload = shard.tx_count() as usize * bytes_per_tx;
+            let mut at = shard.two_phase_latency();
+            let mut arrival = None;
+            for attempt in 0..=recovery.max_submission_retries {
+                if at > deadline {
+                    break;
+                }
+                if attempt > 0 {
+                    submission_retries += 1;
+                }
+                if let Some(t) = net.send(from, FINAL_NODE, payload, at) {
+                    arrival = Some(t);
+                    break;
+                }
+                let backoff = (recovery.backoff_base * f64::from(1u32 << attempt.min(16)))
+                    .min(recovery.backoff_cap);
+                at += backoff;
+            }
+            match arrival {
+                Some(t) if t <= deadline => submitted.push((*shard, t)),
+                _ => submissions_timed_out.push(shard.committee()),
+            }
+        }
+        if submitted.is_empty() {
+            return Err(Error::simulation(
+                "no shard submission reached the final committee before the deadline",
+            ));
+        }
+
+        // Phase 2: hand the submitted shards to the scheduler and monitor
+        // the submitting committees until the deadline.
+        let shards_in: Vec<ShardInfo> = submitted.iter().map(|(s, _)| *s).collect();
+        selector.begin(&shards_in)?;
+        let mut monitor = HeartbeatMonitor::new(recovery.heartbeat)?;
+        for (shard, arrival) in &submitted {
+            monitor.register(shard.committee(), *arrival);
+        }
+        let node_of = |committee: CommitteeId| -> NodeId {
+            let idx = stages
+                .shards
+                .iter()
+                .position(|s| s.committee() == committee)
+                .expect("submitted shard came from stages.shards");
+            submission_node(idx)
+        };
+
+        let start = submitted
+            .iter()
+            .map(|(_, t)| *t)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut failures_detected: Vec<(CommitteeId, SimTime)> = Vec::new();
+        let mut now = start + recovery.heartbeat.interval;
+        while now < deadline {
+            for (shard, _) in &submitted {
+                let committee = shard.committee();
+                // The final committee stops pinging a committee it has
+                // already written off.
+                if failures_detected.iter().any(|(c, _)| *c == committee) {
+                    continue;
+                }
+                let rtt = net.ping_at(FINAL_NODE, node_of(committee), now);
+                monitor.observe(committee, rtt, now);
+                if monitor.health(committee, now) == CommitteeHealth::Failed {
+                    failures_detected.push((committee, now));
+                    selector.on_failure(committee)?;
+                }
+            }
+            selector.advance(recovery.solver_iterations_per_round);
+            now += recovery.heartbeat.interval;
+        }
+
+        // Phase 3: assemble the final block from the admitted survivors.
+        let survivors: Vec<CommitteeId> = submitted
+            .iter()
+            .map(|(s, _)| s.committee())
+            .filter(|c| !failures_detected.iter().any(|(f, _)| f == c))
+            .collect();
+        if survivors.is_empty() {
+            return Err(Error::simulation(
+                "every submitted committee failed before the final consensus",
+            ));
+        }
+        let chosen = selector.finish();
+        let mut included: Vec<CommitteeId> = chosen
+            .into_iter()
+            .filter(|c| survivors.contains(c))
+            .collect();
+        if included.is_empty() {
+            // Graceful degradation: never let a confused scheduler produce
+            // an empty block while live committees exist.
+            included = survivors;
+        }
+
+        let stragglers: Vec<CommitteeId> = monitor
+            .classify(now)
+            .into_iter()
+            .filter(|(_, h)| *h == CommitteeHealth::Straggler)
+            .map(|(c, _)| c)
+            .collect();
+        let detector_stats = monitor.stats(now);
+        let robustness = RobustnessReport {
+            heartbeats_sent: detector_stats.heartbeats_sent,
+            heartbeats_missed: detector_stats.heartbeats_missed,
+            degraded: !failures_detected.is_empty(),
+            failures_detected,
+            stragglers,
+            submission_retries,
+            submissions_timed_out,
+            chaos: net.chaos_stats().unwrap_or_default(),
+        };
+        self.finish_epoch(stages, included, Some(robustness))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::ElasticoConfig;
+    use mvcom_simnet::CrashEvent;
+
+    #[test]
+    fn config_validation_rejects_degenerates() {
+        let mut r = RecoveryConfig::paper();
+        r.backoff_base = SimTime::ZERO;
+        assert!(r.validate().is_err());
+        let mut r = RecoveryConfig::paper();
+        r.backoff_cap = SimTime::from_secs(1.0);
+        assert!(r.validate().is_err());
+        let mut r = RecoveryConfig::paper();
+        r.chaos.drop_prob = 2.0;
+        assert!(r.validate().is_err());
+        assert!(RecoveryConfig::paper().validate().is_ok());
+    }
+
+    #[test]
+    fn fault_free_recovery_matches_wait_for_all_admission() {
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 11).unwrap();
+        let report = sim
+            .run_epoch_recovering(&mut SurvivorsOnly::default(), &RecoveryConfig::paper())
+            .unwrap();
+        assert!(report.final_block.committed);
+        assert_eq!(report.final_block.included.len(), report.shards.len());
+        let robustness = report
+            .robustness
+            .expect("recovering epochs carry telemetry");
+        assert!(!robustness.degraded);
+        assert!(robustness.failures_detected.is_empty());
+        assert!(robustness.submissions_timed_out.is_empty());
+        assert!(robustness.heartbeats_sent > 0);
+        assert_eq!(robustness.heartbeats_missed, 0);
+    }
+
+    #[test]
+    fn recovering_runner_is_deterministic_per_seed() {
+        let recovery = RecoveryConfig {
+            chaos: ChaosConfig::lossy(0.2),
+            ..RecoveryConfig::paper()
+        };
+        let run = || {
+            let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 13).unwrap();
+            sim.run_epoch_recovering(&mut SurvivorsOnly::default(), &recovery)
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lossy_links_force_retries_but_the_epoch_still_commits() {
+        let recovery = RecoveryConfig {
+            chaos: ChaosConfig::lossy(0.4),
+            ..RecoveryConfig::paper()
+        };
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 17).unwrap();
+        let report = sim
+            .run_epoch_recovering(&mut SurvivorsOnly::default(), &recovery)
+            .unwrap();
+        assert!(report.final_block.committed);
+        let robustness = report.robustness.unwrap();
+        assert!(
+            robustness.submission_retries > 0 || robustness.heartbeats_missed > 0,
+            "40% loss should leave a trace in the counters: {robustness:?}"
+        );
+        assert!(robustness.chaos.dropped > 0);
+    }
+
+    #[test]
+    fn crashed_committee_is_detected_and_dropped_from_the_block() {
+        // Kill the second surviving shard's committee mid-epoch; the crash
+        // is permanent, so heartbeats to it observe infinite latency.
+        let crash_at = SimTime::from_secs(2_500.0);
+        let recovery = RecoveryConfig {
+            chaos: ChaosConfig::none()
+                .with_crash(CrashEvent::permanent(submission_node(1), crash_at)),
+            ..RecoveryConfig::paper()
+        };
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 19).unwrap();
+        let report = sim
+            .run_epoch_recovering(&mut SurvivorsOnly::default(), &recovery)
+            .unwrap();
+        let victim = report.shards[1].committee();
+        let robustness = report.robustness.clone().unwrap();
+        assert!(robustness.degraded);
+        assert_eq!(robustness.failures_detected.len(), 1);
+        let (failed, detected_at) = robustness.failures_detected[0];
+        assert_eq!(failed, victim);
+        assert!(
+            detected_at >= crash_at,
+            "detection cannot precede the crash"
+        );
+        assert!(report.final_block.committed);
+        assert!(!report.final_block.included.contains(&victim));
+        assert_eq!(
+            report.final_block.included.len(),
+            report.shards.len() - 1,
+            "exactly the victim is excluded"
+        );
+    }
+
+    #[test]
+    fn crash_before_submission_times_the_shard_out() {
+        // The victim dies before its shard can ever reach the final
+        // committee: every submission attempt is crash-dropped.
+        let recovery = RecoveryConfig {
+            chaos: ChaosConfig::none()
+                .with_crash(CrashEvent::permanent(submission_node(0), SimTime::ZERO)),
+            ..RecoveryConfig::paper()
+        };
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 23).unwrap();
+        let report = sim
+            .run_epoch_recovering(&mut SurvivorsOnly::default(), &recovery)
+            .unwrap();
+        let victim = report.shards[0].committee();
+        let robustness = report.robustness.clone().unwrap();
+        assert_eq!(robustness.submissions_timed_out, vec![victim]);
+        assert!(robustness.submission_retries > 0);
+        assert!(robustness.chaos.crash_dropped > 0);
+        assert!(!report.final_block.included.contains(&victim));
+    }
+}

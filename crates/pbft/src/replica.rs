@@ -314,9 +314,7 @@ mod tests {
             for out in queue.drain(..) {
                 match out.target {
                     Target::All => next.extend(deliver_all(replicas, out.message)),
-                    Target::One(idx) => {
-                        next.extend(replicas[idx as usize].on_message(out.message))
-                    }
+                    Target::One(idx) => next.extend(replicas[idx as usize].on_message(out.message)),
                 }
             }
             queue = next;

@@ -37,7 +37,10 @@ impl PbftConfig {
     /// [`Error::InvalidConfig`] if `n < 4`.
     pub fn new(n: u32) -> Result<PbftConfig> {
         if n < 4 {
-            return Err(Error::invalid_config("n", format!("PBFT needs n >= 4, got {n}")));
+            return Err(Error::invalid_config(
+                "n",
+                format!("PBFT needs n >= 4, got {n}"),
+            ));
         }
         Ok(PbftConfig {
             n,
@@ -156,7 +159,13 @@ impl PbftRunner {
         let initial = replicas[0].propose(digest);
         self.dispatch(initial, 0, &mut sched);
         for i in 0..n {
-            sched.schedule_in(self.config.view_timeout, Event::ViewTimeout { replica: i, view: 0 });
+            sched.schedule_in(
+                self.config.view_timeout,
+                Event::ViewTimeout {
+                    replica: i,
+                    view: 0,
+                },
+            );
         }
 
         while let Some((now, event)) = sched.next_event() {
@@ -169,7 +178,8 @@ impl PbftRunner {
                     // Verification cost for proposals.
                     if matches!(
                         msg.kind,
-                        crate::message::MessageKind::PrePrepare | crate::message::MessageKind::NewView
+                        crate::message::MessageKind::PrePrepare
+                            | crate::message::MessageKind::NewView
                     ) {
                         // The verification delay is modelled as already
                         // elapsed: sample and fold into the outbound sends.
@@ -207,10 +217,8 @@ impl PbftRunner {
                         }
                     }
                     // Termination: quorum of commits.
-                    let committed = replicas
-                        .iter()
-                        .filter(|r| r.committed().is_some())
-                        .count() as u32;
+                    let committed =
+                        replicas.iter().filter(|r| r.committed().is_some()).count() as u32;
                     if committed >= quorum {
                         let d = replicas
                             .iter()
@@ -268,23 +276,47 @@ impl PbftRunner {
                     for to in 0..self.config.n {
                         if to == from {
                             // Local self-delivery is immediate.
-                            sched.schedule_at(now, Event::Deliver { to, msg: ob.message });
+                            sched.schedule_at(
+                                now,
+                                Event::Deliver {
+                                    to,
+                                    msg: ob.message,
+                                },
+                            );
                             continue;
                         }
                         if let Some(arrival) =
                             self.network.send(NodeId(from), NodeId(to), size, now)
                         {
-                            sched.schedule_at(arrival, Event::Deliver { to, msg: ob.message });
+                            sched.schedule_at(
+                                arrival,
+                                Event::Deliver {
+                                    to,
+                                    msg: ob.message,
+                                },
+                            );
                         }
                     }
                 }
                 Target::One(to) => {
                     if to == from {
-                        sched.schedule_at(now, Event::Deliver { to, msg: ob.message });
+                        sched.schedule_at(
+                            now,
+                            Event::Deliver {
+                                to,
+                                msg: ob.message,
+                            },
+                        );
                     } else if let Some(arrival) =
                         self.network.send(NodeId(from), NodeId(to), size, now)
                     {
-                        sched.schedule_at(arrival, Event::Deliver { to, msg: ob.message });
+                        sched.schedule_at(
+                            arrival,
+                            Event::Deliver {
+                                to,
+                                msg: ob.message,
+                            },
+                        );
                     }
                 }
             }
@@ -303,11 +335,8 @@ mod tests {
 
     fn run_with(config: PbftConfig, seed: u64) -> ConsensusResult {
         let mut master = rng::master(seed);
-        let network = Network::new(
-            NetworkConfig::lan(config.n),
-            rng::fork(&mut master, "net"),
-        )
-        .unwrap();
+        let network =
+            Network::new(NetworkConfig::lan(config.n), rng::fork(&mut master, "net")).unwrap();
         PbftRunner::new(config, network, rng::fork(&mut master, "pbft"))
             .run(digest())
             .unwrap()

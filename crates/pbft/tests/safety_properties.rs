@@ -84,11 +84,7 @@ fn repeated_view_changes_eventually_commit() {
     // Leaders of views 0 and 1 are both silent: two successive view
     // changes are needed before an honest leader proposes.
     let n = 7u32;
-    let result = run(
-        n,
-        &[(0, Behavior::Silent), (1, Behavior::Silent)],
-        424_242,
-    );
+    let result = run(n, &[(0, Behavior::Silent), (1, Behavior::Silent)], 424_242);
     assert!(result.committed);
     assert!(result.final_view >= 2, "needed at least two view changes");
 }

@@ -71,11 +71,7 @@ impl<'a> GossipRun<'a> {
     /// # Errors
     ///
     /// [`mvcom_types::Error::Simulation`] if `origin` is down.
-    pub fn spread(
-        &mut self,
-        origin: NodeId,
-        start: SimTime,
-    ) -> Result<HashMap<NodeId, SimTime>> {
+    pub fn spread(&mut self, origin: NodeId, start: SimTime) -> Result<HashMap<NodeId, SimTime>> {
         if !self.network.is_up(origin) {
             return Err(mvcom_types::Error::simulation(format!(
                 "gossip origin {origin} is down"

@@ -101,8 +101,7 @@ impl LatencyModel {
     /// A log-normal delay with the given mean and standard deviation of the
     /// *delay itself*.
     pub fn log_normal(mean_secs: f64, std_secs: f64) -> Result<LatencyModel> {
-        if !(mean_secs.is_finite() && std_secs.is_finite()) || mean_secs <= 0.0 || std_secs <= 0.0
-        {
+        if !(mean_secs.is_finite() && std_secs.is_finite()) || mean_secs <= 0.0 || std_secs <= 0.0 {
             return Err(Error::invalid_config(
                 "log_normal",
                 format!("need positive mean and std, got mean={mean_secs}, std={std_secs}"),

@@ -15,6 +15,9 @@
 //! * [`net`] — a simulated P2P [`net::Network`]: point-to-point messages
 //!   with sampled delay, broadcast, node up/down status, partitions, and
 //!   delivery statistics.
+//! * [`chaos`] — seeded deterministic fault injection (message drops,
+//!   latency spikes, scheduled node outages) that composes with [`net`] so
+//!   every protocol above it can be chaos-wrapped without code changes.
 //! * [`gossip`] — push-gossip (epidemic) dissemination over the network,
 //!   with the classic `O(log n)` analytic round estimate.
 //! * [`stats`] — streaming summary statistics and empirical CDFs used by
@@ -43,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod event;
 pub mod gossip;
 pub mod latency;
@@ -50,6 +54,7 @@ pub mod net;
 pub mod rng;
 pub mod stats;
 
+pub use chaos::{ChaosConfig, ChaosInjector, ChaosStats, CrashEvent};
 pub use event::{EventQueue, Scheduler};
 pub use latency::LatencyModel;
 pub use net::{Network, NetworkConfig};

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use mvcom_types::{Error, NodeId, Result, SimTime};
 
+use crate::chaos::{ChaosInjector, ChaosStats};
 use crate::latency::LatencyModel;
 
 /// Static configuration of a simulated network.
@@ -57,7 +58,10 @@ impl NetworkConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.nodes == 0 {
-            return Err(Error::invalid_config("nodes", "network needs at least one node"));
+            return Err(Error::invalid_config(
+                "nodes",
+                "network needs at least one node",
+            ));
         }
         if !self.secs_per_kib.is_finite() || self.secs_per_kib < 0.0 {
             return Err(Error::invalid_config(
@@ -74,8 +78,13 @@ impl NetworkConfig {
 pub struct NetworkStats {
     /// Messages accepted for delivery.
     pub delivered: u64,
-    /// Messages dropped because an endpoint was down or partitioned away.
+    /// Messages dropped for any reason (endpoint down, partitioned away,
+    /// or killed by the chaos injector). `delivered + dropped` always
+    /// equals the number of `send` calls, whatever faults are active.
     pub dropped: u64,
+    /// Of `dropped`, the messages killed by the chaos injector (lossy
+    /// links and scheduled outages).
+    pub chaos_dropped: u64,
     /// Total payload bytes accepted for delivery.
     pub bytes: u64,
 }
@@ -106,6 +115,7 @@ pub struct Network {
     /// Empty means fully connected.
     partition: Vec<HashSet<NodeId>>,
     stats: NetworkStats,
+    chaos: Option<ChaosInjector>,
 }
 
 impl Network {
@@ -118,7 +128,25 @@ impl Network {
             down: HashSet::new(),
             partition: Vec::new(),
             stats: NetworkStats::default(),
+            chaos: None,
         })
+    }
+
+    /// Installs a fault injector: from now on every send and ping is
+    /// subject to its drop/spike/outage model. Protocols built on the
+    /// network need no changes — they are chaos-wrapped transparently.
+    pub fn set_chaos(&mut self, injector: ChaosInjector) {
+        self.chaos = Some(injector);
+    }
+
+    /// Removes the fault injector, returning it (with its counters).
+    pub fn clear_chaos(&mut self) -> Option<ChaosInjector> {
+        self.chaos.take()
+    }
+
+    /// Fault counters of the installed injector, if any.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(ChaosInjector::stats)
     }
 
     /// The network's static configuration.
@@ -197,15 +225,32 @@ impl Network {
             self.stats.dropped += 1;
             return None;
         }
+        let mut extra = SimTime::ZERO;
+        if let Some(chaos) = &mut self.chaos {
+            if chaos.node_down_at(from, sent_at) || chaos.node_down_at(to, sent_at) {
+                chaos.count_crash_drop();
+                self.stats.dropped += 1;
+                self.stats.chaos_dropped += 1;
+                return None;
+            }
+            match chaos.judge_message() {
+                None => {
+                    self.stats.dropped += 1;
+                    self.stats.chaos_dropped += 1;
+                    return None;
+                }
+                Some(spike) => extra = spike,
+            }
+        }
         self.stats.delivered += 1;
         self.stats.bytes += payload_bytes as u64;
         if from == to {
-            return Some(sent_at);
+            return Some(sent_at + extra);
         }
         let link = self.config.link_latency.sample(&mut self.rng);
         let transfer =
             SimTime::from_secs(self.config.secs_per_kib * (payload_bytes as f64 / 1024.0));
-        Some(sent_at + link + transfer)
+        Some(sent_at + link + transfer + extra)
     }
 
     /// Broadcasts from `from` to every node in `recipients`, returning
@@ -237,6 +282,31 @@ impl Network {
         let out = self.config.link_latency.sample(&mut self.rng);
         let back = self.config.link_latency.sample(&mut self.rng);
         out + back
+    }
+
+    /// Like [`Network::ping`], but evaluated at simulated time `now` so the
+    /// chaos injector's scheduled outages apply: pinging a node inside its
+    /// outage window observes [`SimTime::INFINITY`]. This is the heartbeat
+    /// primitive the failure detector drives.
+    pub fn ping_at(&mut self, from: NodeId, to: NodeId, now: SimTime) -> SimTime {
+        if let Some(chaos) = &self.chaos {
+            if chaos.node_down_at(from, now) || chaos.node_down_at(to, now) {
+                return SimTime::INFINITY;
+            }
+        }
+        let rtt = self.ping(from, to);
+        if rtt.is_infinite() {
+            return rtt;
+        }
+        // A lossy link loses the ping (or its pong) with the same
+        // probability it loses any other message pair.
+        if let Some(chaos) = &mut self.chaos {
+            match (chaos.judge_message(), chaos.judge_message()) {
+                (Some(a), Some(b)) => return rtt + a + b,
+                _ => return SimTime::INFINITY,
+            }
+        }
+        rtt
     }
 
     /// Mutable access to the RNG stream, for callers that need correlated
@@ -344,12 +414,7 @@ mod tests {
     fn broadcast_skips_sender_and_dead_nodes() {
         let mut n = net(5);
         n.crash(NodeId(4));
-        let deliveries = n.broadcast(
-            NodeId(0),
-            (0..5).map(NodeId),
-            32,
-            SimTime::ZERO,
-        );
+        let deliveries = n.broadcast(NodeId(0), (0..5).map(NodeId), 32, SimTime::ZERO);
         let recipients: Vec<u32> = deliveries.iter().map(|(id, _)| id.0).collect();
         assert_eq!(recipients, vec![1, 2, 3]);
         for (_, t) in deliveries {
@@ -366,7 +431,9 @@ mod tests {
         };
         let mut n = Network::new(config, rng::master(0)).unwrap();
         let small = n.send(NodeId(0), NodeId(1), 1024, SimTime::ZERO).unwrap();
-        let large = n.send(NodeId(0), NodeId(1), 10 * 1024, SimTime::ZERO).unwrap();
+        let large = n
+            .send(NodeId(0), NodeId(1), 10 * 1024, SimTime::ZERO)
+            .unwrap();
         assert!((small.as_secs() - 0.11).abs() < 1e-9);
         assert!((large.as_secs() - 0.20).abs() < 1e-9);
     }
@@ -391,5 +458,99 @@ mod tests {
         for _ in 0..100 {
             assert!(n.random_node().0 < 7);
         }
+    }
+
+    #[test]
+    fn chaos_drops_are_counted_and_conserved() {
+        use crate::chaos::{ChaosConfig, ChaosInjector};
+        let mut n = net(4);
+        n.set_chaos(ChaosInjector::new(ChaosConfig::lossy(0.5), rng::master(5)).unwrap());
+        let sends = 2_000u64;
+        for i in 0..sends {
+            let _ = n.send(NodeId((i % 3) as u32), NodeId(3), 64, SimTime::ZERO);
+        }
+        let stats = n.stats();
+        assert_eq!(stats.delivered + stats.dropped, sends);
+        assert_eq!(stats.chaos_dropped, stats.dropped);
+        assert!(stats.dropped > sends / 3 && stats.dropped < 2 * sends / 3);
+        let chaos = n.clear_chaos().unwrap();
+        assert_eq!(chaos.stats().dropped, stats.chaos_dropped);
+    }
+
+    #[test]
+    fn scheduled_outage_blackholes_sends_and_pings() {
+        use crate::chaos::{ChaosConfig, ChaosInjector, CrashEvent};
+        let mut n = net(3);
+        let config = ChaosConfig::none().with_crash(CrashEvent::with_restart(
+            NodeId(2),
+            SimTime::from_secs(100.0),
+            SimTime::from_secs(300.0),
+        ));
+        n.set_chaos(ChaosInjector::new(config, rng::master(6)).unwrap());
+        // Before the outage: alive.
+        assert!(n
+            .send(NodeId(0), NodeId(2), 8, SimTime::from_secs(50.0))
+            .is_some());
+        assert!(!n
+            .ping_at(NodeId(0), NodeId(2), SimTime::from_secs(50.0))
+            .is_infinite());
+        // During: dead, and the drop is attributed to chaos.
+        assert!(n
+            .send(NodeId(0), NodeId(2), 8, SimTime::from_secs(150.0))
+            .is_none());
+        assert!(n
+            .ping_at(NodeId(0), NodeId(2), SimTime::from_secs(150.0))
+            .is_infinite());
+        assert_eq!(n.stats().chaos_dropped, 1);
+        // After the restart: alive again.
+        assert!(n
+            .send(NodeId(0), NodeId(2), 8, SimTime::from_secs(350.0))
+            .is_some());
+        assert!(!n
+            .ping_at(NodeId(0), NodeId(2), SimTime::from_secs(350.0))
+            .is_infinite());
+    }
+
+    #[test]
+    fn chaos_does_not_perturb_the_base_latency_stream() {
+        use crate::chaos::{ChaosConfig, ChaosInjector};
+        // Same network seed, chaos with drop_prob 0 installed on one of
+        // them: deliveries must see identical arrival times because the
+        // injector draws from its own stream.
+        let mut plain = net(4);
+        let mut chaotic = net(4);
+        chaotic.set_chaos(ChaosInjector::new(ChaosConfig::none(), rng::master(77)).unwrap());
+        for i in 0..100u32 {
+            let from = NodeId(i % 4);
+            let to = NodeId((i + 1) % 4);
+            assert_eq!(
+                plain.send(from, to, 64, SimTime::ZERO),
+                chaotic.send(from, to, 64, SimTime::ZERO)
+            );
+        }
+    }
+
+    #[test]
+    fn latency_spikes_delay_delivery() {
+        use crate::chaos::{ChaosConfig, ChaosInjector};
+        let config = NetworkConfig {
+            nodes: 2,
+            link_latency: LatencyModel::Constant { secs: 0.1 },
+            secs_per_kib: 0.0,
+        };
+        let mut n = Network::new(config, rng::master(0)).unwrap();
+        n.set_chaos(
+            ChaosInjector::new(
+                ChaosConfig {
+                    spike_prob: 1.0,
+                    spike: LatencyModel::Constant { secs: 3.0 },
+                    ..ChaosConfig::none()
+                },
+                rng::master(1),
+            )
+            .unwrap(),
+        );
+        let arrival = n.send(NodeId(0), NodeId(1), 16, SimTime::ZERO).unwrap();
+        assert!((arrival.as_secs() - 3.1).abs() < 1e-9);
     }
 }

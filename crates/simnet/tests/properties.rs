@@ -2,7 +2,7 @@
 
 use mvcom_simnet::event::EventQueue;
 use mvcom_simnet::stats::{Ecdf, Summary};
-use mvcom_simnet::{rng, LatencyModel, Network, NetworkConfig};
+use mvcom_simnet::{rng, ChaosConfig, ChaosInjector, LatencyModel, Network, NetworkConfig};
 use mvcom_types::{NodeId, SimTime};
 use proptest::prelude::*;
 
@@ -95,6 +95,34 @@ proptest! {
             }
         }
         prop_assert_eq!(net.stats().delivered, sends as u64);
+    }
+
+    #[test]
+    fn chaos_conserves_message_accounting(
+        seed in 0u64..500,
+        drop_prob in 0.0f64..1.0,
+        sends in 1usize..80,
+    ) {
+        // Whatever loss the injector applies, every `send` call lands in
+        // exactly one bucket: delivered + dropped == sends, and chaos can
+        // only ever claim messages that were counted as dropped.
+        let mut net = Network::new(NetworkConfig::wan(5), rng::master(seed)).unwrap();
+        net.set_chaos(
+            ChaosInjector::new(ChaosConfig::lossy(drop_prob), rng::master(seed ^ 0xC4A0)).unwrap(),
+        );
+        for k in 0..sends {
+            let from = NodeId((k % 5) as u32);
+            let to = NodeId(((k + 2) % 5) as u32);
+            net.send(from, to, 64, SimTime::from_secs(k as f64));
+        }
+        let stats = net.stats();
+        prop_assert_eq!(stats.delivered + stats.dropped, sends as u64);
+        prop_assert!(stats.chaos_dropped <= stats.dropped);
+        let chaos = net.chaos_stats().expect("injector installed");
+        prop_assert_eq!(chaos.dropped + chaos.crash_dropped, stats.chaos_dropped);
+        if drop_prob == 0.0 {
+            prop_assert_eq!(stats.chaos_dropped, 0);
+        }
     }
 
     #[test]

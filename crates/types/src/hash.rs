@@ -163,7 +163,9 @@ mod tests {
     fn hex_is_64_lowercase_chars() {
         let hex = Hash32::digest(b"x").to_hex();
         assert_eq!(hex.len(), 64);
-        assert!(hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert!(hex
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
     }
 
     #[test]

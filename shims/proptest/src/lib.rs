@@ -430,6 +430,7 @@ macro_rules! proptest {
                     ::std::module_path!(), "::", ::std::stringify!($name)
                 ));
                 for __case in 0..__config.cases {
+                    #[allow(clippy::redundant_closure_call)]
                     let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
                         (|| {
                             $(
@@ -565,7 +566,10 @@ mod tests {
         let mut a = crate::test_runner::rng_for("stable-name");
         let mut b = crate::test_runner::rng_for("stable-name");
         for _ in 0..32 {
-            assert_eq!((0u64..1_000_000).pick(&mut a), (0u64..1_000_000).pick(&mut b));
+            assert_eq!(
+                (0u64..1_000_000).pick(&mut a),
+                (0u64..1_000_000).pick(&mut b)
+            );
         }
     }
 }

@@ -222,7 +222,10 @@ mod tests {
         let mut rng = Sm::seed_from_u64(23);
         let (mean, _) = mean_of((0..200_000).map(|_| d.sample(&mut rng)));
         let expect = (mu + sigma * sigma / 2.0f64).exp();
-        assert!((mean / expect - 1.0).abs() < 0.02, "mean {mean} vs {expect}");
+        assert!(
+            (mean / expect - 1.0).abs() < 0.02,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]

@@ -103,7 +103,9 @@ fn skip_attrs_and_vis(tokens: &mut Tokens) {
 fn next_ident(tokens: &mut Tokens, what: &str) -> Result<String, String> {
     match tokens.next() {
         Some(TokenTree::Ident(id)) => Ok(id.to_string()),
-        other => Err(format!("serde shim derive: expected {what}, found {other:?}")),
+        other => Err(format!(
+            "serde shim derive: expected {what}, found {other:?}"
+        )),
     }
 }
 
@@ -167,7 +169,7 @@ fn parse_named_fields(group: &Group) -> Result<Vec<String>, String> {
 /// depth zero, or the end of the stream.
 fn skip_type(tokens: &mut Tokens) {
     let mut depth = 0i32;
-    while let Some(tok) = tokens.next() {
+    for tok in tokens.by_ref() {
         if let TokenTree::Punct(p) = &tok {
             match p.as_char() {
                 '<' => depth += 1,
@@ -216,7 +218,11 @@ fn parse_variants(group: &Group) -> Result<Vec<Variant>, String> {
         let name = match tokens.next() {
             None => break,
             Some(TokenTree::Ident(id)) => id.to_string(),
-            other => return Err(format!("serde shim derive: expected variant, got {other:?}")),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected variant, got {other:?}"
+                ))
+            }
         };
         let shape = match tokens.peek() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
@@ -351,7 +357,9 @@ fn gen_deserialize(item: &Item) -> String {
             format!("::std::result::Result::Ok({name}({D}(__v)?))")
         }
         Kind::TupleStruct { arity } => {
-            let items: Vec<String> = (0..*arity).map(|i| format!("{D}(&__items[{i}])?")).collect();
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("{D}(&__items[{i}])?"))
+                .collect();
             format!(
                 "let __items = ::serde::expect_array(__v, \"{name}\", {arity})?;\n\
                  ::std::result::Result::Ok({name}({}))",
@@ -384,24 +392,20 @@ fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
     let unit_arms: Vec<String> = variants
         .iter()
         .filter(|v| matches!(v.shape, Shape::Unit))
-        .map(|v| {
-            format!(
-                "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
-                v.name
-            )
-        })
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
         .collect();
     let mut data_arms = Vec::new();
     for v in variants {
         let vname = &v.name;
         let arm = match &v.shape {
             Shape::Unit => continue,
-            Shape::Tuple(1) => format!(
-                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({D}(__inner)?)),"
-            ),
+            Shape::Tuple(1) => {
+                format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({D}(__inner)?)),")
+            }
             Shape::Tuple(arity) => {
-                let items: Vec<String> =
-                    (0..*arity).map(|i| format!("{D}(&__items[{i}])?")).collect();
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("{D}(&__items[{i}])?"))
+                    .collect();
                 format!(
                     "\"{vname}\" => {{\n\
                      let __items = ::serde::expect_array(__inner, \"{name}::{vname}\", {arity})?;\n\
@@ -448,7 +452,8 @@ fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
             data_arms.join("\n")
         ));
     }
-    match_arms
-        .push(format!("__other => ::std::result::Result::Err(::serde::Error::expected(\"{name}\", __other)),"));
+    match_arms.push(format!(
+        "__other => ::std::result::Result::Err(::serde::Error::expected(\"{name}\", __other)),"
+    ));
     format!("match __v {{ {} }}", match_arms.join("\n"))
 }

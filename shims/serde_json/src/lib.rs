@@ -234,7 +234,12 @@ impl Parser<'_> {
         for want in rest.chars() {
             match self.bump() {
                 Some(c) if c == want => {}
-                _ => return Err(Error::new(format!("invalid literal near position {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "invalid literal near position {}",
+                        self.pos
+                    )))
+                }
             }
         }
         Ok(())
@@ -424,7 +429,7 @@ mod tests {
         assert_eq!(to_string(&600.0f64).unwrap(), "600.0");
         assert_eq!(from_str::<u32>("5").unwrap(), 5);
         assert_eq!(from_str::<f64>("600.0").unwrap(), 600.0);
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
     }
 
     #[test]

@@ -4,10 +4,18 @@
 //! mvcom dataset generate [--blocks N] [--seed S] [--out FILE]
 //! mvcom dataset stats <FILE>                      # JSON or CSV trace
 //! mvcom schedule [--committees N] [--alpha A] [--capacity C]
-//!                [--n-min K] [--solver se|sa|dp|woa|greedy|bnb]
+//!                [--n-min K] [--solver se|par-se|sa|dp|woa|greedy|bnb]
 //!                [--seed S] [--trace FILE]
 //! mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]
+//!                [--chaos-drop P] [--crash IDX@SECS[..SECS]] [--heartbeat SECS]
 //! ```
+//!
+//! Any of `--chaos-drop`, `--crash`, `--heartbeat` switches `simulate` to
+//! the fault-tolerant epoch runner: shards are submitted over a
+//! chaos-wrapped network with retries, the final committee heartbeats the
+//! member committees, and detected failures are trimmed out of the running
+//! schedule. `--crash` may be repeated; `IDX` addresses the IDX-th
+//! surviving shard's committee (see `submission_node`).
 
 use std::process::ExitCode;
 
@@ -44,8 +52,9 @@ fn print_usage() {
          mvcom dataset generate [--blocks N] [--seed S] [--out FILE]\n  \
          mvcom dataset stats <FILE>\n  \
          mvcom schedule [--committees N] [--alpha A] [--capacity C] [--n-min K]\n           \
-         [--solver se|sa|dp|woa|greedy|bnb] [--seed S] [--trace FILE]\n  \
-         mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]"
+         [--solver se|par-se|sa|dp|woa|greedy|bnb] [--seed S] [--trace FILE]\n  \
+         mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]\n           \
+         [--chaos-drop P] [--crash IDX@SECS[..SECS]] [--heartbeat SECS]"
     );
 }
 
@@ -78,6 +87,14 @@ impl Flags {
             .iter()
             .rev()
             .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every occurrence of a repeatable flag, in order.
+    fn all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.pairs
+            .iter()
+            .filter(move |(k, _)| k == key)
             .map(|(_, v)| v.as_str())
     }
 
@@ -182,10 +199,17 @@ fn schedule(args: &[String]) -> Result<()> {
         .shards(shards)
         .build()?;
 
+    let mut resets: Option<ResetStats> = None;
     let (name, solution): (String, Solution) = match solver {
         "se" => {
             let outcome = SeEngine::new(&instance, SeConfig::paper(seed))?.run();
             ("SE".into(), outcome.best_solution)
+        }
+        "par-se" => {
+            let (_, solution, stats) =
+                ParallelRunner::new(SeConfig::paper(seed)).run_with_stats(&instance)?;
+            resets = Some(stats);
+            ("parallel SE".into(), solution)
         }
         "sa" => {
             let o = SaSolver::new(SaConfig::paper(seed)).solve(&instance)?;
@@ -226,7 +250,41 @@ fn schedule(args: &[String]) -> Result<()> {
     println!("  cumulative age:   {:.1}s", metrics.cumulative_age);
     println!("  mean tx age:      {:.1}s", metrics.mean_tx_age_secs);
     println!("  epoch throughput: {:.2} TX/s", metrics.tps);
+    if let Some(r) = resets {
+        println!(
+            "  RESET signals:    {} broadcast, {} applied, {} ignored stale",
+            r.broadcast, r.applied, r.ignored_stale
+        );
+    }
     Ok(())
+}
+
+/// Parses a `--crash` operand: `IDX@SECS` (permanent) or
+/// `IDX@SECS..SECS` (crash then restart).
+fn parse_crash(raw: &str) -> Result<CrashEvent> {
+    let bad = |why: &str| Error::invalid_config("crash", format!("`{raw}`: {why}"));
+    let (idx, times) = raw
+        .split_once('@')
+        .ok_or_else(|| bad("expected IDX@SECS or IDX@SECS..SECS"))?;
+    let idx: usize = idx.parse().map_err(|_| bad("IDX must be an integer"))?;
+    let node = submission_node(idx);
+    match times.split_once("..") {
+        None => {
+            let at: f64 = times.parse().map_err(|_| bad("SECS must be a number"))?;
+            Ok(CrashEvent::permanent(node, SimTime::from_secs(at)))
+        }
+        Some((at, restart)) => {
+            let at: f64 = at.parse().map_err(|_| bad("crash SECS must be a number"))?;
+            let restart: f64 = restart
+                .parse()
+                .map_err(|_| bad("restart SECS must be a number"))?;
+            Ok(CrashEvent::with_restart(
+                node,
+                SimTime::from_secs(at),
+                SimTime::from_secs(restart),
+            ))
+        }
+    }
 }
 
 fn simulate(args: &[String]) -> Result<()> {
@@ -235,18 +293,43 @@ fn simulate(args: &[String]) -> Result<()> {
     let epochs: usize = flags.num("epochs", 3usize)?;
     let seed: u64 = flags.num("seed", 0u64)?;
     let scheduler = flags.get("scheduler").unwrap_or("all");
+    let chaos_drop: f64 = flags.num("chaos-drop", 0.0f64)?;
+    let crashes: Vec<CrashEvent> = flags.all("crash").map(parse_crash).collect::<Result<_>>()?;
+    let fault_tolerant = flags.get("chaos-drop").is_some()
+        || flags.get("heartbeat").is_some()
+        || !crashes.is_empty();
+    if !matches!(scheduler, "se" | "all") {
+        return Err(Error::invalid_config(
+            "scheduler",
+            format!("unknown scheduler `{scheduler}` (use se|all)"),
+        ));
+    }
+
     let mut sim = ElasticoSim::new(ElasticoConfig::with_nodes(nodes, 12), seed)?;
     let mut se_selector = SeSelector::adaptive(seed, 0.6);
+    let recovery = {
+        let mut chaos = ChaosConfig::lossy(chaos_drop);
+        chaos.crashes = crashes;
+        RecoveryConfig {
+            chaos,
+            heartbeat: HeartbeatConfig {
+                interval: SimTime::from_secs(flags.num("heartbeat", 30.0f64)?),
+                ..HeartbeatConfig::paper()
+            },
+            ..RecoveryConfig::paper()
+        }
+    };
+    let mut robustness_reports = Vec::new();
     for _ in 0..epochs {
-        let report = match scheduler {
-            "se" => sim.run_epoch_with(&mut se_selector)?,
-            "all" => sim.run_epoch_with(&mut WaitForAll)?,
-            other => {
-                return Err(Error::invalid_config(
-                    "scheduler",
-                    format!("unknown scheduler `{other}` (use se|all)"),
-                ))
+        let report = match (scheduler, fault_tolerant) {
+            ("se", false) => sim.run_epoch_with(&mut se_selector)?,
+            ("all", false) => sim.run_epoch_with(&mut WaitForAll)?,
+            ("se", true) => {
+                let mut selector = SeRecoverySelector::adaptive(seed, 0.6);
+                sim.run_epoch_recovering(&mut selector, &recovery)?
             }
+            ("all", true) => sim.run_epoch_recovering(&mut SurvivorsOnly::default(), &recovery)?,
+            _ => unreachable!("scheduler validated above"),
         };
         let start = report
             .shards
@@ -264,6 +347,38 @@ fn simulate(args: &[String]) -> Result<()> {
             start.as_secs(),
             report.final_block.total_txs,
             if report.final_block.committed { "committed" } else { "FAILED" },
+        );
+        if let Some(r) = report.robustness {
+            println!(
+                "  robustness: {} heartbeats ({} missed), {} failures detected, {} stragglers, \
+                 {} submission retries, {} timed out, {} chaos drops{}",
+                r.heartbeats_sent,
+                r.heartbeats_missed,
+                r.failures_detected.len(),
+                r.stragglers.len(),
+                r.submission_retries,
+                r.submissions_timed_out.len(),
+                r.chaos.dropped + r.chaos.crash_dropped,
+                if r.degraded { " [degraded]" } else { "" },
+            );
+            for (committee, at) in &r.failures_detected {
+                println!("    failure: {committee} detected at {:.0}s", at.as_secs());
+            }
+            robustness_reports.push(r);
+        }
+    }
+    if robustness_reports.len() > 1 {
+        let m = RobustnessMetrics::aggregate(&robustness_reports);
+        println!(
+            "total over {} epochs: {} heartbeats ({} missed), {} failures, {} retries, \
+             {} chaos drops, {} degraded epochs",
+            m.epochs,
+            m.heartbeats_sent,
+            m.heartbeats_missed,
+            m.failures_detected,
+            m.submission_retries,
+            m.chaos_dropped,
+            m.degraded_epochs,
         );
     }
     Ok(())

@@ -61,10 +61,12 @@ pub use mvcom_types as types;
 
 pub use mvcom_types::{Error, Result};
 
+use mvcom_core::dynamics::{DynamicsPolicy, EventRecord};
 use mvcom_core::problem::InstanceBuilder;
 use mvcom_core::se::{SeConfig, SeEngine};
 use mvcom_elastico::epoch::ShardSelector;
-use mvcom_types::{CommitteeId, ShardInfo};
+use mvcom_elastico::recovery::RecoverySelector;
+use mvcom_types::{CommitteeId, Result as MvResult, ShardInfo};
 
 /// Everything most programs need, one import away.
 pub mod prelude {
@@ -73,18 +75,26 @@ pub mod prelude {
         WoaSolver,
     };
     pub use mvcom_core::dynamics::{run_online, DynamicsPolicy, EventKind, TimedEvent};
-    pub use mvcom_core::epoch_chain::{EpochChain, EpochChainConfig, EpochCapacity, EpochOutcome};
+    pub use mvcom_core::epoch_chain::{EpochCapacity, EpochChain, EpochChainConfig, EpochOutcome};
     pub use mvcom_core::problem::InstanceBuilder;
-    pub use mvcom_core::se::{ParallelRunner, SeConfig, SeEngine, SeOutcome};
+    pub use mvcom_core::se::{
+        ParallelRunner, ResetStats, SeCheckpoint, SeConfig, SeEngine, SeOutcome,
+    };
     pub use mvcom_core::{DdlPolicy, Instance, Solution};
     pub use mvcom_dataset::{EpochGenerator, LatencyConfig, Trace, TraceConfig};
+    pub use mvcom_elastico::detector::{CommitteeHealth, HeartbeatConfig, HeartbeatMonitor};
     pub use mvcom_elastico::epoch::{ElasticoConfig, ElasticoSim, ShardSelector, WaitForAll};
+    pub use mvcom_elastico::recovery::{
+        submission_node, RecoveryConfig, RecoverySelector, RobustnessReport, SurvivorsOnly,
+        FINAL_NODE,
+    };
+    pub use mvcom_simnet::{ChaosConfig, ChaosInjector, ChaosStats, CrashEvent};
     pub use mvcom_types::{
         CommitteeId, EpochId, Error, Hash32, NodeId, Result, ShardInfo, SimTime, TwoPhaseLatency,
     };
 
-    pub use crate::metrics::{ChainMetrics, ScheduleMetrics};
-    pub use crate::{CapacityRule, SeSelector};
+    pub use crate::metrics::{ChainMetrics, RobustnessMetrics, ScheduleMetrics};
+    pub use crate::{CapacityRule, SeRecoverySelector, SeSelector};
 }
 
 /// An Elastico [`ShardSelector`] backed by the MVCom Stochastic-Exploration
@@ -191,8 +201,8 @@ impl ShardSelector for SeSelector {
         }
         // Arrival cutoff: keep the earliest N_max fraction (at least 2, and
         // at least enough to satisfy N_min of the survivors).
-        let keep = ((shards.len() as f64 * self.n_max_fraction).round() as usize)
-            .clamp(2, shards.len());
+        let keep =
+            ((shards.len() as f64 * self.n_max_fraction).round() as usize).clamp(2, shards.len());
         let mut by_arrival: Vec<ShardInfo> = shards.to_vec();
         by_arrival.sort_by_key(|a| a.two_phase_latency());
         by_arrival.truncate(keep);
@@ -221,6 +231,166 @@ impl ShardSelector for SeSelector {
                     .collect()
             }
             Err(_) => fallback(),
+        }
+    }
+}
+
+/// The MVCom scheduler as an *online* admission strategy for the
+/// fault-tolerant epoch runner
+/// ([`ElasticoSim::run_epoch_recovering`](mvcom_elastico::recovery)).
+///
+/// Where [`SeSelector`] answers one batch question at stage 4, this
+/// selector keeps a live [`SeEngine`] running while the final committee's
+/// heartbeat detector watches the member committees. When a committee is
+/// declared failed mid-epoch:
+///
+/// 1. the engine's state is **checkpointed** (version-stamped, serialized
+///    through `serde_json` and restored — exercising the same path a
+///    killed distributed solver process would take, per §IV-D);
+/// 2. the restored engine **trims** the dead committee out of the solution
+///    space via [`DynamicsPolicy::Trim`] (paper §V, `F → G`) and keeps
+///    iterating — no scripted [`TimedEvent`](mvcom_core::dynamics)
+///    sequence involved;
+/// 3. the utility perturbation is recorded as an [`EventRecord`], so tests
+///    can check it against the Theorem 2 bound.
+#[derive(Debug)]
+pub struct SeRecoverySelector {
+    /// The throughput weight `α`.
+    pub alpha: f64,
+    /// How the final-block capacity `Ĉ` is derived from the epoch.
+    pub capacity: CapacityRule,
+    /// `N_min` as a fraction of the submitted committees (paper: 0.5).
+    pub n_min_fraction: f64,
+    /// The SE engine configuration.
+    pub se: SeConfig,
+    engine: Option<SeEngine>,
+    shards: Vec<ShardInfo>,
+    events: Vec<EventRecord>,
+    chains_restored: usize,
+}
+
+impl SeRecoverySelector {
+    /// The paper's defaults over a workload-adaptive capacity (60% of the
+    /// submitted load), ready to drive an [`ElasticoSim`] epoch.
+    ///
+    /// [`ElasticoSim`]: mvcom_elastico::epoch::ElasticoSim
+    pub fn adaptive(seed: u64, load_fraction: f64) -> SeRecoverySelector {
+        SeRecoverySelector {
+            alpha: 1.5,
+            capacity: CapacityRule::FractionOfLoad(load_fraction),
+            n_min_fraction: 0.5,
+            se: SeConfig::paper(seed),
+            engine: None,
+            shards: Vec::new(),
+            events: Vec::new(),
+            chains_restored: 0,
+        }
+    }
+
+    /// The utility perturbations recorded around each handled failure.
+    pub fn events(&self) -> &[EventRecord] {
+        &self.events
+    }
+
+    /// Chains rebuilt from checkpoints across all handled failures.
+    pub fn chains_restored(&self) -> usize {
+        self.chains_restored
+    }
+
+    /// The live engine's current best utility, if a scheduling problem has
+    /// been posed.
+    pub fn current_best_utility(&self) -> Option<f64> {
+        self.engine.as_ref().map(SeEngine::current_best_utility)
+    }
+}
+
+impl RecoverySelector for SeRecoverySelector {
+    fn begin(&mut self, shards: &[ShardInfo]) -> MvResult<()> {
+        self.shards = shards.to_vec();
+        if shards.len() < 2 {
+            return Ok(()); // degenerate epoch: finish() admits everything
+        }
+        let n_min = (shards.len() as f64 * self.n_min_fraction).round() as usize;
+        let instance = match InstanceBuilder::new()
+            .alpha(self.alpha)
+            .capacity(self.capacity.capacity(shards))
+            .n_min(n_min)
+            .shards(shards.to_vec())
+            .build()
+        {
+            Ok(instance) => instance,
+            Err(_) => return Ok(()), // fall back to admitting every survivor
+        };
+        self.engine = SeEngine::new(&instance, self.se).ok();
+        Ok(())
+    }
+
+    fn advance(&mut self, iterations: u64) {
+        if let Some(engine) = &mut self.engine {
+            for _ in 0..iterations {
+                if engine.is_converged() {
+                    break;
+                }
+                engine.step();
+            }
+        }
+    }
+
+    fn on_failure(&mut self, committee: CommitteeId) -> MvResult<()> {
+        self.shards.retain(|s| s.committee() != committee);
+        let Some(engine) = self.engine.take() else {
+            return Ok(());
+        };
+        if engine.instance().index_of(committee).is_none() {
+            self.engine = Some(engine);
+            return Ok(());
+        }
+        let utility_before = engine.current_best_utility();
+        let at_iteration = engine.iteration();
+        // The failure kills the solver process along with the committee:
+        // round-trip the version-stamped checkpoint through serialization
+        // and restore, as a replacement process would.
+        let instance = engine.instance().clone();
+        let config = *engine.config();
+        let ckpt = engine.checkpoint();
+        drop(engine);
+        let json = serde_json::to_string(&ckpt)
+            .map_err(|e| Error::simulation(format!("checkpoint encode failed: {e}")))?;
+        let ckpt: mvcom_core::se::SeCheckpoint = serde_json::from_str(&json)
+            .map_err(|e| Error::simulation(format!("checkpoint decode failed: {e}")))?;
+        let mut restored = SeEngine::from_checkpoint(&instance, config, &ckpt)?;
+        self.chains_restored += restored.restored_chains();
+        // §V solution-space surgery: trim the dead committee, keep going.
+        match restored.handle_leave(committee, DynamicsPolicy::Trim) {
+            Ok(()) => {
+                self.events.push(EventRecord {
+                    at_iteration,
+                    utility_before,
+                    utility_after: restored.current_best_utility(),
+                    is_join: false,
+                });
+                self.engine = Some(restored);
+            }
+            // The trimmed epoch is infeasible for the scheduler (e.g. too
+            // few survivors): drop the engine and degrade to
+            // admit-all-survivors at finish().
+            Err(_) => self.engine = None,
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Vec<CommitteeId> {
+        match self.engine.take() {
+            Some(engine) => {
+                let instance = engine.instance().clone();
+                let outcome = engine.finish();
+                outcome
+                    .best_solution
+                    .iter_selected()
+                    .map(|i| instance.shards()[i].committee())
+                    .collect()
+            }
+            None => self.shards.iter().map(|s| s.committee()).collect(),
         }
     }
 }
@@ -282,7 +452,13 @@ mod tests {
         // Shards of ~90K TXs dwarf the paper's per-committee rule; the
         // adaptive selector must still produce a real (strict) selection.
         let shards: Vec<ShardInfo> = (0..12)
-            .map(|i| shard(i, 90_000 + 1_000 * u64::from(i), 600.0 + 200.0 * f64::from(i)))
+            .map(|i| {
+                shard(
+                    i,
+                    90_000 + 1_000 * u64::from(i),
+                    600.0 + 200.0 * f64::from(i),
+                )
+            })
             .collect();
         let mut selector = SeSelector::adaptive(4, 0.6);
         let included = selector.select(&shards);
@@ -301,6 +477,69 @@ mod tests {
             v.iter().map(|s| s.tx_count()).sum()
         };
         assert!(total <= (kept_total as f64 * 0.6).round() as u64 + 1);
+    }
+
+    #[test]
+    fn recovery_selector_schedules_like_the_batch_selector_without_faults() {
+        let shards: Vec<ShardInfo> = (0..12)
+            .map(|i| {
+                shard(
+                    i,
+                    90_000 + 1_000 * u64::from(i),
+                    600.0 + 200.0 * f64::from(i),
+                )
+            })
+            .collect();
+        let mut selector = SeRecoverySelector::adaptive(4, 0.6);
+        selector.begin(&shards).unwrap();
+        selector.advance(2_000);
+        let included = selector.finish();
+        assert!(!included.is_empty());
+        assert!(included.len() < shards.len(), "selection must be strict");
+        assert!(selector.events().is_empty());
+        assert_eq!(selector.chains_restored(), 0);
+    }
+
+    #[test]
+    fn recovery_selector_trims_failures_through_a_checkpoint_restore() {
+        let shards: Vec<ShardInfo> = (0..12)
+            .map(|i| {
+                shard(
+                    i,
+                    90_000 + 1_000 * u64::from(i),
+                    600.0 + 200.0 * f64::from(i),
+                )
+            })
+            .collect();
+        let mut selector = SeRecoverySelector::adaptive(5, 0.6);
+        selector.begin(&shards).unwrap();
+        selector.advance(300);
+        selector.on_failure(CommitteeId(3)).unwrap();
+        selector.advance(1_000);
+        let included = selector.finish();
+        assert!(!included.contains(&CommitteeId(3)));
+        assert!(!included.is_empty());
+        // The failure was handled through a serialized checkpoint restore.
+        assert_eq!(selector.events().len(), 1);
+        assert!(!selector.events()[0].is_join);
+        assert!(selector.chains_restored() > 0);
+    }
+
+    #[test]
+    fn recovery_selector_handles_unknown_and_degenerate_cases() {
+        // Failure of a committee the engine never saw is a no-op.
+        let shards: Vec<ShardInfo> = (0..6)
+            .map(|i| shard(i, 50_000, 600.0 + 50.0 * f64::from(i)))
+            .collect();
+        let mut selector = SeRecoverySelector::adaptive(6, 0.6);
+        selector.begin(&shards).unwrap();
+        selector.on_failure(CommitteeId(99)).unwrap();
+        assert!(selector.events().is_empty());
+        // A single-shard epoch never builds an engine and admits the shard.
+        let mut degenerate = SeRecoverySelector::adaptive(7, 0.6);
+        degenerate.begin(&shards[..1]).unwrap();
+        degenerate.advance(100);
+        assert_eq!(degenerate.finish(), vec![CommitteeId(0)]);
     }
 
     #[test]

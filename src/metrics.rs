@@ -1,9 +1,11 @@
 //! Throughput and freshness accounting — the two quantities MVCom trades
 //! off (paper §I: "the blockchain throughput can be significantly degraded
-//! because of the large transaction's cumulative age").
+//! because of the large transaction's cumulative age") — plus the
+//! fault-tolerance counters of the recovering epoch pipeline.
 
 use mvcom_core::epoch_chain::EpochOutcome;
 use mvcom_core::{Instance, Solution};
+use mvcom_elastico::recovery::RobustnessReport;
 use serde::{Deserialize, Serialize};
 
 /// Metrics of one epoch's schedule.
@@ -97,6 +99,57 @@ impl ChainMetrics {
     }
 }
 
+/// Flattened fault-tolerance counters of one or more recovering epochs,
+/// ready for the CLI and experiment tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RobustnessMetrics {
+    /// Epochs that carried robustness telemetry.
+    pub epochs: usize,
+    /// Heartbeat pings sent by the final committee.
+    pub heartbeats_sent: u64,
+    /// Heartbeats that went unanswered.
+    pub heartbeats_missed: u64,
+    /// Committees declared failed by the detector.
+    pub failures_detected: u64,
+    /// Committees classified as stragglers.
+    pub stragglers: u64,
+    /// Shard resubmission attempts beyond each first send.
+    pub submission_retries: u64,
+    /// Committees whose shard never arrived before the deadline.
+    pub submissions_timed_out: u64,
+    /// Messages dropped by the chaos injector (lossy links + outages).
+    pub chaos_dropped: u64,
+    /// Extra latency spikes injected.
+    pub chaos_spiked: u64,
+    /// Epochs whose final block lost at least one committee to a failure.
+    pub degraded_epochs: usize,
+}
+
+impl RobustnessMetrics {
+    /// Aggregates the [`RobustnessReport`]s of a sequence of epochs.
+    pub fn aggregate<'a, I>(reports: I) -> RobustnessMetrics
+    where
+        I: IntoIterator<Item = &'a RobustnessReport>,
+    {
+        let mut m = RobustnessMetrics::default();
+        for r in reports {
+            m.epochs += 1;
+            m.heartbeats_sent += r.heartbeats_sent;
+            m.heartbeats_missed += r.heartbeats_missed;
+            m.failures_detected += r.failures_detected.len() as u64;
+            m.stragglers += r.stragglers.len() as u64;
+            m.submission_retries += r.submission_retries;
+            m.submissions_timed_out += r.submissions_timed_out.len() as u64;
+            m.chaos_dropped += r.chaos.dropped + r.chaos.crash_dropped;
+            m.chaos_spiked += r.chaos.spiked;
+            if r.degraded {
+                m.degraded_epochs += 1;
+            }
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +199,48 @@ mod tests {
         assert_eq!(m.admitted_txs, 0);
         assert_eq!(m.mean_tx_age_secs, 0.0);
         assert_eq!(m.tps, 0.0);
+    }
+
+    #[test]
+    fn robustness_metrics_aggregate_over_epochs() {
+        use mvcom_simnet::ChaosStats;
+        let reports = [
+            RobustnessReport {
+                heartbeats_sent: 100,
+                heartbeats_missed: 4,
+                failures_detected: vec![(CommitteeId(2), SimTime::from_secs(2_000.0))],
+                stragglers: vec![CommitteeId(5)],
+                submission_retries: 3,
+                submissions_timed_out: vec![],
+                chaos: ChaosStats {
+                    dropped: 7,
+                    spiked: 2,
+                    crash_dropped: 4,
+                },
+                degraded: true,
+            },
+            RobustnessReport {
+                heartbeats_sent: 80,
+                heartbeats_missed: 0,
+                failures_detected: vec![],
+                stragglers: vec![],
+                submission_retries: 0,
+                submissions_timed_out: vec![CommitteeId(9)],
+                chaos: ChaosStats::default(),
+                degraded: false,
+            },
+        ];
+        let m = RobustnessMetrics::aggregate(&reports);
+        assert_eq!(m.epochs, 2);
+        assert_eq!(m.heartbeats_sent, 180);
+        assert_eq!(m.heartbeats_missed, 4);
+        assert_eq!(m.failures_detected, 1);
+        assert_eq!(m.stragglers, 1);
+        assert_eq!(m.submission_retries, 3);
+        assert_eq!(m.submissions_timed_out, 1);
+        assert_eq!(m.chaos_dropped, 11);
+        assert_eq!(m.chaos_spiked, 2);
+        assert_eq!(m.degraded_epochs, 1);
     }
 
     #[test]

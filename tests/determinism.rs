@@ -85,12 +85,18 @@ fn baseline_solvers_are_reproducible() {
         .shards(shards)
         .build()
         .unwrap();
-    let sa_cfg = SaConfig { iterations: 400, ..SaConfig::paper(13) };
+    let sa_cfg = SaConfig {
+        iterations: 400,
+        ..SaConfig::paper(13)
+    };
     assert_eq!(
         SaSolver::new(sa_cfg).solve(&instance).unwrap(),
         SaSolver::new(sa_cfg).solve(&instance).unwrap()
     );
-    let woa_cfg = WoaConfig { iterations: 100, ..WoaConfig::paper(13) };
+    let woa_cfg = WoaConfig {
+        iterations: 100,
+        ..WoaConfig::paper(13)
+    };
     assert_eq!(
         WoaSolver::new(woa_cfg).solve(&instance).unwrap(),
         WoaSolver::new(woa_cfg).solve(&instance).unwrap()

@@ -22,8 +22,7 @@ fn pbft_with(behaviors: &[(u32, Behavior)], n: u32, seed: u64) -> mvcom::pbft::C
 fn pbft_commits_with_boundary_fault_counts() {
     // n = 3f+1: exactly f Byzantine nodes must be tolerated.
     for (n, f) in [(4u32, 1u32), (7, 2), (10, 3), (13, 4)] {
-        let silent: Vec<(u32, Behavior)> =
-            (0..f).map(|i| (n - 1 - i, Behavior::Silent)).collect();
+        let silent: Vec<(u32, Behavior)> = (0..f).map(|i| (n - 1 - i, Behavior::Silent)).collect();
         let result = pbft_with(&silent, n, 1000 + u64::from(n));
         assert!(result.committed, "n={n}, f={f} should commit");
     }
@@ -33,8 +32,7 @@ fn pbft_commits_with_boundary_fault_counts() {
 fn pbft_stalls_beyond_the_fault_threshold() {
     // f+1 silent followers leave fewer than 2f+1 honest voters.
     for (n, f) in [(4u32, 1u32), (7, 2)] {
-        let silent: Vec<(u32, Behavior)> =
-            (0..=f).map(|i| (n - 1 - i, Behavior::Silent)).collect();
+        let silent: Vec<(u32, Behavior)> = (0..=f).map(|i| (n - 1 - i, Behavior::Silent)).collect();
         let mut config = PbftConfig::new(n).unwrap();
         for &(idx, b) in &silent {
             config = config.with_behavior(idx, b);
@@ -66,7 +64,10 @@ fn partitioned_leader_is_replaced_via_view_change() {
     )
     .run(Hash32::digest(b"partitioned"))
     .unwrap();
-    assert!(result.committed, "view change should route around the partition");
+    assert!(
+        result.committed,
+        "view change should route around the partition"
+    );
     assert!(result.final_view >= 1);
 }
 
@@ -95,7 +96,11 @@ fn committee_failure_mid_schedule_respects_theorem_2() {
     // which the post-event optimum upper-bounds. Verify against the
     // trimmed instance's exhaustive-free proxy: the final converged value.
     let perturbation = (record.utility_before - record.utility_after).abs();
-    let trimmed_best = online.outcome.best_utility.abs().max(record.utility_after.abs());
+    let trimmed_best = online
+        .outcome
+        .best_utility
+        .abs()
+        .max(record.utility_after.abs());
     assert!(
         perturbation <= record.utility_before.abs() + trimmed_best + 1e-6,
         "perturbation {perturbation} out of any plausible bound"
@@ -148,4 +153,73 @@ fn crashed_network_node_makes_ping_infinite() {
     assert!(network.ping(NodeId(0), NodeId(5)).is_infinite());
     network.recover(NodeId(5));
     assert!(!network.ping(NodeId(0), NodeId(5)).is_infinite());
+}
+
+#[test]
+fn chaos_crashed_committee_recovers_within_the_theorem_2_bound() {
+    // The acceptance path of the fault-tolerant epoch pipeline, end to
+    // end and unscripted: an admitted committee's submission node is
+    // crashed mid-epoch under lossy links; the phi-accrual heartbeat
+    // detector (not a TimedEvent) must notice, the SE engine re-solves
+    // through a serialized checkpoint restore (Trim surgery), and the
+    // survivors commit a final block before the consensus deadline with a
+    // utility perturbation inside Theorem 2's bound.
+    let crash_at = SimTime::from_secs(2_500.0);
+    let recovery = RecoveryConfig {
+        chaos: ChaosConfig::lossy(0.1)
+            .with_crash(CrashEvent::permanent(submission_node(1), crash_at)),
+        ..RecoveryConfig::paper()
+    };
+    let run = || {
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 29).unwrap();
+        let mut selector = SeRecoverySelector::adaptive(29, 0.6);
+        let report = sim.run_epoch_recovering(&mut selector, &recovery).unwrap();
+        (serde_json::to_string(&report).unwrap(), report, selector)
+    };
+    let (bytes_a, report, selector) = run();
+    let (bytes_b, _, _) = run();
+    assert_eq!(bytes_a, bytes_b, "fixed seed must reproduce the epoch");
+
+    // Detection came from heartbeats observing the crash, after it.
+    let victim = report.shards[1].committee();
+    let robustness = report.robustness.clone().expect("recovering telemetry");
+    let (failed, detected_at) = robustness
+        .failures_detected
+        .iter()
+        .copied()
+        .find(|&(c, _)| c == victim)
+        .expect("the crashed committee must be detected");
+    assert_eq!(failed, victim);
+    assert!(
+        detected_at >= crash_at,
+        "detection cannot precede the crash"
+    );
+
+    // The survivors still commit, before the deadline, without the victim.
+    assert!(report.final_block.committed);
+    assert!(!report.final_block.included.is_empty());
+    assert!(!report.final_block.included.contains(&victim));
+    assert!(
+        report.final_block.consensus_latency <= ElasticoConfig::small_test().consensus_deadline
+    );
+
+    // The re-solve went through the checkpoint/restore path and its
+    // utility drop respects Theorem 2: |U_before − U_after| is bounded by
+    // the best utility reachable in the trimmed space, which the
+    // converged post-trim optimum witnesses.
+    assert!(selector.chains_restored() > 0, "restore path must run");
+    let record = selector
+        .events()
+        .iter()
+        .find(|e| !e.is_join)
+        .expect("the trim must be recorded");
+    let perturbation = (record.utility_before - record.utility_after).abs();
+    let trimmed_best = selector
+        .current_best_utility()
+        .unwrap_or(record.utility_after)
+        .max(record.utility_after);
+    assert!(
+        perturbation <= mvcom::core::theory::perturbation_bound(trimmed_best) + 1e-6,
+        "perturbation {perturbation} exceeds the Theorem 2 bound {trimmed_best}"
+    );
 }

@@ -156,9 +156,15 @@ fn knapsack_reduction_equivalence_on_solved_instances() {
     // Check exhaustively in plain arithmetic:
     let mut best = 0.0f64;
     for mask in 0u32..16 {
-        let w: u64 = (0..4).filter(|&i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+        let w: u64 = (0..4)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(|i| weights[i])
+            .sum();
         if w <= capacity {
-            let v: f64 = (0..4).filter(|&i| mask >> i & 1 == 1).map(|i| values[i]).sum();
+            let v: f64 = (0..4)
+                .filter(|&i| mask >> i & 1 == 1)
+                .map(|i| values[i])
+                .sum();
             best = best.max(v);
         }
     }
