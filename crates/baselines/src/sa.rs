@@ -3,7 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use mvcom_core::{Instance, Solution};
+use mvcom_core::{EvalCache, Instance, Solution};
 use mvcom_types::{Error, Result};
 
 use crate::{Solver, SolverOutcome};
@@ -132,6 +132,9 @@ impl Solver for SaSolver {
                 "no initial SA state satisfies the constraints",
             ));
         }
+        // Incremental evaluator: O(log n) move pricing without cloning the
+        // solution, even under the non-separable MaxSelected deadline.
+        let mut cache = EvalCache::new(instance, &current);
         let mut current_u = instance.utility(&current);
         let mut best = current.clone();
         let mut best_u = current_u;
@@ -142,16 +145,25 @@ impl Solver for SaSolver {
             let mv = propose_move(&current, instance, &mut rng);
             if let Some(mv) = mv {
                 let delta = match &mv {
-                    Move::Swap(out, inc) => instance.swap_delta(&current, *out, *inc),
-                    Move::Insert(inc) => instance.insert_delta(&current, *inc),
-                    Move::Remove(out) => instance.remove_delta(&current, *out),
+                    Move::Swap(out, inc) => cache.swap_delta(instance, &current, *out, *inc),
+                    Move::Insert(inc) => cache.insert_delta(instance, &current, *inc),
+                    Move::Remove(out) => cache.remove_delta(instance, &current, *out),
                 };
                 let accept = delta >= 0.0 || rng.gen::<f64>() < (delta / temperature).exp();
                 if accept {
                     match mv {
-                        Move::Swap(out, inc) => current.swap(out, inc, instance),
-                        Move::Insert(inc) => current.insert(inc, instance),
-                        Move::Remove(out) => current.remove(out, instance),
+                        Move::Swap(out, inc) => {
+                            current.swap(out, inc, instance);
+                            cache.swap(out, inc);
+                        }
+                        Move::Insert(inc) => {
+                            current.insert(inc, instance);
+                            cache.insert(inc);
+                        }
+                        Move::Remove(out) => {
+                            current.remove(out, instance);
+                            cache.remove(out);
+                        }
                     }
                     current_u += delta;
                     if current_u > best_u && instance.is_feasible(&current) {

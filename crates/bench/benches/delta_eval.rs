@@ -1,0 +1,208 @@
+//! Naive vs incremental delta evaluation under `DdlPolicy::MaxSelected`,
+//! at n ∈ {100, 500, 1000} — the repo's first tracked perf baseline.
+//!
+//! Besides the criterion-style console output, this bench writes a machine-
+//! readable `BENCH_delta_eval.json` report (workspace root by default;
+//! override with `MVCOM_BENCH_OUT`) so CI can archive a perf trail. Set
+//! `MVCOM_BENCH_QUICK=1` for a reduced-iteration smoke run.
+//!
+//! The acceptance bar from ISSUE 2: the cached `EvalCache::swap_delta` must
+//! be ≥ 10× faster than the naive clone-and-recompute
+//! `Instance::swap_delta` at n = 1000.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+
+use mvcom_bench::harness::paper_instance;
+use mvcom_core::eval::EvalCache;
+use mvcom_core::problem::{DdlPolicy, Instance, InstanceBuilder};
+use mvcom_core::Solution;
+
+/// A MaxSelected variant of the paper's scheduling instance: same shards,
+/// non-separable induced deadline (the policy where deltas are expensive).
+fn max_selected_instance(n: usize) -> Instance {
+    let base = paper_instance(n, 1_000 * n as u64, 1.5, 99).unwrap();
+    InstanceBuilder::new()
+        .alpha(base.alpha())
+        .capacity(base.capacity())
+        .n_min(base.n_min())
+        .ddl_policy(DdlPolicy::MaxSelected)
+        .shards(base.shards().to_vec())
+        .build()
+        .unwrap()
+}
+
+/// Pre-draws valid (out, inc) swap pairs so the timed loops measure delta
+/// pricing only. The solution is not mutated, so pairs stay valid.
+fn swap_pairs(solution: &Solution, count: usize) -> Vec<(usize, usize)> {
+    let selected: Vec<usize> = solution.iter_selected().collect();
+    let unselected: Vec<usize> = solution.iter_unselected().collect();
+    (0..count)
+        .map(|k| {
+            (
+                selected[(k * 7) % selected.len()],
+                unselected[(k * 11) % unselected.len()],
+            )
+        })
+        .collect()
+}
+
+#[derive(serde::Serialize)]
+struct Measured {
+    n: usize,
+    naive_ns_per_op: f64,
+    cached_ns_per_op: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Acceptance {
+    criterion: String,
+    measured_speedup: f64,
+    pass: bool,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    policy: String,
+    operation: String,
+    results: Vec<Measured>,
+    acceptance: Acceptance,
+}
+
+/// Times `ops` calls of `f`, returns mean ns/op over the best-of-3 pass
+/// (one untimed warm-up first).
+fn time_ns_per_op<F: FnMut() -> f64>(ops: usize, mut f: F) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..ops.min(64) {
+        acc += f(); // warm-up
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..ops {
+            acc += f();
+        }
+        let elapsed = start.elapsed().as_nanos() as f64 / ops as f64;
+        best = best.min(elapsed);
+    }
+    black_box(acc);
+    best
+}
+
+fn measure(n: usize, ops: usize) -> Measured {
+    let instance = max_selected_instance(n);
+    let solution = Solution::from_indices(n, (0..n).step_by(2), &instance);
+    let cache = EvalCache::new(&instance, &solution);
+    let pairs = swap_pairs(&solution, 256);
+    let mut k = 0usize;
+    let naive = time_ns_per_op(ops, || {
+        let (out, inc) = pairs[k % pairs.len()];
+        k += 1;
+        instance.swap_delta(black_box(&solution), out, inc)
+    });
+    let mut k = 0usize;
+    let cached = time_ns_per_op(ops, || {
+        let (out, inc) = pairs[k % pairs.len()];
+        k += 1;
+        cache.swap_delta(&instance, black_box(&solution), out, inc)
+    });
+    Measured {
+        n,
+        naive_ns_per_op: naive,
+        cached_ns_per_op: cached,
+        speedup: naive / cached.max(1e-3),
+    }
+}
+
+fn bench_delta_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_eval");
+    for &n in &[100usize, 500, 1000] {
+        let instance = max_selected_instance(n);
+        let solution = Solution::from_indices(n, (0..n).step_by(2), &instance);
+        let cache = EvalCache::new(&instance, &solution);
+        let pairs = swap_pairs(&solution, 256);
+        let mut k = 0usize;
+        group.bench_with_input(BenchmarkId::new("naive_swap_delta", n), &n, |b, _| {
+            b.iter(|| {
+                let (out, inc) = pairs[k % pairs.len()];
+                k += 1;
+                black_box(instance.swap_delta(black_box(&solution), out, inc))
+            });
+        });
+        let mut k = 0usize;
+        group.bench_with_input(BenchmarkId::new("cached_swap_delta", n), &n, |b, _| {
+            b.iter(|| {
+                let (out, inc) = pairs[k % pairs.len()];
+                k += 1;
+                black_box(cache.swap_delta(&instance, black_box(&solution), out, inc))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cache_rebuild", n), &n, |b, _| {
+            b.iter(|| black_box(EvalCache::new(&instance, &solution)));
+        });
+    }
+    group.finish();
+}
+
+fn write_report() {
+    let quick = std::env::var("MVCOM_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let ops = if quick { 2_000 } else { 20_000 };
+    let results: Vec<Measured> = [100usize, 500, 1000]
+        .iter()
+        .map(|&n| measure(n, ops))
+        .collect();
+    let gate_speedup = results.last().expect("non-empty").speedup;
+    let pass = gate_speedup >= 10.0;
+
+    let report = Report {
+        bench: "delta_eval".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        policy: "MaxSelected".into(),
+        operation: "swap_delta".into(),
+        results,
+        acceptance: Acceptance {
+            criterion: "cached swap_delta >= 10x naive at n = 1000".into(),
+            measured_speedup: gate_speedup,
+            pass,
+        },
+    };
+
+    let out = std::env::var("MVCOM_BENCH_OUT").map_or_else(
+        |_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_delta_eval.json")
+        },
+        PathBuf::from,
+    );
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, text).expect("writing bench report");
+    for m in &report.results {
+        eprintln!(
+            "  delta_eval/report n={}: naive {:.0} ns, cached {:.0} ns, speedup {:.1}x",
+            m.n, m.naive_ns_per_op, m.cached_ns_per_op, m.speedup
+        );
+    }
+    eprintln!(
+        "  delta_eval report: {} (acceptance {} at n=1000: {:.1}x)",
+        out.display(),
+        if pass { "PASS" } else { "FAIL" },
+        gate_speedup
+    );
+    assert!(
+        pass,
+        "acceptance: cached swap_delta only {gate_speedup:.1}x faster than naive at n=1000 (need 10x)"
+    );
+}
+
+criterion_group!(benches, bench_delta_eval);
+
+fn main() {
+    benches();
+    write_report();
+}

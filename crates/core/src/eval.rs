@@ -1,0 +1,620 @@
+//! Incremental utility evaluation for the SE sampler's hot loop.
+//!
+//! Algorithm 1 proposes one swap per timer expiry, so the per-move utility
+//! delta is the hot path of the whole scheduler. Under
+//! [`DdlPolicy::MaxArrival`] the objective is separable and deltas are
+//! `O(1)` from [`Instance::marginal_utility`]; under
+//! [`DdlPolicy::MaxSelected`] the induced deadline `t = max_{x_i=1} l_i`
+//! couples every age term, and the naive delta clones the whole solution
+//! and recomputes `U(f)` from scratch — `O(n)` allocation-heavy work per
+//! *proposed* (not just committed) move.
+//!
+//! [`EvalCache`] removes that cost. It keys the epoch's shards by their
+//! latency rank once (`O(n log n)` at construction) and maintains a Fenwick
+//! tree of selected-shard counts over those ranks. Order statistics of the
+//! selected latencies — the induced deadline, and the deadline *excluding
+//! one shard* (what a remove/swap needs) — are then `O(log n)` queries, and
+//! combined with the running aggregates cached inside [`Solution`]
+//! (`selected_count`, `tx_total`, `lat_total`) every delta closes to:
+//!
+//! ```text
+//! U(f)        = α·Σ s_i − (k·t − Σ l_i)        (all ages t − l_i ≥ 0
+//!                                               because t is the max)
+//! Δ_swap(o,i) = α(s_i − s_o) + (l_i − l_o) − k·(t' − t)
+//!               where t' = max(l_i, max_{sel∖o} l)
+//! ```
+//!
+//! with no allocation and no pass over the selection. Per-op complexity:
+//!
+//! | operation                       | naive            | cached      |
+//! |---------------------------------|------------------|-------------|
+//! | `utility`                       | `O(n)`           | `O(1)`      |
+//! | `selected_ddl`                  | `O(n)`           | `O(1)`      |
+//! | `swap/insert/remove_delta`      | `O(n)` + 2 allocs| `O(log n)`  |
+//! | commit (`insert`/`remove`/`swap`)| `O(1)`          | `O(log n)`  |
+//! | build / rebuild                 | —                | `O(n log n)`|
+//!
+//! The cache is *not* serialized: a checkpointed solver records only the
+//! selected indices ([`crate::se::SeCheckpoint`]) and every restore path
+//! rebuilds the cache from `(instance, solution)`, so snapshots stay small,
+//! version-stable, and immune to drift in the cached statistics.
+//!
+//! # Consistency contract
+//!
+//! An `EvalCache` mirrors exactly one [`Solution`] against one
+//! [`Instance`]. The owner must apply every mutation to both (see
+//! [`crate::se::chain::Chain::apply`]); the delta queries `assert!` the
+//! preconditions — in release builds too — and cheap sync invariants, so a
+//! desynchronized cache panics instead of silently returning garbage.
+
+use crate::problem::{DdlPolicy, Instance};
+use crate::solution::Solution;
+
+/// Incremental evaluator: latency order statistics of the selected shards,
+/// maintained as a Fenwick tree over latency ranks.
+///
+/// # Example
+///
+/// ```
+/// use mvcom_core::eval::EvalCache;
+/// use mvcom_core::problem::{DdlPolicy, InstanceBuilder};
+/// use mvcom_core::solution::Solution;
+/// use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+///
+/// let instance = InstanceBuilder::new()
+///     .alpha(1.5)
+///     .capacity(10_000)
+///     .ddl_policy(DdlPolicy::MaxSelected)
+///     .shards((0..4).map(|i| ShardInfo::new(
+///         CommitteeId(i),
+///         500,
+///         TwoPhaseLatency::from_total(SimTime::from_secs(100.0 * (1.0 + f64::from(i)))),
+///     )).collect())
+///     .build()
+///     .unwrap();
+/// let mut solution = Solution::from_indices(4, [0, 3], &instance);
+/// let mut cache = EvalCache::new(&instance, &solution);
+/// assert_eq!(cache.selected_ddl(), 400.0);
+/// // O(log n), allocation-free — and it agrees with the naive recompute.
+/// let delta = cache.swap_delta(&instance, &solution, 3, 1);
+/// assert!((delta - instance.swap_delta(&solution, 3, 1)).abs() < 1e-9);
+/// solution.swap(3, 1, &instance);
+/// cache.swap(3, 1);
+/// assert_eq!(cache.selected_ddl(), 200.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalCache {
+    /// Shard index → rank in latency-sorted order (ties broken by index).
+    rank: Vec<u32>,
+    /// Rank → latency in seconds (ascending).
+    lat_by_rank: Vec<f64>,
+    /// Fenwick tree (1-based) over ranks; counts selected shards.
+    tree: Vec<u32>,
+    /// Mirror of the selected count, for O(1) sync checks.
+    selected: usize,
+    /// Memoized max selected latency (`0` when empty): `O(1)` reads of the
+    /// induced deadline; refreshed in `O(log n)` when a removal evicts it.
+    ddl: f64,
+}
+
+impl EvalCache {
+    /// Builds the cache for `solution` over `instance` — `O(n log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution's length does not match the instance.
+    pub fn new(instance: &Instance, solution: &Solution) -> EvalCache {
+        assert_eq!(
+            solution.len(),
+            instance.len(),
+            "solution is over a different shard set than the instance"
+        );
+        let n = instance.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| {
+            let la = instance.shards()[a as usize].two_phase_latency();
+            let lb = instance.shards()[b as usize].two_phase_latency();
+            la.cmp(&lb).then(a.cmp(&b))
+        });
+        let mut rank = vec![0u32; n];
+        for (r, &i) in order.iter().enumerate() {
+            rank[i as usize] = r as u32;
+        }
+        let lat_by_rank = order
+            .iter()
+            .map(|&i| instance.shards()[i as usize].two_phase_latency().as_secs())
+            .collect();
+        let mut cache = EvalCache {
+            rank,
+            lat_by_rank,
+            tree: vec![0u32; n + 1],
+            selected: 0,
+            ddl: 0.0,
+        };
+        // O(n) Fenwick construction: leaf counts, then one propagation pass.
+        for i in solution.iter_selected() {
+            cache.tree[cache.rank[i] as usize + 1] = 1;
+            cache.selected += 1;
+        }
+        for pos in 1..=n {
+            let parent = pos + (pos & pos.wrapping_neg());
+            if parent <= n {
+                cache.tree[parent] += cache.tree[pos];
+            }
+        }
+        if cache.selected > 0 {
+            cache.ddl = cache.lat_by_rank[cache.kth(cache.selected as u32)];
+        }
+        cache
+    }
+
+    /// Number of shard slots.
+    pub fn len(&self) -> usize {
+        self.lat_by_rank.len()
+    }
+
+    /// `true` iff the epoch has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.lat_by_rank.is_empty()
+    }
+
+    /// Number of selected shards mirrored by this cache.
+    pub fn selected_count(&self) -> usize {
+        self.selected
+    }
+
+    /// Whether the cache's Fenwick tree marks shard `i` selected.
+    pub fn contains(&self, i: usize) -> bool {
+        let pos = self.rank[i] as usize + 1;
+        self.prefix(pos) - self.prefix(pos - 1) == 1
+    }
+
+    /// The deadline induced by the mirrored selection under
+    /// [`DdlPolicy::MaxSelected`]: the maximum selected latency, `0` for
+    /// the empty selection. `O(1)` — memoized across mutations.
+    pub fn selected_ddl(&self) -> f64 {
+        self.ddl
+    }
+
+    /// The maximum selected latency with shard `i` excluded (`0` when `i`
+    /// is the only selected shard). `O(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not selected.
+    fn max_excluding(&self, i: usize) -> f64 {
+        assert!(self.contains(i), "shard {i} not selected in the eval cache");
+        let top = self.kth(self.selected as u32);
+        if top != self.rank[i] as usize {
+            return self.lat_by_rank[top];
+        }
+        if self.selected == 1 {
+            return 0.0;
+        }
+        self.lat_by_rank[self.kth(self.selected as u32 - 1)]
+    }
+
+    /// The objective value `U(f)` of the mirrored selection — `O(1)`
+    /// under either deadline policy, using the closed form
+    /// `α·Σs − (k·t − Σl)` (valid because `t ≥ l_i` for every term in the
+    /// sum, so no age clamps at zero).
+    pub fn utility(&self, instance: &Instance, solution: &Solution) -> f64 {
+        self.assert_sync(solution);
+        if solution.is_empty() {
+            return 0.0;
+        }
+        let t = match instance.ddl_policy() {
+            DdlPolicy::MaxArrival => instance.ddl().as_secs(),
+            DdlPolicy::MaxSelected => self.selected_ddl(),
+        };
+        let k = solution.selected_count() as f64;
+        instance.alpha() * solution.tx_total() as f64 - (k * t - solution.lat_total())
+    }
+
+    /// The exact utility change from swapping selected shard `out` for
+    /// unselected shard `inc`. `O(1)` under MaxArrival, `O(log n)` under
+    /// MaxSelected; never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in release builds too — when `out` is not selected, `inc`
+    /// is selected, or the cache is out of sync with `solution`.
+    pub fn swap_delta(
+        &self,
+        instance: &Instance,
+        solution: &Solution,
+        out: usize,
+        inc: usize,
+    ) -> f64 {
+        self.assert_sync(solution);
+        assert!(
+            solution.contains(out) && !solution.contains(inc),
+            "swap_delta precondition: out={out} must be selected, inc={inc} unselected"
+        );
+        match instance.ddl_policy() {
+            DdlPolicy::MaxArrival => {
+                instance.marginal_utility(inc) - instance.marginal_utility(out)
+            }
+            DdlPolicy::MaxSelected => {
+                let shards = instance.shards();
+                let (l_out, l_inc) = (
+                    shards[out].two_phase_latency().as_secs(),
+                    shards[inc].two_phase_latency().as_secs(),
+                );
+                let t = self.selected_ddl();
+                let t_new = self.max_excluding(out).max(l_inc);
+                let k = self.selected as f64;
+                instance.alpha() * (shards[inc].tx_count() as f64 - shards[out].tx_count() as f64)
+                    + (l_inc - l_out)
+                    - k * (t_new - t)
+            }
+        }
+    }
+
+    /// The exact utility change from selecting the unselected shard `i`.
+    /// `O(1)` under MaxArrival, `O(log n)` under MaxSelected.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in release builds too — when `i` is already selected or the
+    /// cache is out of sync with `solution`.
+    pub fn insert_delta(&self, instance: &Instance, solution: &Solution, i: usize) -> f64 {
+        self.assert_sync(solution);
+        assert!(
+            !solution.contains(i),
+            "insert_delta precondition: shard {i} is already selected"
+        );
+        match instance.ddl_policy() {
+            DdlPolicy::MaxArrival => instance.marginal_utility(i),
+            DdlPolicy::MaxSelected => {
+                let shards = instance.shards();
+                let l_i = shards[i].two_phase_latency().as_secs();
+                let t = self.selected_ddl();
+                let t_new = t.max(l_i);
+                let k = self.selected as f64;
+                // U' − U = α·s_i + l_i − (k+1)·t' + k·t.
+                instance.alpha() * shards[i].tx_count() as f64 + l_i - (k + 1.0) * t_new + k * t
+            }
+        }
+    }
+
+    /// The exact utility change from deselecting the selected shard `i`.
+    /// `O(1)` under MaxArrival, `O(log n)` under MaxSelected.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in release builds too — when `i` is not selected or the
+    /// cache is out of sync with `solution`.
+    pub fn remove_delta(&self, instance: &Instance, solution: &Solution, i: usize) -> f64 {
+        self.assert_sync(solution);
+        assert!(
+            solution.contains(i),
+            "remove_delta precondition: shard {i} is not selected"
+        );
+        match instance.ddl_policy() {
+            DdlPolicy::MaxArrival => -instance.marginal_utility(i),
+            DdlPolicy::MaxSelected => {
+                let shards = instance.shards();
+                let l_i = shards[i].two_phase_latency().as_secs();
+                let t = self.selected_ddl();
+                let t_new = self.max_excluding(i);
+                let k = self.selected as f64;
+                // U' − U = −α·s_i − l_i − (k−1)·t' + k·t.
+                -instance.alpha() * shards[i].tx_count() as f64 - l_i - (k - 1.0) * t_new + k * t
+            }
+        }
+    }
+
+    /// Marks shard `i` selected — the cache-side half of
+    /// [`Solution::insert`]. `O(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or already marked selected.
+    pub fn insert(&mut self, i: usize) {
+        assert!(
+            !self.contains(i),
+            "shard {i} already selected in the eval cache"
+        );
+        self.add(self.rank[i] as usize + 1, 1);
+        self.selected += 1;
+        self.ddl = self.ddl.max(self.lat_by_rank[self.rank[i] as usize]);
+    }
+
+    /// Marks shard `i` unselected — the cache-side half of
+    /// [`Solution::remove`]. `O(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or not marked selected.
+    pub fn remove(&mut self, i: usize) {
+        assert!(self.contains(i), "shard {i} not selected in the eval cache");
+        self.add(self.rank[i] as usize + 1, -1);
+        self.selected -= 1;
+        if self.selected == 0 {
+            self.ddl = 0.0;
+        } else if self.lat_by_rank[self.rank[i] as usize] >= self.ddl {
+            // The evicted shard may have pinned the deadline; re-query the
+            // max selected rank (O(log n)).
+            self.ddl = self.lat_by_rank[self.kth(self.selected as u32)];
+        }
+    }
+
+    /// Applies the Markov-chain swap transition to the cache. `O(log n)`.
+    pub fn swap(&mut self, out: usize, inc: usize) {
+        self.remove(out);
+        self.insert(inc);
+    }
+
+    /// O(1) desync tripwire: the mirrored count must match the solution's.
+    /// (Full membership equality is checked per-index by the `assert!`
+    /// preconditions of the delta functions.)
+    fn assert_sync(&self, solution: &Solution) {
+        assert_eq!(
+            self.selected,
+            solution.selected_count(),
+            "eval cache out of sync with its solution (was a mutation applied to only one?)"
+        );
+    }
+
+    /// Count of selected shards at Fenwick positions `1..=pos`.
+    fn prefix(&self, mut pos: usize) -> u32 {
+        let mut sum = 0;
+        while pos > 0 {
+            sum += self.tree[pos];
+            pos &= pos - 1;
+        }
+        sum
+    }
+
+    fn add(&mut self, mut pos: usize, delta: i32) {
+        let n = self.tree.len() - 1;
+        while pos <= n {
+            self.tree[pos] = (self.tree[pos] as i64 + delta as i64) as u32;
+            pos += pos & pos.wrapping_neg();
+        }
+    }
+
+    /// The 0-based rank of the `k`-th smallest selected latency
+    /// (1-indexed `k`), via Fenwick binary lifting. `O(log n)`.
+    fn kth(&self, k: u32) -> usize {
+        debug_assert!(k >= 1 && k as usize <= self.selected);
+        let n = self.tree.len() - 1;
+        let mut pos = 0usize;
+        let mut rem = k;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next] < rem {
+                pos = next;
+                rem -= self.tree[next];
+            }
+            step >>= 1;
+        }
+        // `pos` positions have cumulative count < k ⇒ the k-th selected
+        // shard sits at 1-based position pos+1, i.e. 0-based rank `pos`.
+        pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::InstanceBuilder;
+    use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn shard(id: u32, txs: u64, latency: f64) -> ShardInfo {
+        ShardInfo::new(
+            CommitteeId(id),
+            txs,
+            TwoPhaseLatency::from_total(SimTime::from_secs(latency)),
+        )
+    }
+
+    fn instance(n: usize, policy: DdlPolicy) -> Instance {
+        InstanceBuilder::new()
+            .alpha(2.5)
+            .capacity(u64::MAX / 2)
+            .ddl_policy(policy)
+            .shards(
+                (0..n)
+                    .map(|i| {
+                        shard(
+                            i as u32,
+                            50 + (i as u64 * 37) % 500,
+                            10.0 + ((i as f64 * 131.7) % 900.0),
+                        )
+                    })
+                    .collect(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn selected_ddl_tracks_max_latency() {
+        let inst = instance(40, DdlPolicy::MaxSelected);
+        let mut sol = Solution::empty(40);
+        let mut cache = EvalCache::new(&inst, &sol);
+        assert_eq!(cache.selected_ddl(), 0.0);
+        for i in [5usize, 17, 3, 30] {
+            sol.insert(i, &inst);
+            cache.insert(i);
+            assert_eq!(cache.selected_ddl(), inst.selected_ddl(&sol));
+        }
+        for i in [17usize, 5, 30, 3] {
+            sol.remove(i, &inst);
+            cache.remove(i);
+            assert_eq!(cache.selected_ddl(), inst.selected_ddl(&sol));
+        }
+    }
+
+    #[test]
+    fn utility_matches_naive_under_both_policies() {
+        for policy in [DdlPolicy::MaxArrival, DdlPolicy::MaxSelected] {
+            let inst = instance(60, policy);
+            let sol = Solution::from_indices(60, (0..60).step_by(3), &inst);
+            let cache = EvalCache::new(&inst, &sol);
+            let naive = inst.utility(&sol);
+            let fast = cache.utility(&inst, &sol);
+            assert!(
+                (naive - fast).abs() < 1e-9 * (1.0 + naive.abs()),
+                "{policy:?}: naive {naive} vs cached {fast}"
+            );
+        }
+    }
+
+    #[test]
+    fn deltas_match_naive_over_random_walks() {
+        for policy in [DdlPolicy::MaxArrival, DdlPolicy::MaxSelected] {
+            let inst = instance(50, policy);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let mut sol = Solution::from_indices(50, 0..20, &inst);
+            let mut cache = EvalCache::new(&inst, &sol);
+            for step in 0..600 {
+                let tol = |x: f64| 1e-9 * (1.0 + x.abs());
+                match rng.gen_range(0..3) {
+                    0 => {
+                        let (Some(out), Some(inc)) = (
+                            sol.random_selected(&mut rng),
+                            sol.random_unselected(&mut rng),
+                        ) else {
+                            continue;
+                        };
+                        let naive = inst.swap_delta(&sol, out, inc);
+                        let fast = cache.swap_delta(&inst, &sol, out, inc);
+                        assert!(
+                            (naive - fast).abs() < tol(naive),
+                            "{policy:?} step {step}: swap naive {naive} vs cached {fast}"
+                        );
+                        sol.swap(out, inc, &inst);
+                        cache.swap(out, inc);
+                    }
+                    1 => {
+                        let Some(inc) = sol.random_unselected(&mut rng) else {
+                            continue;
+                        };
+                        let naive = inst.insert_delta(&sol, inc);
+                        let fast = cache.insert_delta(&inst, &sol, inc);
+                        assert!(
+                            (naive - fast).abs() < tol(naive),
+                            "{policy:?} step {step}: insert naive {naive} vs cached {fast}"
+                        );
+                        sol.insert(inc, &inst);
+                        cache.insert(inc);
+                    }
+                    _ => {
+                        if sol.selected_count() <= 1 {
+                            continue;
+                        }
+                        let Some(out) = sol.random_selected(&mut rng) else {
+                            continue;
+                        };
+                        let naive = inst.remove_delta(&sol, out);
+                        let fast = cache.remove_delta(&inst, &sol, out);
+                        assert!(
+                            (naive - fast).abs() < tol(naive),
+                            "{policy:?} step {step}: remove naive {naive} vs cached {fast}"
+                        );
+                        sol.remove(out, &inst);
+                        cache.remove(out);
+                    }
+                }
+                // The cached utility never drifts from the ground truth.
+                let naive_u = inst.utility(&sol);
+                assert!(
+                    (cache.utility(&inst, &sol) - naive_u).abs() < 1e-9 * (1.0 + naive_u.abs())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_latencies() {
+        // Several shards share the maximum latency: removing one of them
+        // must keep the deadline pinned by the survivors.
+        let inst = InstanceBuilder::new()
+            .alpha(1.0)
+            .capacity(10_000)
+            .ddl_policy(DdlPolicy::MaxSelected)
+            .shards(vec![
+                shard(0, 100, 500.0),
+                shard(1, 200, 900.0),
+                shard(2, 300, 900.0),
+                shard(3, 400, 900.0),
+                shard(4, 500, 100.0),
+            ])
+            .build()
+            .unwrap();
+        let mut sol = Solution::from_indices(5, [1, 2, 3], &inst);
+        let mut cache = EvalCache::new(&inst, &sol);
+        assert_eq!(cache.selected_ddl(), 900.0);
+        let naive = inst.remove_delta(&sol, 2);
+        let fast = cache.remove_delta(&inst, &sol, 2);
+        assert!((naive - fast).abs() < 1e-9);
+        sol.remove(2, &inst);
+        cache.remove(2);
+        assert_eq!(cache.selected_ddl(), 900.0);
+        // Dropping to a single straggler then swapping it out moves the
+        // deadline to the incoming shard's latency.
+        sol.remove(1, &inst);
+        cache.remove(1);
+        let naive = inst.swap_delta(&sol, 3, 4);
+        let fast = cache.swap_delta(&inst, &sol, 3, 4);
+        assert!((naive - fast).abs() < 1e-9);
+        sol.swap(3, 4, &inst);
+        cache.swap(3, 4);
+        assert_eq!(cache.selected_ddl(), 100.0);
+    }
+
+    #[test]
+    fn delta_preconditions_panic_in_all_profiles() {
+        // `assert!` (not `debug_assert!`): a release build must panic on a
+        // violated precondition rather than return a garbage delta.
+        let inst = instance(10, DdlPolicy::MaxSelected);
+        let sol = Solution::from_indices(10, [0, 1], &inst);
+        let cache = EvalCache::new(&inst, &sol);
+        for violation in [
+            Box::new(|| {
+                EvalCache::new(&instance(10, DdlPolicy::MaxSelected), &Solution::empty(10))
+                    .remove(3)
+            }) as Box<dyn Fn()>,
+            Box::new(|| {
+                let _ = cache.swap_delta(&inst, &sol, 5, 7); // out not selected
+            }),
+            Box::new(|| {
+                let _ = cache.swap_delta(&inst, &sol, 0, 1); // inc selected
+            }),
+            Box::new(|| {
+                let _ = cache.insert_delta(&inst, &sol, 0); // already selected
+            }),
+            Box::new(|| {
+                let _ = cache.remove_delta(&inst, &sol, 9); // not selected
+            }),
+            Box::new(|| {
+                // Desynchronized cache: count mismatch trips the wire.
+                let fewer = Solution::from_indices(10, [0], &inst);
+                let _ = cache.remove_delta(&inst, &fewer, 0);
+            }),
+        ] {
+            assert!(
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(violation)).is_err(),
+                "precondition violation did not panic"
+            );
+        }
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let inst = instance(20, DdlPolicy::MaxSelected);
+        let sol = Solution::from_indices(20, [1, 4], &inst);
+        let cache = EvalCache::new(&inst, &sol);
+        let mut copy = cache.clone();
+        copy.insert(9);
+        assert_eq!(cache.selected_count(), 2);
+        assert_eq!(copy.selected_count(), 3);
+    }
+}

@@ -74,11 +74,13 @@
 
 pub mod dynamics;
 pub mod epoch_chain;
+pub mod eval;
 pub mod problem;
 pub mod se;
 pub mod solution;
 pub mod theory;
 
+pub use eval::EvalCache;
 pub use problem::{DdlPolicy, Instance, InstanceBuilder};
 pub use se::{SeConfig, SeEngine, SeOutcome};
 pub use solution::Solution;

@@ -115,11 +115,17 @@ impl Instance {
                 .sum(),
             DdlPolicy::MaxSelected => {
                 let t = self.selected_ddl(solution);
+                // No clamp on the age term: `t` is a pure `f64::max` fold
+                // over the very same latency values (no arithmetic), so
+                // `t >= l_i` holds *exactly* for every selected shard —
+                // `t - l_i` cannot be negative, not even by float noise.
+                // `eval::tests` pins this with utility == Σ marginal
+                // identities.
                 solution
                     .iter_selected()
                     .map(|i| {
                         self.alpha * self.shards[i].tx_count() as f64
-                            - (t - self.shards[i].two_phase_latency().as_secs()).max(0.0)
+                            - (t - self.shards[i].two_phase_latency().as_secs())
                     })
                     .sum()
             }
@@ -137,9 +143,21 @@ impl Instance {
 
     /// The exact utility change from swapping selected shard `out` for
     /// unselected shard `inc`. `O(1)` under MaxArrival; `O(n)` under
-    /// MaxSelected (the induced deadline may move).
+    /// MaxSelected (the induced deadline may move). Hot loops should prefer
+    /// the allocation-free `O(log n)` [`crate::eval::EvalCache::swap_delta`];
+    /// this naive clone-and-recompute form is kept as the differential-test
+    /// reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in release builds too — when `out` is not selected or `inc`
+    /// is selected: a silent garbage delta would corrupt every downstream
+    /// solver state.
     pub fn swap_delta(&self, solution: &Solution, out: usize, inc: usize) -> f64 {
-        debug_assert!(solution.contains(out) && !solution.contains(inc));
+        assert!(
+            solution.contains(out) && !solution.contains(inc),
+            "swap_delta precondition: out={out} must be selected, inc={inc} unselected"
+        );
         match self.ddl_policy {
             DdlPolicy::MaxArrival => self.marginal_utility(inc) - self.marginal_utility(out),
             DdlPolicy::MaxSelected => {
@@ -152,9 +170,17 @@ impl Instance {
     }
 
     /// The exact utility change from selecting the unselected shard `i`.
-    /// `O(1)` under MaxArrival; `O(n)` under MaxSelected.
+    /// `O(1)` under MaxArrival; `O(n)` under MaxSelected (prefer
+    /// [`crate::eval::EvalCache::insert_delta`] in hot loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics — in release builds too — when `i` is already selected.
     pub fn insert_delta(&self, solution: &Solution, i: usize) -> f64 {
-        debug_assert!(!solution.contains(i));
+        assert!(
+            !solution.contains(i),
+            "insert_delta precondition: shard {i} is already selected"
+        );
         match self.ddl_policy {
             DdlPolicy::MaxArrival => self.marginal_utility(i),
             DdlPolicy::MaxSelected => {
@@ -166,9 +192,17 @@ impl Instance {
     }
 
     /// The exact utility change from deselecting the selected shard `i`.
-    /// `O(1)` under MaxArrival; `O(n)` under MaxSelected.
+    /// `O(1)` under MaxArrival; `O(n)` under MaxSelected (prefer
+    /// [`crate::eval::EvalCache::remove_delta`] in hot loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics — in release builds too — when `i` is not selected.
     pub fn remove_delta(&self, solution: &Solution, i: usize) -> f64 {
-        debug_assert!(solution.contains(i));
+        assert!(
+            solution.contains(i),
+            "remove_delta precondition: shard {i} is not selected"
+        );
         match self.ddl_policy {
             DdlPolicy::MaxArrival => -self.marginal_utility(i),
             DdlPolicy::MaxSelected => {
@@ -769,6 +803,71 @@ mod tests {
         next.remove(1, &inst);
         next.insert(2, &inst);
         assert!((delta - (inst.utility(&next) - inst.utility(&sol))).abs() < 1e-9);
+    }
+
+    /// Clamp audit (ISSUE 2 satellite): under `MaxSelected` the deadline is
+    /// a pure `f64::max` fold over the selected latencies themselves, so
+    /// `t − l_i ≥ 0` holds exactly — clamping the age at zero is
+    /// unreachable and `utility` is bitwise equal to the unclamped
+    /// per-shard marginal sum for any selection.
+    #[test]
+    fn max_selected_utility_equals_unclamped_marginal_sum() {
+        // Latencies with non-representable decimal parts to stress float
+        // identity (0.1 + 0.2 ≠ 0.3 territory).
+        let inst = InstanceBuilder::new()
+            .alpha(1.7)
+            .capacity(u64::MAX / 2)
+            .ddl_policy(DdlPolicy::MaxSelected)
+            .shards(
+                (0..64)
+                    .map(|i| shard(i, 10 + u64::from(i), 0.1 + (f64::from(i) * 3.7) % 29.0))
+                    .collect(),
+            )
+            .build()
+            .unwrap();
+        let selections = [
+            Solution::full(&inst),
+            Solution::from_indices(64, (0..64).step_by(3), &inst),
+            Solution::from_indices(64, [7], &inst),
+        ];
+        for sol in &selections {
+            let t = inst.selected_ddl(sol);
+            let mut unclamped = 0.0;
+            let mut clamped = 0.0;
+            for i in sol.iter_selected() {
+                let l = inst.shards()[i].two_phase_latency().as_secs();
+                assert!(t - l >= 0.0, "selected shard {i} older than its deadline");
+                unclamped += inst.alpha() * inst.shards()[i].tx_count() as f64 - (t - l);
+                clamped += inst.alpha() * inst.shards()[i].tx_count() as f64 - (t - l).max(0.0);
+            }
+            // Bitwise identical: the clamp can never fire.
+            assert_eq!(unclamped, clamped);
+            assert_eq!(inst.utility(sol), unclamped);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "swap_delta precondition")]
+    fn swap_delta_precondition_panics_in_all_profiles() {
+        let inst = example();
+        let sol = Solution::from_indices(inst.len(), [0, 1], &inst);
+        let _ = inst.swap_delta(&sol, 2, 3); // `out` not selected
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_delta precondition")]
+    fn insert_delta_precondition_panics_in_all_profiles() {
+        let inst = example();
+        let sol = Solution::from_indices(inst.len(), [0, 1], &inst);
+        let _ = inst.insert_delta(&sol, 0); // already selected
+    }
+
+    #[test]
+    #[should_panic(expected = "remove_delta precondition")]
+    fn remove_delta_precondition_panics_in_all_profiles() {
+        let inst = example();
+        let sol = Solution::from_indices(inst.len(), [0, 1], &inst);
+        let _ = inst.remove_delta(&sol, 3); // not selected
     }
 
     #[test]

@@ -5,6 +5,7 @@ use rand::Rng;
 
 use mvcom_types::{Error, Result};
 
+use crate::eval::EvalCache;
 use crate::problem::Instance;
 use crate::se::config::SeConfig;
 use crate::solution::Solution;
@@ -25,11 +26,19 @@ pub struct Proposal {
 }
 
 /// One Markov chain: a candidate solution with fixed cardinality `n`.
+///
+/// Besides the solution and its cached utility, the chain owns an
+/// [`EvalCache`] mirroring the solution, so every [`Chain::propose`] call
+/// prices its swap in `O(log n)` without cloning the solution — the hot
+/// path of Algorithm 1. The cache is rebuilt (never serialized) whenever
+/// the chain is constructed from scratch, restored from a checkpoint, or
+/// the instance itself changes.
 #[derive(Debug, Clone)]
 pub struct Chain {
     solution: Solution,
     cardinality: usize,
     utility: f64,
+    cache: EvalCache,
 }
 
 impl Chain {
@@ -62,12 +71,7 @@ impl Chain {
             let solution =
                 Solution::from_indices(len, indices[..cardinality].iter().copied(), instance);
             if instance.within_capacity(&solution) {
-                let utility = instance.utility(&solution);
-                return Ok(Chain {
-                    solution,
-                    cardinality,
-                    utility,
-                });
+                return Ok(Chain::from_solution(instance, solution));
             }
         }
         // Deterministic fallback: the n smallest shards.
@@ -76,12 +80,7 @@ impl Chain {
         let solution =
             Solution::from_indices(len, by_size[..cardinality].iter().copied(), instance);
         if instance.within_capacity(&solution) {
-            let utility = instance.utility(&solution);
-            Ok(Chain {
-                solution,
-                cardinality,
-                utility,
-            })
+            Ok(Chain::from_solution(instance, solution))
         } else {
             Err(Error::infeasible(format!(
                 "no {cardinality}-subset fits within capacity {}",
@@ -91,13 +90,17 @@ impl Chain {
     }
 
     /// Wraps an existing solution as a chain (used by warm starts after
-    /// dynamic events).
+    /// dynamic events and by checkpoint restores). The utility is
+    /// recomputed from scratch and the eval cache rebuilt, so restored
+    /// chains never inherit incremental drift.
     pub fn from_solution(instance: &Instance, solution: Solution) -> Chain {
         let utility = instance.utility(&solution);
+        let cache = EvalCache::new(instance, &solution);
         Chain {
             cardinality: solution.selected_count(),
             solution,
             utility,
+            cache,
         }
     }
 
@@ -142,7 +145,9 @@ impl Chain {
             if new_total > instance.capacity() {
                 continue;
             }
-            let delta = instance.swap_delta(&self.solution, out, inc);
+            // O(log n), allocation-free — replaces the naive
+            // clone-and-recompute `Instance::swap_delta` on the hot path.
+            let delta = self.cache.swap_delta(instance, &self.solution, out, inc);
             // ln T = ln Exp(1) + τ − ½β·Δ − ln(|I| − n): log-space keeps
             // |βΔ| in the thousands finite.
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -188,6 +193,7 @@ impl Chain {
     /// utility by `Δ` (State Transit, Alg. 1 lines 14–16).
     pub fn apply(&mut self, proposal: &Proposal, instance: &Instance) {
         self.solution.swap(proposal.out, proposal.inc, instance);
+        self.cache.swap(proposal.out, proposal.inc);
         self.utility += proposal.delta;
         debug_assert!(
             (self.utility - instance.utility(&self.solution)).abs()
@@ -196,11 +202,13 @@ impl Chain {
         );
     }
 
-    /// Recomputes the cached utility from scratch — required after the
-    /// instance itself changed (join/leave alters the deadline and with it
-    /// every age term).
+    /// Recomputes the cached utility from scratch and rebuilds the eval
+    /// cache — required after the instance itself changed (join/leave
+    /// alters the deadline, the latency ranks, and with them every age
+    /// term).
     pub fn refresh_utility(&mut self, instance: &Instance) {
         self.utility = instance.utility(&self.solution);
+        self.cache = EvalCache::new(instance, &self.solution);
     }
 }
 

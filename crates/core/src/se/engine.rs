@@ -217,7 +217,11 @@ impl SeEngine {
     /// instance shape: chains resume from their recorded solutions, clocks
     /// resume from the recorded values, and fresh deterministic RNG
     /// streams are derived from `seed ^ version` (so a restored run is
-    /// reproducible without serializing RNG internals).
+    /// reproducible without serializing RNG internals). Derived state —
+    /// each chain's utility and its incremental [`crate::eval::EvalCache`]
+    /// — is recomputed from `(instance, solution)` in
+    /// [`Chain::from_solution`] rather than serialized, so checkpoints stay
+    /// small and restored chains never inherit incremental drift.
     ///
     /// # Errors
     ///

@@ -34,13 +34,31 @@ use crate::problem::Instance;
 /// assert_eq!(sol.selected_count(), 1);
 /// assert_eq!(sol.tx_total(), 10);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Solution {
     words: Vec<u64>,
     len: usize,
     selected: usize,
     tx_total: u64,
+    /// Running `Σ x_i·l_i` in seconds — the latency aggregate the
+    /// incremental evaluator ([`crate::eval::EvalCache`]) combines with the
+    /// induced deadline to evaluate `U(f)` without iterating the selection.
+    /// Tracked as an f64 running sum; insert/remove pairs cancel exactly in
+    /// practice, and consumers treat it as correct to ~1e-9 relative.
+    #[serde(default)]
+    lat_total: f64,
 }
+
+/// Equality is equality of the *selection*: the cached aggregates are a
+/// function of `(words, instance)` and `lat_total` is a float running sum,
+/// so comparing the bitset alone keeps `Eq` lawful.
+impl PartialEq for Solution {
+    fn eq(&self, other: &Solution) -> bool {
+        self.len == other.len && self.words == other.words
+    }
+}
+
+impl Eq for Solution {}
 
 impl Solution {
     /// The empty selection over `len` shards.
@@ -50,6 +68,7 @@ impl Solution {
             len,
             selected: 0,
             tx_total: 0,
+            lat_total: 0.0,
         }
     }
 
@@ -95,6 +114,13 @@ impl Solution {
         self.tx_total
     }
 
+    /// Total two-phase latency of the selected shards in seconds,
+    /// `Σ x_i·l_i` — maintained incrementally so `U(f)` under either
+    /// deadline policy reduces to `α·Σs − (k·t − Σl)` without a scan.
+    pub fn lat_total(&self) -> f64 {
+        self.lat_total
+    }
+
     /// Whether shard `i` is selected.
     ///
     /// # Panics
@@ -115,6 +141,7 @@ impl Solution {
         self.words[i / 64] |= 1 << (i % 64);
         self.selected += 1;
         self.tx_total += instance.shards()[i].tx_count();
+        self.lat_total += instance.shards()[i].two_phase_latency().as_secs();
     }
 
     /// Deselects shard `i`.
@@ -127,6 +154,12 @@ impl Solution {
         self.words[i / 64] &= !(1 << (i % 64));
         self.selected -= 1;
         self.tx_total -= instance.shards()[i].tx_count();
+        self.lat_total -= instance.shards()[i].two_phase_latency().as_secs();
+        if self.selected == 0 {
+            // An empty selection has latency sum exactly zero; resetting
+            // here keeps float cancellation error from surviving a drain.
+            self.lat_total = 0.0;
+        }
     }
 
     /// Performs the Markov-chain transition of paper Fig. 4: deselect `out`
@@ -380,6 +413,70 @@ mod tests {
         let b = Solution::from_indices(10, [0, 2, 5], &inst);
         assert_eq!(a.distance(&b), 2);
         assert_eq!(a.distance(&a), 0);
+    }
+
+    /// Satellite invariant check: after any random insert/remove/swap
+    /// sequence, every cached aggregate (`selected_count`, `tx_total`,
+    /// `lat_total`) and the eval-cache order statistics must match a
+    /// from-scratch recount over the bitset.
+    #[test]
+    fn cached_aggregates_match_recount_after_random_ops() {
+        let n = 130;
+        let inst = instance(n);
+        for seed in 0..8u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut sol = Solution::empty(n);
+            let mut cache = crate::eval::EvalCache::new(&inst, &sol);
+            for _ in 0..400 {
+                match rng.gen_range(0..3) {
+                    0 => {
+                        if let Some(i) = sol.random_unselected(&mut rng) {
+                            sol.insert(i, &inst);
+                            cache.insert(i);
+                        }
+                    }
+                    1 => {
+                        if let Some(i) = sol.random_selected(&mut rng) {
+                            sol.remove(i, &inst);
+                            cache.remove(i);
+                        }
+                    }
+                    _ => {
+                        let (out, inc) = (
+                            sol.random_selected(&mut rng),
+                            sol.random_unselected(&mut rng),
+                        );
+                        if let (Some(out), Some(inc)) = (out, inc) {
+                            sol.swap(out, inc, &inst);
+                            cache.swap(out, inc);
+                        }
+                    }
+                }
+                // From-scratch recounts over the raw bitset.
+                let count = sol.iter_selected().count();
+                let txs: u64 = sol
+                    .iter_selected()
+                    .map(|i| inst.shards()[i].tx_count())
+                    .sum();
+                let lats: f64 = sol
+                    .iter_selected()
+                    .map(|i| inst.shards()[i].two_phase_latency().as_secs())
+                    .sum();
+                let max_lat = sol
+                    .iter_selected()
+                    .map(|i| inst.shards()[i].two_phase_latency().as_secs())
+                    .fold(0.0, f64::max);
+                assert_eq!(sol.selected_count(), count);
+                assert_eq!(sol.tx_total(), txs);
+                assert!(
+                    (sol.lat_total() - lats).abs() < 1e-9 * (1.0 + lats.abs()),
+                    "lat_total {} vs recount {lats}",
+                    sol.lat_total()
+                );
+                assert_eq!(cache.selected_count(), count);
+                assert_eq!(cache.selected_ddl(), max_lat);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Differential testing: the incremental [`EvalCache`] against the naive
+//! clone-and-recompute paths of [`Instance`], under both deadline policies.
+//!
+//! The cache answers the same questions as `Instance::{utility, selected_ddl,
+//! swap_delta, insert_delta, remove_delta}` via closed forms over Fenwick
+//! order statistics; these properties drive both implementations through
+//! random instances and random operation sequences and require agreement to
+//! 1e-9 relative at every step.
+
+use mvcom_core::eval::EvalCache;
+use mvcom_core::problem::{DdlPolicy, Instance, InstanceBuilder};
+use mvcom_core::Solution;
+use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Swap(usize, usize),
+    Insert(usize),
+    Remove(usize),
+}
+
+/// A random instance: 2–60 shards with arbitrary sizes and latencies
+/// (duplicate latencies included with reasonable probability via the coarse
+/// grid), either deadline policy, alpha in the paper's sweep range.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec((1u64..2_000, 0u32..400), 2..60),
+        1u32..20,
+        prop_oneof![Just(DdlPolicy::MaxArrival), Just(DdlPolicy::MaxSelected)],
+    )
+        .prop_map(|(shards, alpha_half, policy)| {
+            InstanceBuilder::new()
+                .alpha(f64::from(alpha_half) * 0.5)
+                .capacity(u64::MAX / 2)
+                .ddl_policy(policy)
+                .shards(
+                    shards
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(txs, lat_step))| {
+                            ShardInfo::new(
+                                CommitteeId(i as u32),
+                                txs,
+                                // 2.5-second grid ⇒ collisions are common,
+                                // exercising duplicate-latency tie-breaks.
+                                TwoPhaseLatency::from_total(SimTime::from_secs(
+                                    f64::from(lat_step) * 2.5,
+                                )),
+                            )
+                        })
+                        .collect(),
+                )
+                .build()
+                .expect("generated instances are valid")
+        })
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            ((0..64usize), (0..64usize)).prop_map(|(a, b)| Op::Swap(a, b)),
+            (0..64usize).prop_map(Op::Insert),
+            (0..64usize).prop_map(Op::Remove),
+        ],
+        1..200,
+    )
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    /// Every delta the cache prices agrees with the naive clone-and-
+    /// recompute reference, on every reachable state of a random walk.
+    #[test]
+    fn incremental_deltas_match_naive_recompute(
+        inst in arb_instance(),
+        ops in arb_ops(),
+        start_stride in 1usize..4,
+    ) {
+        let n = inst.len();
+        let mut sol = Solution::from_indices(n, (0..n).step_by(start_stride), &inst);
+        let mut cache = EvalCache::new(&inst, &sol);
+        for op in ops {
+            match op {
+                Op::Swap(out, inc) => {
+                    let (out, inc) = (out % n, inc % n);
+                    if !sol.contains(out) || sol.contains(inc) {
+                        continue;
+                    }
+                    let naive = inst.swap_delta(&sol, out, inc);
+                    let fast = cache.swap_delta(&inst, &sol, out, inc);
+                    prop_assert!(close(naive, fast), "swap: naive {} vs cached {}", naive, fast);
+                    sol.swap(out, inc, &inst);
+                    cache.swap(out, inc);
+                }
+                Op::Insert(i) => {
+                    let i = i % n;
+                    if sol.contains(i) {
+                        continue;
+                    }
+                    let naive = inst.insert_delta(&sol, i);
+                    let fast = cache.insert_delta(&inst, &sol, i);
+                    prop_assert!(close(naive, fast), "insert: naive {} vs cached {}", naive, fast);
+                    sol.insert(i, &inst);
+                    cache.insert(i);
+                }
+                Op::Remove(i) => {
+                    let i = i % n;
+                    if !sol.contains(i) {
+                        continue;
+                    }
+                    let naive = inst.remove_delta(&sol, i);
+                    let fast = cache.remove_delta(&inst, &sol, i);
+                    prop_assert!(close(naive, fast), "remove: naive {} vs cached {}", naive, fast);
+                    sol.remove(i, &inst);
+                    cache.remove(i);
+                }
+            }
+            // State-level agreement after each committed op: utility and
+            // induced deadline.
+            let naive_u = inst.utility(&sol);
+            let fast_u = cache.utility(&inst, &sol);
+            prop_assert!(close(naive_u, fast_u), "utility: naive {} vs cached {}", naive_u, fast_u);
+            prop_assert_eq!(cache.selected_ddl(), inst.selected_ddl(&sol));
+            prop_assert_eq!(cache.selected_count(), sol.selected_count());
+        }
+    }
+
+    /// A cache built fresh on the final state agrees with one that lived
+    /// through the whole walk — mutation never diverges from construction
+    /// (this is exactly the checkpoint-restore rebuild contract).
+    #[test]
+    fn mutated_cache_equals_rebuilt_cache(
+        inst in arb_instance(),
+        ops in arb_ops(),
+    ) {
+        let n = inst.len();
+        let mut sol = Solution::empty(n);
+        let mut cache = EvalCache::new(&inst, &sol);
+        for op in ops {
+            match op {
+                Op::Swap(out, inc) => {
+                    let (out, inc) = (out % n, inc % n);
+                    if sol.contains(out) && !sol.contains(inc) {
+                        sol.swap(out, inc, &inst);
+                        cache.swap(out, inc);
+                    }
+                }
+                Op::Insert(i) => {
+                    if !sol.contains(i % n) {
+                        sol.insert(i % n, &inst);
+                        cache.insert(i % n);
+                    }
+                }
+                Op::Remove(i) => {
+                    if sol.contains(i % n) {
+                        sol.remove(i % n, &inst);
+                        cache.remove(i % n);
+                    }
+                }
+            }
+        }
+        let rebuilt = EvalCache::new(&inst, &sol);
+        prop_assert_eq!(rebuilt.selected_count(), cache.selected_count());
+        prop_assert_eq!(rebuilt.selected_ddl(), cache.selected_ddl());
+        for i in 0..n {
+            prop_assert_eq!(rebuilt.contains(i), sol.contains(i));
+            prop_assert_eq!(cache.contains(i), sol.contains(i));
+        }
+        prop_assert_eq!(
+            rebuilt.utility(&inst, &sol).to_bits(),
+            cache.utility(&inst, &sol).to_bits()
+        );
+    }
+}

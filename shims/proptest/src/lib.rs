@@ -369,8 +369,16 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// Like upstream proptest, the default case count honors the
+        /// `PROPTEST_CASES` environment variable (falling back to 64), so
+        /// CI can dial coverage up without code changes.
         fn default() -> Config {
-            Config { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(64);
+            Config { cases }
         }
     }
 

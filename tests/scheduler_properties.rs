@@ -1,12 +1,38 @@
 //! Property-based tests of the scheduler stack (proptest).
+//!
+//! Case counts are tiered so tier-1 `cargo test -q` stays fast: properties
+//! that run whole solver stacks (SE engine, exhaustive enumeration) default
+//! to a handful of cases, cheap algebraic properties to more. Set the
+//! `PROPTEST_CASES` environment variable to override both tiers — the
+//! dedicated CI job runs the full historical count (24+) that way.
 
 use mvcom::prelude::*;
 use proptest::prelude::*;
 
+/// The per-block case count: `PROPTEST_CASES` if set, else `default`.
+fn cases(default: u32) -> ProptestConfig {
+    let n = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default);
+    ProptestConfig::with_cases(n)
+}
+
 /// Strategy: a random feasible MVCom instance.
 fn arb_instance() -> impl Strategy<Value = Instance> {
     // 6..=24 shards, sizes 50..=2000, latencies 10..=5000 s.
-    (6usize..=24)
+    arb_instance_sized(6, 24)
+}
+
+/// Strategy: a random feasible instance small enough to enumerate
+/// exhaustively (2^n subsets) without dominating tier-1 wall time.
+fn arb_enumerable_instance() -> impl Strategy<Value = Instance> {
+    arb_instance_sized(6, 14)
+}
+
+fn arb_instance_sized(min: usize, max: usize) -> impl Strategy<Value = Instance> {
+    (min..=max)
         .prop_flat_map(|n| {
             (
                 proptest::collection::vec((50u64..=2_000, 10.0f64..=5_000.0), n..=n),
@@ -40,8 +66,10 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
         })
 }
 
+// Heavy tier: each case runs one or more full solver stacks (SE races,
+// exhaustive 2^n enumeration), so the tier-1 default is small.
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(cases(6))]
 
     #[test]
     fn se_always_returns_feasible_solutions(instance in arb_instance(), seed in 0u64..1_000) {
@@ -69,7 +97,7 @@ proptest! {
     }
 
     #[test]
-    fn exhaustive_dominates_every_heuristic(instance in arb_instance(), seed in 0u64..50) {
+    fn exhaustive_dominates_every_heuristic(instance in arb_enumerable_instance(), seed in 0u64..50) {
         let exact = ExhaustiveSolver::new().solve(&instance).unwrap();
         let se = SeEngine::new(&instance, SeConfig::fast_test(seed)).unwrap().run();
         prop_assert!(se.best_utility <= exact.best_utility + 1e-6);
@@ -78,6 +106,24 @@ proptest! {
         let dp = DpSolver::default().solve(&instance).unwrap();
         prop_assert!(dp.best_utility <= exact.best_utility + 1e-6);
     }
+
+    #[test]
+    fn leave_then_solve_stays_feasible(instance in arb_instance(), seed in 0u64..100) {
+        let victim = instance.shards()[0].committee();
+        let (trimmed, _) = match instance.without_committee(victim) {
+            Ok(t) => t,
+            Err(_) => return Ok(()), // trimming made it infeasible: fine
+        };
+        let outcome = SeEngine::new(&trimmed, SeConfig::fast_test(seed)).unwrap().run();
+        prop_assert!(trimmed.is_feasible(&outcome.best_solution));
+        prop_assert!(trimmed.index_of(victim).is_none());
+    }
+}
+
+// Cheap tier: algebraic identities over instance/solution state — no solver
+// runs, so these afford a larger default.
+proptest! {
+    #![proptest_config(cases(32))]
 
     #[test]
     fn utility_is_sum_of_selected_marginals(instance in arb_instance()) {
@@ -117,18 +163,6 @@ proptest! {
             })
             .unwrap();
         prop_assert!(instance.age(ddl_shard).abs() < 1e-9);
-    }
-
-    #[test]
-    fn leave_then_solve_stays_feasible(instance in arb_instance(), seed in 0u64..100) {
-        let victim = instance.shards()[0].committee();
-        let (trimmed, _) = match instance.without_committee(victim) {
-            Ok(t) => t,
-            Err(_) => return Ok(()), // trimming made it infeasible: fine
-        };
-        let outcome = SeEngine::new(&trimmed, SeConfig::fast_test(seed)).unwrap().run();
-        prop_assert!(trimmed.is_feasible(&outcome.best_solution));
-        prop_assert!(trimmed.index_of(victim).is_none());
     }
 }
 
