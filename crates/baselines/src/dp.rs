@@ -132,7 +132,7 @@ impl Solver for DpSolver {
         // N_min repair: the knapsack relaxation may under-select.
         if solution.selected_count() < instance.n_min() {
             let mut rest: Vec<usize> = (0..n).filter(|&i| !solution.contains(i)).collect();
-            rest.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
+            mvcom_types::sort_by_f64_desc(&mut rest, |&i| values[i]);
             for i in rest {
                 if solution.selected_count() >= instance.n_min() {
                     break;
@@ -154,7 +154,7 @@ impl Solver for DpSolver {
                 fallback.insert(i, instance);
             }
             let mut rest: Vec<usize> = (0..n).filter(|&i| !fallback.contains(i)).collect();
-            rest.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
+            mvcom_types::sort_by_f64_desc(&mut rest, |&i| values[i]);
             for i in rest {
                 if values[i] <= 0.0 {
                     break;

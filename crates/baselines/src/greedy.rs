@@ -34,10 +34,8 @@ impl Solver for GreedySolver {
     fn solve(&self, instance: &Instance) -> Result<SolverOutcome> {
         let n = instance.len();
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            let da = instance.marginal_utility(a) / instance.shards()[a].tx_count().max(1) as f64;
-            let db = instance.marginal_utility(b) / instance.shards()[b].tx_count().max(1) as f64;
-            db.total_cmp(&da)
+        mvcom_types::sort_by_f64_desc(&mut order, |&i| {
+            instance.marginal_utility(i) / instance.shards()[i].tx_count().max(1) as f64
         });
 
         let mut solution = Solution::empty(n);
@@ -65,11 +63,7 @@ impl Solver for GreedySolver {
         // Repair pass for N_min: admit the least-bad remaining shards.
         if solution.selected_count() < instance.n_min() {
             let mut rest: Vec<usize> = (0..n).filter(|&i| !solution.contains(i)).collect();
-            rest.sort_by(|&a, &b| {
-                instance
-                    .marginal_utility(b)
-                    .total_cmp(&instance.marginal_utility(a))
-            });
+            mvcom_types::sort_by_f64_desc(&mut rest, |&i| instance.marginal_utility(i));
             for i in rest {
                 if solution.selected_count() >= instance.n_min() {
                     break;

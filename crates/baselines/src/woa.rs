@@ -121,7 +121,7 @@ impl WoaSolver {
             }
         }
         // Repair capacity: drop the lowest-probability members first.
-        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+        mvcom_types::sort_by_f64(&mut scored, |s| s.1);
         for &(i, _) in &scored {
             if solution.tx_total() <= instance.capacity() {
                 break;
@@ -161,6 +161,7 @@ impl Solver for WoaSolver {
             .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
             .collect();
 
+        // lint: allow(P1, validate() requires population >= 2, so whales is non-empty)
         let mut best_position = whales[0].clone();
         let mut best_solution: Option<Solution> = None;
         let mut best_utility = f64::NEG_INFINITY;

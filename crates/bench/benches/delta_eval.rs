@@ -10,6 +10,9 @@
 //! be ≥ 10× faster than the naive clone-and-recompute
 //! `Instance::swap_delta` at n = 1000.
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use std::path::PathBuf;
 use std::time::Instant;
 

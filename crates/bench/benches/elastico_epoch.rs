@@ -1,6 +1,9 @@
 //! Benchmarks of the protocol substrate: one full Elastico epoch and one
 //! PBFT consensus instance.
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mvcom_elastico::epoch::{ElasticoConfig, ElasticoSim};

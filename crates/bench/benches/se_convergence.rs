@@ -2,6 +2,9 @@
 //! runs, including the Γ ablation and the MaxSelected-deadline ablation
 //! called out in DESIGN.md.
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mvcom_bench::harness::paper_instance;

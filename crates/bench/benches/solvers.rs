@@ -1,5 +1,8 @@
 //! Benchmarks of the baseline solvers on a common instance.
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use mvcom_baselines::{dp::DpConfig, sa::SaConfig, woa::WoaConfig};

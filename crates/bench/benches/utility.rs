@@ -1,6 +1,9 @@
 //! Microbenchmarks of the MVCom objective: full evaluation vs the O(1)
 //! incremental swap delta, at the paper's largest scale (|I| = 1000).
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mvcom_bench::harness::paper_instance;

@@ -43,6 +43,7 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
             .iter()
             .find(|(n, _)| *n == name)
             .map(|&(_, v)| v)
+            // lint: allow(P1, the sweep ran every named algorithm)
             .expect("algorithm present")
     };
     // Shape checks. The paper reports SE strictly highest with DP and WOA

@@ -32,6 +32,7 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
             runs.iter()
                 .find(|r| r.name == name)
                 .map(|r| r.utility)
+                // lint: allow(P1, the sweep ran every named algorithm)
                 .expect("algorithm present")
         };
         // Starting utility of the SE trajectory: anchors the optimality

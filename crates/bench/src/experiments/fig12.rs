@@ -34,6 +34,7 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
             runs.iter()
                 .find(|r| r.name == name)
                 .map(|r| r.utility)
+                // lint: allow(P1, the sweep ran every named algorithm)
                 .expect("algorithm present")
         };
         se_by_alpha.push(get("SE"));
@@ -55,10 +56,13 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
     // SE stays at or above the baselines throughout the sweep.
     report.check(
         "SE utility grows with α",
+        // lint: allow(P1, windows(2) yields slices of length 2)
         se_by_alpha.windows(2).all(|w| w[1] > w[0]),
     );
     report.check("every algorithm improves from α=1.5 to α=10", {
+        // lint: allow(P1, the alpha sweep list is a non-empty literal)
         let first = all_by_alpha.first().expect("alphas");
+        // lint: allow(P1, the alpha sweep list is a non-empty literal)
         let last = all_by_alpha.last().expect("alphas");
         last.1 > first.1 && last.2 > first.2 && last.3 > first.3 && last.4 > first.4
     });

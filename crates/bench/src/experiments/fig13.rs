@@ -62,6 +62,7 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
     );
     report.check(
         "SE median grows with α",
+        // lint: allow(P1, windows(2) yields slices of length 2)
         medians.windows(2).all(|w| w[1].1 > w[0].1),
     );
     Ok(report)

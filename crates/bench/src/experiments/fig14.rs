@@ -88,6 +88,7 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
             runs.iter()
                 .find(|r| r.name == name)
                 .map(|r| r.utility)
+                // lint: allow(P1, the sweep ran every named algorithm)
                 .expect("algorithm present")
         };
         let se_online = online.outcome.best_utility;
@@ -112,6 +113,7 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
     // paper reports it 20–30% above its baselines.
     report.check(
         "SE-online utility grows with α",
+        // lint: allow(P1, windows(2) yields slices of length 2)
         verdicts.windows(2).all(|w| w[1].1 > w[0].1),
     );
     report.check(

@@ -68,7 +68,9 @@ pub fn fig2a(scale: Scale) -> Result<FigureReport> {
     );
     // Shape checks (paper): formation dominates consensus and grows
     // roughly linearly with the network size; consensus stays flat.
+    // lint: allow(P1, the size sweep list is a non-empty literal)
     let first = means.first().expect("sizes non-empty");
+    // lint: allow(P1, the size sweep list is a non-empty literal)
     let last = means.last().expect("sizes non-empty");
     report.check(
         "formation latency dominates consensus at every size",

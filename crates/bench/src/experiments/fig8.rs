@@ -45,6 +45,7 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
             .iter()
             .find(|&&(gamma, _)| gamma == g)
             .map(|&(_, u)| u)
+            // lint: allow(P1, the sweep covered every queried gamma)
             .expect("gamma in sweep")
     };
     let spread = at(1).abs().max(1.0);

@@ -60,7 +60,9 @@ pub fn fig9a(scale: Scale) -> Result<FigureReport> {
             ]
         }),
     );
+    // lint: allow(P1, the scenario schedules a leave then a rejoin)
     let leave = &online.events[0];
+    // lint: allow(P1, the scenario schedules a leave then a rejoin)
     let rejoin = &online.events[1];
     report.note(format!(
         "leave @ {}: {:.1} → {:.1}; rejoin @ {}: {:.1} → {:.1}; final {:.1}",
@@ -145,6 +147,7 @@ pub fn fig9b(scale: Scale) -> Result<FigureReport> {
     // converged utility against the restart point right after the *last*
     // join — the paper's "SE can converge to the maximum in the first few
     // hundreds of iterations when each new committee joins in".
+    // lint: allow(P1, the join schedule is non-empty, so events were applied)
     let last_event = online.events.last().expect("events applied");
     report.check(
         "SE converges above the post-join restart utility",

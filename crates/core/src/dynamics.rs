@@ -141,6 +141,7 @@ pub fn run_online(
             .peek()
             .is_some_and(|e| e.at_iteration <= engine.iteration())
         {
+            // lint: allow(P1, peek() returned Some for the same queue one line above)
             let event = queue.next().expect("peeked");
             let before = engine.current_best_utility();
             let is_join = match event.kind {

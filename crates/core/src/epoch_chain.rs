@@ -185,7 +185,7 @@ impl EpochChain {
     /// construction when the merged epoch violates the constraints.
     pub fn run_epoch(&mut self, fresh: Vec<ShardInfo>) -> Result<EpochOutcome> {
         let mut shards = fresh;
-        let fresh_ids: std::collections::HashSet<_> =
+        let fresh_ids: std::collections::BTreeSet<_> =
             shards.iter().map(|s| s.committee()).collect();
         let carried: Vec<CarriedShard> = self
             .pending

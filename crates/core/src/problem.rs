@@ -435,7 +435,7 @@ impl InstanceBuilder {
                 "final-block capacity must be positive",
             ));
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for s in &self.shards {
             if !seen.insert(s.committee()) {
                 return Err(Error::invalid_instance(format!(
@@ -462,6 +462,7 @@ impl InstanceBuilder {
             .iter()
             .map(|s| s.two_phase_latency())
             .max()
+            // lint: allow(P1, build() rejects an empty shard list at entry)
             .expect("non-empty");
         let instance = Instance {
             shards: self.shards,

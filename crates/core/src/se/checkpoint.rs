@@ -16,7 +16,7 @@
 //! discard stale ones, mirroring the versioned RESET signals of the
 //! parallel runner.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
@@ -66,7 +66,7 @@ impl SeCheckpoint {
     /// [`Error::InvalidConfig`] describing the corruption.
     pub fn validate(&self, instance_len: usize) -> Result<()> {
         let check = |name: &'static str, selected: &[usize]| -> Result<()> {
-            let mut seen = HashSet::with_capacity(selected.len());
+            let mut seen = BTreeSet::new();
             for &i in selected {
                 if i >= instance_len {
                     return Err(Error::invalid_config(

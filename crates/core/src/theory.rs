@@ -13,7 +13,7 @@
 //!   converges to the stationary distribution `p*_f ∝ exp(β·U_f)` of
 //!   eq. (6).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 
@@ -377,8 +377,8 @@ impl<'a> CtmcSimulator<'a> {
         &mut self,
         jumps: usize,
         rng: &mut R,
-    ) -> HashMap<Vec<usize>, f64> {
-        let mut occupancy: HashMap<Vec<usize>, f64> = HashMap::new();
+    ) -> BTreeMap<Vec<usize>, f64> {
+        let mut occupancy: BTreeMap<Vec<usize>, f64> = BTreeMap::new();
         for _ in 0..jumps {
             let neighbors = self.feasible_neighbors();
             if neighbors.is_empty() {
@@ -558,10 +558,7 @@ mod tests {
         let p = stationary_distribution(&inst, 0.05, &states);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Higher utility ⇒ higher probability.
-        let best = states
-            .iter()
-            .enumerate()
-            .max_by(|a, b| inst.utility(a.1).total_cmp(&inst.utility(b.1)))
+        let best = mvcom_types::max_by_f64(states.iter().enumerate(), |(_, s)| inst.utility(s))
             .unwrap()
             .0;
         assert!(p

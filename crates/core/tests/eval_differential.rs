@@ -7,6 +7,9 @@
 //! random instances and random operation sequences and require agreement to
 //! 1e-9 relative at every step.
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use mvcom_core::eval::EvalCache;
 use mvcom_core::problem::{DdlPolicy, Instance, InstanceBuilder};
 use mvcom_core::Solution;

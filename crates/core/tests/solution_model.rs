@@ -1,6 +1,9 @@
 //! Model-based testing: the bitset `Solution` against a reference
 //! `HashSet` implementation under random operation sequences.
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use std::collections::HashSet;
 
 use mvcom_core::problem::{Instance, InstanceBuilder};

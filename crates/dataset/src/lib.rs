@@ -33,7 +33,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-
+// Unit tests may unwrap freely; library code goes through the P1 rule of
+// `mvcom-lint` and the workspace `clippy::unwrap_used` deny set instead.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod block;
 pub mod epoch;
 pub mod sampler;

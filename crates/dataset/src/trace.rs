@@ -96,13 +96,16 @@ impl Trace {
     /// Panics if `config` is invalid; use [`TraceConfig::validate`] to check
     /// untrusted configurations first.
     pub fn generate(config: TraceConfig, seed: u64) -> Trace {
+        // lint: allow(P1, documented panic contract; untrusted configs call validate() first)
         config.validate().expect("invalid trace configuration");
         let mut rng = mvcom_simnet::rng::master(seed);
+        // lint: allow(P1, validate() requires mean_interval_secs > 0)
         let interval = Exp::new(1.0 / config.mean_interval_secs).expect("validated");
         // Log-normal parameters from desired mean m and CV c:
         // sigma^2 = ln(1 + c^2), mu = ln m - sigma^2 / 2.
         let sigma2 = (1.0 + config.txs_cv * config.txs_cv).ln();
         let mu = config.mean_txs_per_block.ln() - sigma2 / 2.0;
+        // lint: allow(P1, validate() bounds the CV, so sigma is finite and non-negative)
         let txs_dist = LogNormal::new(mu, sigma2.sqrt()).expect("validated");
 
         let mut btime = config.start_unix as f64;
@@ -150,6 +153,7 @@ impl Trace {
 
     /// Serializes the trace to a JSON string (the on-disk dataset format).
     pub fn to_json(&self) -> String {
+        // lint: allow(P1, serializing an in-memory trace cannot fail)
         serde_json::to_string(self).expect("trace serialization cannot fail")
     }
 
@@ -162,6 +166,7 @@ impl Trace {
     pub fn from_json(json: &str) -> Result<Trace> {
         let trace: Trace = serde_json::from_str(json)
             .map_err(|e| Error::invalid_instance(format!("malformed trace JSON: {e}")))?;
+        // lint: allow(P1, windows(2) yields slices of length 2)
         if trace.blocks.windows(2).any(|w| !w[0].precedes(&w[1])) {
             return Err(Error::invalid_instance("trace blocks are not time-ordered"));
         }
@@ -195,13 +200,13 @@ impl Trace {
             {
                 continue; // header row
             }
-            if fields.len() != 4 {
+            let [f_id, f_bhash, f_btime, f_txs] = fields[..] else {
                 return Err(Error::invalid_instance(format!(
                     "line {}: expected 4 fields `blockID,bhash,btime,txs`, got {}",
                     lineno + 1,
                     fields.len()
                 )));
-            }
+            };
             let parse_u64 = |s: &str, name: &str| {
                 s.parse::<u64>().map_err(|_| {
                     Error::invalid_instance(format!(
@@ -210,10 +215,10 @@ impl Trace {
                     ))
                 })
             };
-            let id = BlockId(parse_u64(fields[0], "blockID")?);
-            let bhash = parse_hash(fields[1]);
-            let btime = parse_u64(fields[2], "btime")?;
-            let txs = parse_u64(fields[3], "txs")?;
+            let id = BlockId(parse_u64(f_id, "blockID")?);
+            let bhash = parse_hash(f_bhash);
+            let btime = parse_u64(f_btime, "btime")?;
+            let txs = parse_u64(f_txs, "txs")?;
             if txs == 0 {
                 return Err(Error::invalid_instance(format!(
                     "line {}: a block cannot contain zero transactions",
@@ -232,10 +237,12 @@ impl Trace {
         }
         blocks.sort_by_key(|b| b.btime);
         let n_blocks = blocks.len();
+        // lint: allow(P1, the is_empty guard above ensures at least one block)
         let span = (blocks.last().expect("non-empty").btime - blocks[0].btime).max(1);
         let total: u64 = blocks.iter().map(|b| b.txs).sum();
         let config = TraceConfig {
             n_blocks,
+            // lint: allow(P1, the is_empty guard above ensures at least one block)
             start_unix: blocks[0].btime,
             mean_interval_secs: span as f64 / n_blocks.max(2).saturating_sub(1) as f64,
             mean_txs_per_block: total as f64 / n_blocks as f64,
@@ -251,7 +258,9 @@ fn parse_hash(s: &str) -> Hash32 {
     if s.len() == 64 && s.bytes().all(|b| b.is_ascii_hexdigit()) {
         let mut bytes = [0u8; 32];
         for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            // lint: allow(P1, chunks(2) of a 64-char hex string yields full pairs of hex digits)
             let hi = (chunk[0] as char).to_digit(16).expect("hex checked");
+            // lint: allow(P1, chunks(2) of a 64-char hex string yields full pairs of hex digits)
             let lo = (chunk[1] as char).to_digit(16).expect("hex checked");
             bytes[i] = ((hi << 4) | lo) as u8;
         }

@@ -17,7 +17,7 @@
 //!    the committee's overlay completes when its last member receives the
 //!    roster.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -106,13 +106,14 @@ pub fn configure_overlay(
 
     // Step 2: announcements. Track, per directory member, when it has
     // received every announcement (directory members announce locally).
-    let mut heard_all: HashMap<NodeId, SimTime> = directory
+    // Ordered maps keep roster assembly iteration seed-stable (lint D1).
+    let mut heard_all: BTreeMap<NodeId, SimTime> = directory
         .iter()
         .map(|&d| (d, directory_seated_at))
         .collect();
     // And per (directory member, committee): when the member knows that
     // committee's full roster.
-    let mut roster_known: HashMap<(NodeId, CommitteeId), SimTime> = HashMap::new();
+    let mut roster_known: BTreeMap<(NodeId, CommitteeId), SimTime> = BTreeMap::new();
     for committee in committees {
         for &d in &directory {
             roster_known.insert((d, committee.id), directory_seated_at);
@@ -145,6 +146,7 @@ pub fn configure_overlay(
     // member; overlay completes at the last member's arrival.
     let mut configured = Vec::with_capacity(committees.len());
     for committee in committees {
+        // lint: allow(P1, validate() rejects directory_size == 0 and the lottery seats that many)
         let announcer = directory[0];
         let roster_ready = roster_known
             .get(&(announcer, committee.id))

@@ -389,6 +389,7 @@ impl ElasticoSim {
             }
             Hash32::digest(&bytes)
         };
+        // lint: allow(P1, an empty formation already errored before this point)
         let final_committee_size = formed[0].members.len() as u32;
         let final_result =
             self.run_pbft(final_committee_size, total_txs, final_digest, "pbft-final")?;

@@ -112,11 +112,9 @@ impl CommitteeFormation {
             if (bucket.len() as u32) < self.min_committee_size {
                 continue;
             }
-            let pow_completed_at = bucket
-                .iter()
-                .map(|s| s.solved_at)
-                .max()
-                .expect("non-empty bucket");
+            let Some(pow_completed_at) = bucket.iter().map(|s| s.solved_at).max() else {
+                continue; // unreachable while min_committee_size >= 1, but cheap to guard
+            };
             let overlay_cost = self.overlay.sample(n_nodes, rng);
             formed.push(FormedCommittee {
                 id: CommitteeId(idx as u32),

@@ -262,6 +262,7 @@ impl ElasticoSim {
                 .shards
                 .iter()
                 .position(|s| s.committee() == committee)
+                // lint: allow(P1, monitored committees are registered from stages.shards itself)
                 .expect("submitted shard came from stages.shards");
             submission_node(idx)
         };

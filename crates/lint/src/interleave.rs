@@ -1,0 +1,431 @@
+//! Exhaustive interleaving checker for the version-stamped RESET bus.
+//!
+//! `mvcom_core::se::ParallelRunner` coordinates its Γ replica threads
+//! through a `ResetBus`: a single atomic version counter. A replica that
+//! improves the global best *polls* the bus (adopting the freshest
+//! version) and then *broadcasts* a RESET by compare-and-swapping
+//! `version: observed → observed + 1`; every replica applies a RESET at
+//! most once per version when its next poll observes a change.
+//!
+//! The runner's correctness claim is scheduling-independent:
+//!
+//! * **no lost reset** — every successful broadcast advances the version
+//!   by exactly one, so `version` counts broadcasts exactly;
+//! * **no stale-version-wins** — a broadcast stamped against a superseded
+//!   version never advances the bus (the CAS fails and the signal is
+//!   dropped as stale);
+//! * **at-most-once application** — a replica never applies the same
+//!   version twice, and its view only moves forward;
+//! * **quiescent delivery** — once broadcasts stop, one more poll brings
+//!   every replica to the final version.
+//!
+//! This module *proves* those properties for a bounded instance (default:
+//! 3 replica threads × 2 broadcast rounds, every broadcast optionally
+//! skipped) by loom-style depth-first enumeration of every thread
+//! interleaving of the modeled atomic steps. Distinct states are memoized
+//! (the invariants are per-transition or state-local, so a state's
+//! subtree never needs re-exploration), which closes the space in
+//! milliseconds.
+//!
+//! To show the checker has teeth, [`BusModel::SplitRmw`] models the
+//! classic bug the CAS prevents — a broadcast implemented as a separate
+//! load and store — and the DFS produces a concrete lost-reset schedule
+//! for it.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which RESET-bus implementation to explore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusModel {
+    /// The shipped protocol: broadcast is `CAS(observed, observed + 1)`.
+    VersionCas,
+    /// A deliberately broken bus: broadcast is a non-atomic
+    /// read-modify-write (`load` then `store loaded + 1`). Two racing
+    /// broadcasts both "succeed" but only advance the version once — a
+    /// lost reset the checker must detect.
+    SplitRmw,
+}
+
+/// Bounds of the exploration. Kept small enough that every packed state
+/// component fits a nibble (see `State::key`): at most 4 threads and a
+/// program short enough that the version counter stays below 16.
+#[derive(Debug, Clone, Copy)]
+pub struct InterleaveConfig {
+    /// Modeled replica threads (max 4).
+    pub threads: usize,
+    /// Broadcast rounds per thread (each round: poll, broadcast, poll).
+    pub rounds: usize,
+    /// Bus implementation under test.
+    pub model: BusModel,
+}
+
+impl Default for InterleaveConfig {
+    fn default() -> InterleaveConfig {
+        InterleaveConfig {
+            threads: 3,
+            rounds: 2,
+            model: BusModel::VersionCas,
+        }
+    }
+}
+
+/// One modeled atomic step of a replica. Mirrors `run_replica`: each
+/// round polls for the freshest version, then (maybe) broadcasts stamped
+/// against it, and ends with the round's convergence-clock poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// `ResetBus::poll`: adopt the current version.
+    Poll,
+    /// `ResetBus::broadcast_from(last_seen)` — explored both as executed
+    /// and as skipped (a replica only broadcasts when it improved).
+    Broadcast,
+    /// First half of the broken [`BusModel::SplitRmw`] broadcast.
+    RmwLoad,
+    /// Second half of the broken broadcast: blind `store(loaded + 1)`.
+    RmwStore,
+}
+
+/// A violation found by the DFS: which invariant broke and the schedule
+/// (thread id per step) that reaches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub invariant: &'static str,
+    pub detail: String,
+    /// Thread index executing each step, in order.
+    pub schedule: Vec<usize>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} (schedule: {:?})",
+            self.invariant, self.detail, self.schedule
+        )
+    }
+}
+
+/// Outcome of an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct InterleaveReport {
+    pub config_threads: usize,
+    pub config_rounds: usize,
+    /// Distinct states visited (memoized DFS).
+    pub states_explored: u64,
+    /// `None` when every schedule upholds every invariant.
+    pub violation: Option<Violation>,
+}
+
+impl InterleaveReport {
+    pub fn holds(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+const MAX_THREADS: usize = 4;
+
+/// Immutable per-run model description.
+struct Model {
+    /// Program of every thread (identical programs, adversarial schedule).
+    program: Vec<Op>,
+    threads: usize,
+}
+
+/// Exploration state: the shared version counter, the global count of
+/// *successful* broadcasts, and each thread's program counter, freshest
+/// observed version, and pending (buggy) RMW load.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct State {
+    version: u8,
+    broadcasts: u8,
+    pc: [u8; MAX_THREADS],
+    last_seen: [u8; MAX_THREADS],
+    rmw_loaded: [u8; MAX_THREADS],
+}
+
+impl State {
+    /// Packs the state into a memoization key: every component is bounded
+    /// by the version counter, which the config bounds below 16.
+    fn key(&self) -> u64 {
+        let mut k = u64::from(self.version) | (u64::from(self.broadcasts) << 4);
+        for t in 0..MAX_THREADS {
+            let per = u64::from(self.pc[t])
+                | (u64::from(self.last_seen[t]) << 4)
+                | (u64::from(self.rmw_loaded[t]) << 8);
+            k |= per << (8 + 12 * t);
+        }
+        k
+    }
+}
+
+/// Exhaustively explores every interleaving of the modeled RESET bus.
+///
+/// # Panics
+///
+/// When the bounds overflow the packed state (more than 4 threads, or a
+/// program long enough to push the version counter past 15).
+pub fn explore(config: &InterleaveConfig) -> InterleaveReport {
+    assert!(
+        (1..=MAX_THREADS).contains(&config.threads),
+        "threads must be in 1..=4"
+    );
+    let mut program = Vec::new();
+    for _ in 0..config.rounds {
+        program.push(Op::Poll);
+        match config.model {
+            BusModel::VersionCas => program.push(Op::Broadcast),
+            BusModel::SplitRmw => {
+                program.push(Op::RmwLoad);
+                program.push(Op::RmwStore);
+            }
+        }
+        program.push(Op::Poll);
+    }
+    assert!(
+        config.threads * config.rounds < 15 && program.len() < 16,
+        "bounded model must keep version and pc within a nibble"
+    );
+    let model = Model {
+        program,
+        threads: config.threads,
+    };
+    let state = State {
+        version: 0,
+        broadcasts: 0,
+        pc: [0; MAX_THREADS],
+        last_seen: [0; MAX_THREADS],
+        rmw_loaded: [0; MAX_THREADS],
+    };
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut states = 0u64;
+    let mut schedule = Vec::new();
+    let violation = dfs(&model, state, &mut seen, &mut states, &mut schedule).err();
+    InterleaveReport {
+        config_threads: config.threads,
+        config_rounds: config.rounds,
+        states_explored: states,
+        violation,
+    }
+}
+
+fn dfs(
+    model: &Model,
+    state: State,
+    seen: &mut BTreeSet<u64>,
+    states: &mut u64,
+    schedule: &mut Vec<usize>,
+) -> Result<(), Violation> {
+    if !seen.insert(state.key()) {
+        return Ok(());
+    }
+    *states += 1;
+
+    let mut terminal = true;
+    for tid in 0..model.threads {
+        let pc = state.pc[tid] as usize;
+        if pc >= model.program.len() {
+            continue;
+        }
+        terminal = false;
+        let op = model.program[pc];
+        // A broadcast step is explored both ways: the replica improved the
+        // shared best (execute), or it did not (skip). Every subset of
+        // improvement patterns is thereby covered.
+        let executions: &[bool] = match op {
+            Op::Broadcast | Op::RmwLoad => &[true, false],
+            _ => &[true],
+        };
+        for &execute in executions {
+            let mut next = state;
+            next.pc[tid] = (pc + 1) as u8;
+            schedule.push(tid);
+            if execute {
+                step(op, tid, &mut next).map_err(|(inv, detail)| Violation {
+                    invariant: inv,
+                    detail,
+                    schedule: schedule.clone(),
+                })?;
+            } else if op == Op::RmwLoad {
+                // Skipping a split broadcast skips both halves.
+                next.pc[tid] = (pc + 2) as u8;
+            }
+            check_transition(&state, &next).map_err(|(inv, detail)| Violation {
+                invariant: inv,
+                detail,
+                schedule: schedule.clone(),
+            })?;
+            let r = dfs(model, next, seen, states, schedule);
+            schedule.pop();
+            r?;
+        }
+    }
+
+    if terminal {
+        check_terminal(model, &state).map_err(|(inv, detail)| Violation {
+            invariant: inv,
+            detail,
+            schedule: schedule.clone(),
+        })?;
+    }
+    Ok(())
+}
+
+/// Executes one atomic step. I4 (at-most-once, forward-only application)
+/// is checked here, at the only point a replica's view can move.
+fn step(op: Op, tid: usize, s: &mut State) -> Result<(), (&'static str, String)> {
+    match op {
+        Op::Poll => {
+            let current = s.version;
+            if current != s.last_seen[tid] {
+                // Applying a RESET: the adopted version must be *newer* —
+                // adopting an older one would mean re-applying a version
+                // this replica already consumed.
+                if current < s.last_seen[tid] {
+                    return Err((
+                        "at-most-once",
+                        format!(
+                            "thread {tid} would re-apply: view {} but bus at {current}",
+                            s.last_seen[tid]
+                        ),
+                    ));
+                }
+                s.last_seen[tid] = current;
+            }
+        }
+        Op::Broadcast => {
+            // CAS(observed, observed + 1) against the thread's freshest view.
+            let observed = s.last_seen[tid];
+            if s.version == observed {
+                s.version = observed + 1;
+                s.broadcasts += 1;
+            }
+            // Else: dropped as stale — check_transition verifies a stale
+            // stamp can never have advanced the version.
+        }
+        Op::RmwLoad => {
+            s.rmw_loaded[tid] = s.version;
+        }
+        Op::RmwStore => {
+            // The bug under test: blind store, no stamp comparison.
+            s.version = s.rmw_loaded[tid] + 1;
+            s.broadcasts += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Invariants that must hold across every single transition.
+fn check_transition(before: &State, after: &State) -> Result<(), (&'static str, String)> {
+    // I2 / no-stale-wins: the bus version never moves backwards; a
+    // broadcast stamped with a superseded version must not undo a newer
+    // reset.
+    if after.version < before.version {
+        return Err((
+            "monotone-version",
+            format!(
+                "bus version regressed {} -> {} (a stale broadcast overwrote \
+                 a newer reset)",
+                before.version, after.version
+            ),
+        ));
+    }
+    // I1 (stepwise): version and successful-broadcast count advance in
+    // lockstep; a broadcast that "succeeds" without advancing the version
+    // is a lost reset.
+    if after.broadcasts - before.broadcasts != after.version - before.version {
+        return Err((
+            "no-lost-reset",
+            format!(
+                "{} broadcast(s) succeeded but the version advanced by {} \
+                 (version {} -> {})",
+                after.broadcasts - before.broadcasts,
+                after.version - before.version,
+                before.version,
+                after.version
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Invariants checked once every thread has run to completion.
+fn check_terminal(model: &Model, s: &State) -> Result<(), (&'static str, String)> {
+    // I1 (terminal): every reset that was ever successfully broadcast is
+    // accounted for in the final version — none were lost.
+    if s.broadcasts != s.version {
+        return Err((
+            "no-lost-reset",
+            format!(
+                "{} successful broadcast(s) but final version {}",
+                s.broadcasts, s.version
+            ),
+        ));
+    }
+    // I5: quiescent delivery — after broadcasts stop, a single poll brings
+    // every replica to the final version (each program ends with a poll,
+    // and `run_replica` keeps polling until the global stop flag).
+    let mut quiesced = *s;
+    for tid in 0..model.threads {
+        step(Op::Poll, tid, &mut quiesced)?;
+        if quiesced.last_seen[tid] != quiesced.version {
+            return Err((
+                "quiescent-delivery",
+                format!(
+                    "thread {tid} stuck at version {} after quiescent poll; bus at {}",
+                    quiesced.last_seen[tid], quiesced.version
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_bus_has_no_bad_schedule() {
+        let report = explore(&InterleaveConfig::default());
+        assert!(report.holds(), "{:?}", report.violation);
+        // The bounded model is non-trivial: many distinct states.
+        assert!(report.states_explored > 500, "{}", report.states_explored);
+    }
+
+    #[test]
+    fn cas_bus_holds_at_larger_bounds() {
+        let report = explore(&InterleaveConfig {
+            threads: 4,
+            rounds: 2,
+            model: BusModel::VersionCas,
+        });
+        assert!(report.holds(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn split_rmw_bus_loses_a_reset_and_is_caught() {
+        let report = explore(&InterleaveConfig {
+            model: BusModel::SplitRmw,
+            ..InterleaveConfig::default()
+        });
+        let violation = report.violation.expect("split RMW must violate");
+        assert!(
+            violation.invariant == "no-lost-reset" || violation.invariant == "monotone-version",
+            "unexpected invariant: {violation}"
+        );
+        assert!(!violation.schedule.is_empty());
+    }
+
+    #[test]
+    fn single_thread_is_trivially_safe_in_both_models() {
+        for model in [BusModel::VersionCas, BusModel::SplitRmw] {
+            let report = explore(&InterleaveConfig {
+                threads: 1,
+                rounds: 2,
+                model,
+            });
+            assert!(report.holds(), "{model:?}: {:?}", report.violation);
+        }
+    }
+}

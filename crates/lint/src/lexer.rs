@@ -1,0 +1,459 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The workspace builds fully offline, so `mvcom-lint` cannot lean on `syn`
+//! or `proc-macro2`; the rule engine instead pattern-matches over a token
+//! stream produced here. The lexer understands everything that matters for
+//! *not lying about lines*: line/block comments (nested), doc comments,
+//! string/char/byte literals, raw strings with hash fences, lifetimes vs.
+//! char literals, numeric literals, and multi-character operators. It does
+//! not attempt to parse items or expressions — rules work on token
+//! sequences plus a brace-depth cursor.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `unwrap`, ...).
+    Ident,
+    /// Lifetime such as `'a` or `'static` (without the ticks' content split).
+    Lifetime,
+    /// String, raw-string, byte-string, or char/byte literal.
+    StrLit,
+    /// Numeric literal; [`Token::is_float`] classifies it further.
+    NumLit,
+    /// Punctuation; multi-character operators (`::`, `==`, `!=`, `..=`,
+    /// `->`, ...) arrive as a single token.
+    Punct,
+}
+
+/// One non-comment token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether a [`TokKind::NumLit`] denotes a floating-point value:
+    /// a decimal point, a (non-hex) exponent, or an `f32`/`f64` suffix.
+    pub fn is_float(&self) -> bool {
+        if self.kind != TokKind::NumLit {
+            return false;
+        }
+        let t = &self.text;
+        if t.starts_with("0x") || t.starts_with("0X") {
+            return false;
+        }
+        t.contains('.') || t.ends_with("f32") || t.ends_with("f64") || t.contains(['e', 'E'])
+    }
+}
+
+/// One comment (line, block, or doc) with the line it *starts* on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    /// Last line the comment touches (equals `line` for line comments).
+    pub end_line: u32,
+}
+
+/// Lexer output: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments. Unterminated constructs
+/// (strings, block comments) consume to end-of-input rather than erroring:
+/// the linter must keep going on any input the compiler itself would
+/// reject, and findings on garbage are better than none.
+pub fn lex(source: &str) -> LexOutput {
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: LexOutput::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: LexOutput,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> LexOutput {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_lit(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                c if c.is_ascii_digit() => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn take_str(&self, from: usize) -> String {
+        String::from_utf8_lossy(&self.src[from..self.pos]).into_owned()
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            text: self.take_str(start),
+            line,
+            end_line: line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1u32;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.take_str(start),
+            line,
+            end_line: self.line,
+        });
+    }
+
+    /// Cooked string literal: `"..."` with backslash escapes.
+    fn string_lit(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::StrLit, self.take_str(start), line);
+    }
+
+    /// Distinguishes `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let next = self.peek(1);
+        let is_char = match next {
+            Some(b'\\') => true,
+            Some(c) if c == b'_' || c.is_ascii_alphanumeric() => {
+                // `'x'` is a char; `'x` followed by anything else is a
+                // lifetime (covers `'a`, `'static`, `'_`).
+                self.peek(2) == Some(b'\'')
+            }
+            // `'('`, `' '`, etc.: always a char literal.
+            _ => true,
+        };
+        if is_char {
+            self.pos += 1;
+            while self.pos < self.src.len() {
+                match self.src[self.pos] {
+                    b'\\' => self.pos += 2,
+                    b'\'' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    b'\n' => break, // malformed; don't run away
+                    _ => self.pos += 1,
+                }
+            }
+            self.push(TokKind::StrLit, self.take_str(start), line);
+        } else {
+            self.pos += 1;
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            self.push(TokKind::Lifetime, self.take_str(start), line);
+        }
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`.
+    /// Returns `true` (and consumes) only when the prefix really starts a
+    /// literal; otherwise leaves the cursor for [`Lexer::ident`].
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let c = self.src[self.pos];
+        let line = self.line;
+        let start = self.pos;
+        let mut look = self.pos + 1;
+        if c == b'b' && self.src.get(look) == Some(&b'r') {
+            look += 1;
+        }
+        let raw = c == b'r' || (c == b'b' && self.src.get(self.pos + 1) == Some(&b'r'));
+        if raw {
+            let mut hashes = 0usize;
+            while self.src.get(look) == Some(&b'#') {
+                hashes += 1;
+                look += 1;
+            }
+            if self.src.get(look) != Some(&b'"') {
+                return false;
+            }
+            // Raw string: scan for `"` followed by `hashes` hashes.
+            self.pos = look + 1;
+            let fence: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat_n(b'#', hashes))
+                .collect();
+            while self.pos < self.src.len() {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                if self.src[self.pos..].starts_with(&fence) {
+                    self.pos += fence.len();
+                    break;
+                }
+                self.pos += 1;
+            }
+            self.push(TokKind::StrLit, self.take_str(start), line);
+            return true;
+        }
+        if c == b'b' {
+            match self.src.get(self.pos + 1) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    self.string_lit();
+                    // string_lit pushed text without the `b`; cosmetic only.
+                    return true;
+                }
+                Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_or_lifetime();
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let hex = self.src[self.pos] == b'0'
+            && matches!(
+                self.peek(1),
+                Some(b'x') | Some(b'X') | Some(b'o') | Some(b'b')
+            );
+        self.pos += 1;
+        if hex {
+            self.pos += 1;
+        }
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                // `1e-9` / `2E+10`: the sign belongs to the exponent.
+                if !hex
+                    && (c == b'e' || c == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                {
+                    self.pos += 2;
+                    continue;
+                }
+                self.pos += 1;
+            } else if c == b'.' {
+                // Consume a decimal point only when a digit follows, so the
+                // range `0..n` and method call `1.max(2)` stay separate.
+                if self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::NumLit, self.take_str(start), line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        self.push(TokKind::Ident, self.take_str(start), line);
+    }
+
+    /// Longest-match multi-character operators so rules can look for `==`
+    /// or `::` as single tokens.
+    fn punct(&mut self) {
+        const THREE: [&str; 3] = ["..=", "<<=", ">>="];
+        const TWO: [&str; 18] = [
+            "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=", "/=",
+            "%=", "^=", "&=", "|=",
+        ];
+        let line = self.line;
+        let rest = &self.src[self.pos..];
+        for cand in THREE {
+            if rest.starts_with(cand.as_bytes()) {
+                self.pos += 3;
+                self.push(TokKind::Punct, cand.to_string(), line);
+                return;
+            }
+        }
+        for cand in TWO {
+            if rest.starts_with(cand.as_bytes()) {
+                self.pos += 2;
+                self.push(TokKind::Punct, cand.to_string(), line);
+                return;
+            }
+        }
+        let start = self.pos;
+        self.pos += 1;
+        // Multi-byte UTF-8 scalar: consume continuation bytes.
+        while self.peek(0).is_some_and(|c| c & 0xC0 == 0x80) {
+            self.pos += 1;
+        }
+        self.push(TokKind::Punct, self.take_str(start), line);
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            texts("use std::collections::HashMap;"),
+            ["use", "std", "::", "collections", "::", "HashMap", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_are_separated_with_lines() {
+        let out = lex("let a = 1; // trailing\n// own line\nlet b = 2;");
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].line, 1);
+        assert_eq!(out.comments[1].line, 2);
+        assert_eq!(out.tokens.last().map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let out = lex("/* a /* b */ c */ fn");
+        assert_eq!(out.comments.len(), 1);
+        assert_eq!(out.tokens.len(), 1);
+        assert_eq!(out.tokens[0].text, "fn");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let out = lex(r#"let s = "HashMap // not a comment"; x"#);
+        assert!(out.comments.is_empty());
+        assert!(out
+            .tokens
+            .iter()
+            .all(|t| t.kind != TokKind::Ident || t.text != "HashMap"));
+    }
+
+    #[test]
+    fn raw_string_with_fence() {
+        let out = lex(r###"let s = r#"quote " inside"#; y"###);
+        assert_eq!(out.tokens.last().map(|t| t.text.as_str()), Some("y"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'z'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::StrLit)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn float_classification() {
+        let out = lex("1.5 2 1e-9 0x1f 3f64 10_000 2.");
+        let floats: Vec<bool> = out.tokens.iter().map(Token::is_float).collect();
+        // `2.` lexes as `2` + `.` (no digit follows), hence 7 tokens; the
+        // final `2` is integral.
+        assert_eq!(
+            floats,
+            [true, false, true, false, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators_fuse() {
+        assert_eq!(
+            texts("a == b != c .. d ..= e :: f -> g"),
+            ["a", "==", "b", "!=", "c", "..", "d", "..=", "e", "::", "f", "->", "g"]
+        );
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        assert_eq!(texts("0..n"), ["0", "..", "n"]);
+        assert_eq!(texts("0..=9"), ["0", "..=", "9"]);
+    }
+}

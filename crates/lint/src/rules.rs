@@ -1,0 +1,602 @@
+//! The lint rules and the annotation grammar.
+//!
+//! Four domain rules guard the invariants MVCom's correctness argument
+//! leans on (see DESIGN.md §7):
+//!
+//! | rule | guards                                                        |
+//! |------|---------------------------------------------------------------|
+//! | D1   | determinism: no seed-unstable containers in deterministic     |
+//! |      | crates; no wall-clock / ambient RNG outside `crates/bench`    |
+//! | P1   | panic-freedom: no `unwrap`/`expect`/constant index in         |
+//! |      | non-test library code without a justification annotation      |
+//! | F1   | float ordering: no `partial_cmp().unwrap()`, no `==`/`!=`     |
+//! |      | against float literals — use the total-order helpers          |
+//! | T1   | test hygiene: `#[ignore]` must carry a reason string          |
+//!
+//! A violation is silenced inline with
+//!
+//! ```text
+//! // lint: allow(P1, reason why the panic is unreachable)
+//! ```
+//!
+//! on the offending line or the line directly above it. The reason is
+//! mandatory; a malformed annotation is itself reported (rule `A0`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Determinism: order-stable containers, no wall-clock/ambient RNG.
+    D1,
+    /// Panic-freedom in non-test library code.
+    P1,
+    /// Float-ordering hazards.
+    F1,
+    /// Test hygiene.
+    T1,
+    /// Malformed `lint:` annotation.
+    A0,
+}
+
+impl Rule {
+    fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "D1" => Some(Rule::D1),
+            "P1" => Some(Rule::P1),
+            "F1" => Some(Rule::F1),
+            "T1" => Some(Rule::T1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Crates whose library code must iterate containers in seed-stable order
+/// (they implement the deterministic virtual-time simulation the paper's
+/// Theorem 1 / Theorem 2 experiments replay).
+const DETERMINISTIC_CRATES: [&str; 3] = ["simnet", "elastico", "core"];
+
+/// Keywords that can legally precede an array-literal `[`; an index
+/// expression can only follow an identifier, `)`, or `]`, so these
+/// exclude `for x in [0] {}`-style false positives.
+const NON_POSTFIX_KEYWORDS: [&str; 14] = [
+    "in", "mut", "return", "break", "else", "match", "if", "while", "for", "loop", "move", "ref",
+    "let", "const",
+];
+
+/// What kind of file a path denotes, derived from workspace-relative
+/// path components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FileClass<'a> {
+    /// `crates/<name>/…` → `<name>`; root `src/…`, `tests/…`, … → `mvcom`.
+    krate: &'a str,
+    /// Under a `tests/`, `benches/`, or `examples/` directory: P1/F1 and
+    /// the D1 container rule do not apply (the D1 wall-clock rule still
+    /// does — flaky tests are still flaky).
+    test_path: bool,
+}
+
+fn classify(rel_path: &str) -> FileClass<'_> {
+    let krate = rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("mvcom");
+    let test_path = rel_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
+    FileClass { krate, test_path }
+}
+
+/// Lints one file's source. `rel_path` must be workspace-relative with
+/// `/` separators (e.g. `crates/simnet/src/gossip.rs`); it selects which
+/// rules apply.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let class = classify(rel_path);
+    let out = lex(source);
+    let test_lines = test_region_lines(&out.tokens);
+    let (allowed, mut findings) = parse_annotations(rel_path, &out.comments);
+
+    let ctx = Scan {
+        rel_path,
+        class,
+        tokens: &out.tokens,
+        test_lines: &test_lines,
+    };
+    ctx.rule_d1(&mut findings);
+    ctx.rule_p1(&mut findings);
+    ctx.rule_f1(&mut findings);
+    ctx.rule_t1(&mut findings);
+
+    findings.retain(|f| {
+        f.rule == Rule::A0
+            || !allowed
+                .get(&f.line)
+                .is_some_and(|rules| rules.contains(&f.rule))
+    });
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Lines covered by `#[cfg(test)]` items (usually the trailing `mod tests`).
+fn test_region_lines(tokens: &[Token]) -> BTreeSet<u32> {
+    let mut lines = BTreeSet::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokKind::Punct && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // `#![cfg(test)]` (inner attribute): the whole file is test code.
+        let inner = tokens.get(i + 1).is_some_and(|t| t.text == "!");
+        let open = i + if inner { 2 } else { 1 };
+        if tokens.get(open).is_none_or(|t| t.text != "[") {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching(tokens, open, "[", "]") else {
+            break;
+        };
+        let is_cfg_test = tokens[open + 1..close].windows(4).any(|w| {
+            matches!(w, [a, b, c, d]
+                if a.text == "cfg" && b.text == "(" && c.text == "test" && d.text == ")")
+        });
+        if !is_cfg_test {
+            i = close + 1;
+            continue;
+        }
+        if inner {
+            if let (Some(first), Some(last)) = (tokens.first(), tokens.last()) {
+                for l in first.line..=last.line {
+                    lines.insert(l);
+                }
+            }
+            return lines;
+        }
+        // Skip any further outer attributes, then swallow one item: up to a
+        // top-level `;`, or a `{ … }` body when one opens first.
+        let mut j = close + 1;
+        while tokens.get(j).is_some_and(|t| t.text == "#")
+            && tokens.get(j + 1).is_some_and(|t| t.text == "[")
+        {
+            match matching(tokens, j + 1, "[", "]") {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        let start_line = tokens[i].line;
+        let mut depth_paren = 0i32;
+        let mut end = None;
+        while let Some(t) = tokens.get(j) {
+            match t.text.as_str() {
+                "(" | "[" => depth_paren += 1,
+                ")" | "]" => depth_paren -= 1,
+                ";" if depth_paren == 0 => {
+                    end = Some(j);
+                    break;
+                }
+                "{" if depth_paren == 0 => {
+                    end = matching(tokens, j, "{", "}");
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let end = end.unwrap_or(tokens.len() - 1);
+        for l in start_line..=tokens[end].line {
+            lines.insert(l);
+        }
+        i = end + 1;
+    }
+    lines
+}
+
+/// Index of the token closing the bracket opened at `open`.
+fn matching(tokens: &[Token], open: usize, op: &str, cl: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == op {
+                depth += 1;
+            } else if t.text == cl {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Parses `lint: allow(P1, reason)`-style annotations out of comments.
+///
+/// Only comments containing an `allow(` directly after `lint:` are
+/// treated as annotation attempts; prose that merely mentions the word
+/// is ignored.
+/// Returns the per-line allow map (an annotation covers its own lines and
+/// the line immediately after it) and `A0` findings for malformed ones.
+fn parse_annotations(
+    rel_path: &str,
+    comments: &[Comment],
+) -> (BTreeMap<u32, BTreeSet<Rule>>, Vec<Finding>) {
+    let mut allowed: BTreeMap<u32, BTreeSet<Rule>> = BTreeMap::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(at) = rest.find("lint:") {
+            rest = &rest[at + "lint:".len()..];
+            let body = rest.trim_start();
+            if !body.starts_with("allow(") {
+                continue;
+            }
+            let parsed = body
+                .strip_prefix("allow(")
+                .and_then(|b| b.split_once(')'))
+                .and_then(|(inside, _)| inside.split_once(','))
+                .and_then(|(rule, reason)| {
+                    let rule = Rule::parse(rule.trim())?;
+                    let reason = reason.trim();
+                    (!reason.is_empty()).then_some(rule)
+                });
+            match parsed {
+                Some(rule) => {
+                    for l in c.line..=c.end_line + 1 {
+                        allowed.entry(l).or_default().insert(rule);
+                    }
+                }
+                None => findings.push(Finding {
+                    rule: Rule::A0,
+                    file: rel_path.to_string(),
+                    line: c.line,
+                    message: "malformed lint annotation; expected \
+                              `lint: allow(RULE, reason)` with a non-empty reason"
+                        .to_string(),
+                }),
+            }
+        }
+    }
+    (allowed, findings)
+}
+
+struct Scan<'a> {
+    rel_path: &'a str,
+    class: FileClass<'a>,
+    tokens: &'a [Token],
+    test_lines: &'a BTreeSet<u32>,
+}
+
+impl Scan<'_> {
+    fn emit(&self, findings: &mut Vec<Finding>, rule: Rule, line: u32, message: String) {
+        findings.push(Finding {
+            rule,
+            file: self.rel_path.to_string(),
+            line,
+            message,
+        });
+    }
+
+    /// Library (non-test) code at `line`?
+    fn lib_code(&self, line: u32) -> bool {
+        !self.class.test_path && !self.test_lines.contains(&line)
+    }
+
+    fn rule_d1(&self, findings: &mut Vec<Finding>) {
+        let deterministic = DETERMINISTIC_CRATES.contains(&self.class.krate);
+        for (i, t) in self.tokens.iter().enumerate() {
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            match t.text.as_str() {
+                "HashMap" | "HashSet" if deterministic && self.lib_code(t.line) => {
+                    self.emit(
+                        findings,
+                        Rule::D1,
+                        t.line,
+                        format!(
+                            "`{}` iterates in seed-unstable order inside a deterministic \
+                             crate; use `BTreeMap`/`BTreeSet` or an order-stable wrapper",
+                            t.text
+                        ),
+                    );
+                }
+                "Instant"
+                    if self.class.krate != "bench"
+                        && self.tokens.get(i + 1).is_some_and(|n| n.text == "::")
+                        && self.tokens.get(i + 2).is_some_and(|n| n.text == "now") =>
+                {
+                    self.emit(
+                        findings,
+                        Rule::D1,
+                        t.line,
+                        "`Instant::now` reads the wall clock; deterministic code must \
+                         derive time from `SimTime` (only `crates/bench` may measure)"
+                            .to_string(),
+                    );
+                }
+                "SystemTime" if self.class.krate != "bench" => {
+                    self.emit(
+                        findings,
+                        Rule::D1,
+                        t.line,
+                        "`SystemTime` reads the wall clock; deterministic code must \
+                         derive time from `SimTime` (only `crates/bench` may measure)"
+                            .to_string(),
+                    );
+                }
+                "thread_rng" if self.class.krate != "bench" => {
+                    self.emit(
+                        findings,
+                        Rule::D1,
+                        t.line,
+                        "`thread_rng` is ambient, unseeded randomness; fork a stream \
+                         from `mvcom_simnet::rng::master(seed)` instead"
+                            .to_string(),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn rule_p1(&self, findings: &mut Vec<Finding>) {
+        let toks = self.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if !self.lib_code(t.line) {
+                continue;
+            }
+            // `.unwrap()` / `.expect(`
+            if t.text == "."
+                && toks.get(i + 1).is_some_and(|n| {
+                    n.kind == TokKind::Ident && (n.text == "unwrap" || n.text == "expect")
+                })
+                && toks.get(i + 2).is_some_and(|n| n.text == "(")
+            {
+                let name = &toks[i + 1].text;
+                let closes = if name == "unwrap" {
+                    toks.get(i + 3).is_some_and(|n| n.text == ")")
+                } else {
+                    true
+                };
+                if closes {
+                    self.emit(
+                        findings,
+                        Rule::P1,
+                        toks[i + 1].line,
+                        format!(
+                            "`.{name}(…)` can panic in library code; thread a `Result` \
+                             through, or justify with `// lint: allow(P1, reason)`"
+                        ),
+                    );
+                }
+            }
+            // Constant slice index `foo[0]`.
+            if t.text == "["
+                && i > 0
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::NumLit && !n.is_float())
+                && toks.get(i + 2).is_some_and(|n| n.text == "]")
+            {
+                let prev = &toks[i - 1];
+                let postfix = match prev.kind {
+                    TokKind::Ident => !NON_POSTFIX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct => prev.text == ")" || prev.text == "]",
+                    _ => false,
+                };
+                if postfix {
+                    self.emit(
+                        findings,
+                        Rule::P1,
+                        t.line,
+                        format!(
+                            "constant index `[{}]` panics when the slice is shorter; \
+                             use `.get({})`/`.first()` or justify with \
+                             `// lint: allow(P1, reason)`",
+                            toks[i + 1].text,
+                            toks[i + 1].text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn rule_f1(&self, findings: &mut Vec<Finding>) {
+        let toks = self.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if !self.lib_code(t.line) {
+                continue;
+            }
+            // `.partial_cmp( … ).unwrap()` / `.expect(`
+            if t.text == "."
+                && toks.get(i + 1).is_some_and(|n| n.text == "partial_cmp")
+                && toks.get(i + 2).is_some_and(|n| n.text == "(")
+            {
+                if let Some(close) = matching(toks, i + 2, "(", ")") {
+                    if toks.get(close + 1).is_some_and(|n| n.text == ".")
+                        && toks
+                            .get(close + 2)
+                            .is_some_and(|n| n.text == "unwrap" || n.text == "expect")
+                    {
+                        self.emit(
+                            findings,
+                            Rule::F1,
+                            toks[i + 1].line,
+                            "`partial_cmp(…).unwrap()` panics on NaN; use \
+                             `f64::total_cmp` or the total-order helpers in \
+                             `mvcom_types::latency`"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            // `x == 1.5` / `1.5 != x`: exact float-literal comparison.
+            if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+                let float_neighbor = (i > 0 && toks[i - 1].is_float())
+                    || toks.get(i + 1).is_some_and(Token::is_float);
+                if float_neighbor {
+                    self.emit(
+                        findings,
+                        Rule::F1,
+                        t.line,
+                        format!(
+                            "exact `{}` against a float literal is a rounding hazard; \
+                             compare via `mvcom_types::latency::approx_eq` or restructure",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn rule_t1(&self, findings: &mut Vec<Finding>) {
+        let toks = self.tokens;
+        for i in 0..toks.len() {
+            if toks[i].text == "#"
+                && toks.get(i + 1).is_some_and(|n| n.text == "[")
+                && toks.get(i + 2).is_some_and(|n| n.text == "ignore")
+            {
+                match toks.get(i + 3) {
+                    Some(n) if n.text == "]" => {
+                        self.emit(
+                            findings,
+                            Rule::T1,
+                            toks[i + 2].line,
+                            "`#[ignore]` without a reason; write \
+                             `#[ignore = \"why this test is skipped\"]`"
+                                .to_string(),
+                        );
+                    }
+                    Some(n) if n.text == "=" => {} // carries a reason
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/simnet/src/x.rs", src)),
+            [Rule::D1]
+        );
+        assert!(lint_source("crates/pbft/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_mod_is_exempt_from_p1_but_file_paths_matter() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let found = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&found), [Rule::P1]);
+        assert_eq!(found[0].line, 1);
+        assert!(lint_source("crates/core/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn annotation_silences_and_requires_reason() {
+        let ok = "// lint: allow(P1, length checked above)\nlet v = x.unwrap();\n";
+        assert!(lint_source("crates/core/src/x.rs", ok).is_empty());
+        let trailing = "let v = x.unwrap(); // lint: allow(P1, length checked above)\n";
+        assert!(lint_source("crates/core/src/x.rs", trailing).is_empty());
+        let bad = "// lint: allow(P1)\nlet v = x.unwrap();\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", bad)),
+            [Rule::A0, Rule::P1]
+        );
+    }
+
+    #[test]
+    fn float_equality_and_partial_cmp() {
+        let src = "fn f() { if x == 1.5 {} a.partial_cmp(&b).unwrap(); }\n";
+        // The `.unwrap()` also trips P1 — both rules point at the same fix.
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", src)),
+            [Rule::P1, Rule::F1, Rule::F1]
+        );
+        // A plain partial_cmp without unwrap is fine.
+        let ok = "fn f() -> Option<Ordering> { a.partial_cmp(&b) }\n";
+        assert!(lint_source("crates/core/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn bare_ignore_flagged_with_reason_ok() {
+        let src = "#[ignore]\nfn a() {}\n#[ignore = \"slow\"]\nfn b() {}\n";
+        let found = lint_source("crates/core/tests/x.rs", src);
+        assert_eq!(rules_of(&found), [Rule::T1]);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn constant_index_heuristics() {
+        let flagged = "fn f() { let x = items[0]; }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/x.rs", flagged)),
+            [Rule::P1]
+        );
+        // Array literals and macro args are not index expressions.
+        let ok = "fn f() { let a = [0]; for _ in [1] {} let v = vec![0]; }\n";
+        assert!(lint_source("crates/core/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flagged_everywhere_but_bench() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/pbft/src/x.rs", src)),
+            [Rule::D1]
+        );
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+        // Also applies inside tests/ paths: wall-clock tests flake.
+        assert_eq!(rules_of(&lint_source("tests/x.rs", src)), [Rule::D1]);
+    }
+
+    #[test]
+    fn strings_and_doc_comments_do_not_trip_rules() {
+        let src = "/// let x = y.unwrap();\nfn f() { let s = \"HashMap.unwrap()\"; }\n";
+        assert!(lint_source("crates/simnet/src/x.rs", src).is_empty());
+    }
+}

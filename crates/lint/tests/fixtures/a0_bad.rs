@@ -1,0 +1,6 @@
+//! Fixture: a malformed annotation neither parses nor silences.
+
+// lint: allow(P1)
+pub fn f(xs: &[u64]) -> u64 {
+    xs[0]
+}

@@ -1,0 +1,26 @@
+//! Fixture: every D1 hazard in one deterministic-crate file.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn wall_clock_seed() -> u64 {
+    let t = std::time::SystemTime::now();
+    let started = std::time::Instant::now();
+    let mut rng = thread_rng();
+    rng.next_u64() + t.elapsed().as_nanos() as u64 + started.elapsed().as_nanos() as u64
+}
+
+pub fn unstable(order: &[u32]) -> HashSet<u32> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    order.iter().copied().chain(m.into_keys()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_containers_are_fine_in_test_code() {
+        let _ = HashMap::<u32, u32>::new();
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: the deterministic counterparts of every D1 hazard.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn seeded(seed: u64) -> u64 {
+    let mut rng = mvcom_simnet::rng::master(seed);
+    rng.next_u64()
+}
+
+pub fn stable(order: &[u32]) -> BTreeSet<u32> {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    order.iter().copied().chain(m.into_keys()).collect()
+}

@@ -1,0 +1,9 @@
+//! Fixture: every F1 hazard in non-test library code.
+
+pub fn hazards(a: f64, b: f64) -> bool {
+    let ord = a.partial_cmp(&b).unwrap();
+    if a == 0.5 {
+        return false;
+    }
+    b != 1000.5 && ord.is_lt()
+}

@@ -1,0 +1,9 @@
+//! Fixture: total-order float comparisons that pass F1.
+
+pub fn sound(a: f64, b: f64) -> bool {
+    let ord = a.total_cmp(&b);
+    if mvcom_types::latency::approx_eq(a, 0.5, 1e-12) {
+        return false;
+    }
+    !mvcom_types::latency::approx_eq(b, 1000.5, 1e-12) && ord.is_lt()
+}

@@ -1,0 +1,18 @@
+//! Fixture: every P1 hazard in non-test library code.
+
+pub fn panicky(xs: &[u64]) -> u64 {
+    let first = *xs.first().unwrap();
+    let second = *xs.get(1).expect("two items");
+    let third = xs[2];
+    first + second + third
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_test_code() {
+        let xs = [1u64, 2, 3];
+        assert_eq!(super::panicky(&xs), 6);
+        let _ = xs.first().unwrap();
+    }
+}

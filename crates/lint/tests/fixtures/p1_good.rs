@@ -1,0 +1,9 @@
+//! Fixture: the sanctioned alternatives to each P1 hazard.
+
+pub fn careful(xs: &[u64]) -> Option<u64> {
+    let first = *xs.first()?;
+    // lint: allow(P1, callers guarantee at least two elements)
+    let second = *xs.get(1).expect("two items");
+    let third = *xs.get(2).unwrap_or(&0);
+    Some(first + second + third)
+}

@@ -1,0 +1,8 @@
+//! Fixture: a bare `#[ignore]` (T1 applies inside test code too).
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore]
+    fn slow_test() {}
+}

@@ -1,0 +1,8 @@
+//! Fixture: an `#[ignore]` that states its reason.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "takes minutes; run with --ignored in nightly CI"]
+    fn slow_test() {}
+}

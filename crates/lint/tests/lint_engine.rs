@@ -1,0 +1,189 @@
+//! End-to-end tests of the rule engine over the fixture corpus, plus the
+//! guarantee the whole point of the tool rests on: the real workspace is
+//! clean.
+//!
+//! Each `*_bad.rs` fixture is linted under a virtual deterministic-crate
+//! path and must produce *exactly* the expected `(rule, line)` multiset —
+//! not "at least one finding" — so a regression that drops or duplicates
+//! findings fails loudly. Each `*_good.rs` twin must be silent.
+
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
+use std::path::Path;
+
+use mvcom_lint::{lint_source, lint_workspace, Finding, Rule};
+
+/// The `(rule, line)` projection of a finding list, in engine order.
+fn shape(findings: &[Finding]) -> Vec<(Rule, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn d1_fixture_flags_every_hazard_and_only_those() {
+    let findings = lint_source(
+        "crates/simnet/src/fixture.rs",
+        include_str!("fixtures/d1_bad.rs"),
+    );
+    assert_eq!(
+        shape(&findings),
+        vec![
+            (Rule::D1, 3),  // use … HashMap
+            (Rule::D1, 4),  // use … HashSet
+            (Rule::D1, 7),  // SystemTime::now
+            (Rule::D1, 8),  // Instant::now
+            (Rule::D1, 9),  // thread_rng
+            (Rule::D1, 13), // HashSet return type
+            (Rule::D1, 14), // HashMap type ascription
+            (Rule::D1, 14), // HashMap::new
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn d1_container_rule_only_binds_deterministic_crates() {
+    // The same file under a non-deterministic crate keeps the wall-clock
+    // and thread_rng findings but drops the container findings.
+    let findings = lint_source(
+        "crates/baselines/src/fixture.rs",
+        include_str!("fixtures/d1_bad.rs"),
+    );
+    assert_eq!(
+        shape(&findings),
+        vec![(Rule::D1, 7), (Rule::D1, 8), (Rule::D1, 9)],
+        "{findings:#?}"
+    );
+    // Under crates/bench even those are sanctioned: benches measure.
+    let findings = lint_source(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/d1_bad.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn d1_good_twin_is_silent() {
+    let findings = lint_source(
+        "crates/simnet/src/fixture.rs",
+        include_str!("fixtures/d1_good.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn p1_fixture_flags_unwrap_expect_and_constant_index() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/p1_bad.rs"),
+    );
+    assert_eq!(
+        shape(&findings),
+        vec![(Rule::P1, 4), (Rule::P1, 5), (Rule::P1, 6)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn p1_rule_stands_down_in_test_paths() {
+    // The identical source under tests/ is test code end to end.
+    let findings = lint_source("tests/fixture.rs", include_str!("fixtures/p1_bad.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn p1_good_twin_is_silent() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/p1_good.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn f1_fixture_flags_partial_cmp_and_float_literal_equality() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/f1_bad.rs"),
+    );
+    // `partial_cmp(…).unwrap()` is both a P1 (it panics) and an F1 (it
+    // panics *because of NaN*); per-line ordering puts P1 first.
+    assert_eq!(
+        shape(&findings),
+        vec![(Rule::P1, 4), (Rule::F1, 4), (Rule::F1, 5), (Rule::F1, 8),],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn f1_good_twin_is_silent() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/f1_good.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn t1_fixture_flags_bare_ignore_even_in_test_code() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/t1_bad.rs"),
+    );
+    assert_eq!(shape(&findings), vec![(Rule::T1, 6)], "{findings:#?}");
+}
+
+#[test]
+fn t1_good_twin_is_silent() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/t1_good.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn a0_malformed_annotation_is_reported_and_silences_nothing() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/a0_bad.rs"),
+    );
+    assert_eq!(
+        shape(&findings),
+        vec![(Rule::A0, 3), (Rule::P1, 5)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn finding_display_is_file_line_rule() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/t1_bad.rs"),
+    );
+    let rendered = findings[0].to_string();
+    assert!(
+        rendered.starts_with("crates/core/src/fixture.rs:6: [T1]"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels under the workspace root");
+    let report = lint_workspace(root).expect("workspace walk");
+    assert!(report.files_scanned > 50, "only {}", report.files_scanned);
+    assert!(
+        report.clean(),
+        "the workspace must lint clean:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

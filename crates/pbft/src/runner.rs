@@ -156,6 +156,7 @@ impl PbftRunner {
         let mut armed_view: Vec<u64> = vec![0; n as usize];
 
         // Kick off: leader proposes, every replica arms its view-0 timer.
+        // lint: allow(P1, validate() rejects n < 4, so replicas is non-empty)
         let initial = replicas[0].propose(digest);
         self.dispatch(initial, 0, &mut sched);
         for i in 0..n {
@@ -223,6 +224,7 @@ impl PbftRunner {
                         let d = replicas
                             .iter()
                             .find_map(|r| r.committed())
+                            // lint: allow(P1, committed >= quorum >= 1 guarantees a committed replica)
                             .expect("counted commits");
                         let final_view = replicas
                             .iter()

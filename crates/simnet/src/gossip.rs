@@ -7,8 +7,12 @@
 //! simulates exactly that on a [`Network`], returning per-node delivery
 //! times, and [`expected_rounds`] gives the classic `O(log n)` analytic
 //! estimate used for capacity planning.
+//!
+//! Delivery times come back in a `BTreeMap` so downstream consumers
+//! iterate in node-id order: replaying a seed reproduces the run
+//! byte-for-byte (lint rule D1; see `tests/determinism.rs`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mvcom_types::{NodeId, Result, SimTime};
 
@@ -71,14 +75,14 @@ impl<'a> GossipRun<'a> {
     /// # Errors
     ///
     /// [`mvcom_types::Error::Simulation`] if `origin` is down.
-    pub fn spread(&mut self, origin: NodeId, start: SimTime) -> Result<HashMap<NodeId, SimTime>> {
+    pub fn spread(&mut self, origin: NodeId, start: SimTime) -> Result<BTreeMap<NodeId, SimTime>> {
         if !self.network.is_up(origin) {
             return Err(mvcom_types::Error::simulation(format!(
                 "gossip origin {origin} is down"
             )));
         }
         let n = self.network.len();
-        let mut delivered: HashMap<NodeId, SimTime> = HashMap::new();
+        let mut delivered: BTreeMap<NodeId, SimTime> = BTreeMap::new();
         delivered.insert(origin, start);
         let mut frontier = vec![origin];
         for _ in 0..self.config.max_rounds {

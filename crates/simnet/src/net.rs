@@ -8,7 +8,7 @@
 //! how the final committee "perceives a failed member committee by using the
 //! ping network protocol" — the observed latency becomes infinite.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -110,10 +110,10 @@ pub struct NetworkStats {
 pub struct Network {
     config: NetworkConfig,
     rng: crate::rng::SimRng,
-    down: HashSet<NodeId>,
+    down: BTreeSet<NodeId>,
     /// Partition groups: nodes in different groups cannot communicate.
     /// Empty means fully connected.
-    partition: Vec<HashSet<NodeId>>,
+    partition: Vec<BTreeSet<NodeId>>,
     stats: NetworkStats,
     chaos: Option<ChaosInjector>,
 }
@@ -125,7 +125,7 @@ impl Network {
         Ok(Network {
             config,
             rng,
-            down: HashSet::new(),
+            down: BTreeSet::new(),
             partition: Vec::new(),
             stats: NetworkStats::default(),
             chaos: None,
@@ -188,7 +188,7 @@ impl Network {
     /// Installs a partition: nodes in different groups cannot exchange
     /// messages. Nodes absent from every group remain connected to each
     /// other (they form an implicit extra group).
-    pub fn set_partition(&mut self, groups: Vec<HashSet<NodeId>>) {
+    pub fn set_partition(&mut self, groups: Vec<BTreeSet<NodeId>>) {
         self.partition = groups;
     }
 

@@ -154,7 +154,7 @@ impl Ecdf {
     /// Builds the CDF from raw samples (NaNs are removed).
     pub fn from_samples(mut samples: Vec<f64>) -> Ecdf {
         samples.retain(|x| !x.is_nan());
-        samples.sort_by(f64::total_cmp);
+        mvcom_types::sort_by_f64(&mut samples, |&x| x);
         Ecdf { sorted: samples }
     }
 
@@ -185,9 +185,7 @@ impl Ecdf {
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "quantile of an empty ECDF");
         assert!((0.0..=1.0).contains(&q), "quantile level out of range: {q}");
-        if q == 0.0 {
-            return self.sorted[0];
-        }
+        // q = 0 needs no special case: ceil(0) = 0 clamps to rank 1, the minimum.
         let rank = (q * self.sorted.len() as f64).ceil() as usize;
         self.sorted[rank.clamp(1, self.sorted.len()) - 1]
     }

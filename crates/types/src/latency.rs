@@ -1,5 +1,8 @@
-//! The two-phase latency of a member committee.
+//! The two-phase latency of a member committee, plus the total-order
+//! float helpers ([`sort_by_f64`], [`max_by_f64`], [`approx_eq`]) that the
+//! schedulers use wherever `f64` keys need ordering (lint rule F1).
 
+use std::cmp::Ordering;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -100,6 +103,85 @@ impl fmt::Display for TwoPhaseLatency {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Total-order helpers for f64 keys (lint rule F1).
+//
+// `f64` is only `PartialOrd`, so `sort_by(|a, b| a.partial_cmp(b).unwrap())`
+// panics on NaN and `==` comparisons silently mis-handle rounding. These
+// helpers centralise the two sound alternatives — `total_cmp` ordering and
+// tolerance-based equality — so call sites never spell either by hand.
+// ---------------------------------------------------------------------------
+
+/// Tolerance-based float equality: `|a - b| <= tol`, with `total_cmp`
+/// equality as a backstop so identical non-finite values (both `+∞`, both
+/// the same NaN bit pattern) still compare equal.
+///
+/// ```
+/// use mvcom_types::latency::approx_eq;
+///
+/// assert!(approx_eq(0.1 + 0.2, 0.3, 1e-12));
+/// assert!(!approx_eq(1.0, 1.1, 1e-12));
+/// assert!(approx_eq(f64::INFINITY, f64::INFINITY, 1e-12));
+/// ```
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol || a.total_cmp(&b) == Ordering::Equal
+}
+
+/// The item with the largest `f64` key under `total_cmp`, or `None` for an
+/// empty iterator. NaN keys order above `+∞` (IEEE total order); ties keep
+/// the *last* maximal item, matching [`Iterator::max_by`].
+///
+/// ```
+/// use mvcom_types::latency::max_by_f64;
+///
+/// let best = max_by_f64(["a", "bb", "ccc"], |s| s.len() as f64);
+/// assert_eq!(best, Some("ccc"));
+/// ```
+#[inline]
+pub fn max_by_f64<T, I, F>(items: I, mut key: F) -> Option<T>
+where
+    I: IntoIterator<Item = T>,
+    F: FnMut(&T) -> f64,
+{
+    items.into_iter().max_by(|a, b| key(a).total_cmp(&key(b)))
+}
+
+/// The item with the smallest `f64` key under `total_cmp`, or `None` for an
+/// empty iterator. Ties keep the *first* minimal item, matching
+/// [`Iterator::min_by`].
+#[inline]
+pub fn min_by_f64<T, I, F>(items: I, mut key: F) -> Option<T>
+where
+    I: IntoIterator<Item = T>,
+    F: FnMut(&T) -> f64,
+{
+    items.into_iter().min_by(|a, b| key(a).total_cmp(&key(b)))
+}
+
+/// Sorts `items` ascending by an `f64` key under `total_cmp`. The sort is
+/// stable and never panics: NaN keys sort to the end instead of aborting
+/// the scheduler mid-epoch.
+#[inline]
+pub fn sort_by_f64<T, F>(items: &mut [T], mut key: F)
+where
+    F: FnMut(&T) -> f64,
+{
+    items.sort_by(|a, b| key(a).total_cmp(&key(b)));
+}
+
+/// Sorts `items` descending by an `f64` key under `total_cmp` — the shape
+/// every greedy/repair pass uses ("best candidate first"). Stable, so
+/// equal-key candidates keep their index order (deterministic across
+/// seeds, lint rule D1).
+#[inline]
+pub fn sort_by_f64_desc<T, F>(items: &mut [T], mut key: F)
+where
+    F: FnMut(&T) -> f64,
+{
+    items.sort_by(|a, b| key(b).total_cmp(&key(a)));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +243,32 @@ mod tests {
         let s = l.to_string();
         assert!(s.contains("formation"));
         assert!(s.contains("consensus"));
+    }
+
+    #[test]
+    fn approx_eq_handles_rounding_and_non_finite_values() {
+        assert!(approx_eq(0.1 + 0.2, 0.3, 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6, 1e-12));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY, 0.0));
+        assert!(approx_eq(f64::NAN, f64::NAN, 0.0));
+        assert!(!approx_eq(f64::NAN, 0.0, 1e9));
+    }
+
+    #[test]
+    fn max_and_min_by_f64_survive_nan_keys() {
+        let xs = [2.0, f64::NAN, 1.0, 3.0];
+        // NaN is the IEEE total-order maximum; the minimum stays finite.
+        assert!(max_by_f64(xs, |&x| x).unwrap().is_nan());
+        assert_eq!(min_by_f64(xs, |&x| x), Some(1.0));
+        assert_eq!(max_by_f64(std::iter::empty::<f64>(), |&x| x), None);
+    }
+
+    #[test]
+    fn sorts_are_stable_and_nan_safe() {
+        let mut pairs = [(0, 2.0), (1, 1.0), (2, 2.0), (3, f64::NAN)];
+        sort_by_f64(&mut pairs, |p| p.1);
+        assert_eq!(pairs.map(|p| p.0), [1, 0, 2, 3]); // equal keys keep order
+        sort_by_f64_desc(&mut pairs, |p| p.1);
+        assert_eq!(pairs.map(|p| p.0), [3, 0, 2, 1]);
     }
 }

@@ -24,7 +24,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-
+// Unit tests may unwrap freely; library code goes through the P1 rule of
+// `mvcom-lint` and the workspace `clippy::unwrap_used` deny set instead.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub mod error;
 pub mod hash;
 pub mod id;
@@ -36,5 +38,6 @@ pub use error::{Error, Result};
 pub use hash::Hash32;
 pub use id::{BlockId, CommitteeId, EpochId, NodeId, ShardId, TxId};
 pub use latency::TwoPhaseLatency;
+pub use latency::{approx_eq, max_by_f64, min_by_f64, sort_by_f64, sort_by_f64_desc};
 pub use shard::ShardInfo;
 pub use time::SimTime;

@@ -9,6 +9,9 @@
 //! utility perturbation around each event is printed together with the
 //! Theorem 2 bound.
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use mvcom::core::theory;
 use mvcom::prelude::*;
 

@@ -164,11 +164,15 @@ fn dataset(args: &[String]) -> Result<()> {
             println!("blocks:        {}", blocks.len());
             println!("transactions:  {}", trace.total_txs());
             println!("mean txs/blk:  {:.1}", trace.mean_txs());
+            let (first_btime, last_btime) = match (blocks.first(), blocks.last()) {
+                (Some(first), Some(last)) => (first.btime, last.btime),
+                _ => (0, 0),
+            };
             println!(
                 "time span:     {}s ({} → {})",
-                blocks.last().map(|b| b.btime).unwrap_or(0) - blocks[0].btime,
-                blocks[0].btime,
-                blocks.last().map(|b| b.btime).unwrap_or(0),
+                last_btime - first_btime,
+                first_btime,
+                last_btime,
             );
             Ok(())
         }

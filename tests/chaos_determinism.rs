@@ -5,6 +5,9 @@
 //! reproduce a recovering epoch *byte for byte* — including every dropped
 //! message, every missed heartbeat, and every re-solve.
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use mvcom::prelude::*;
 use proptest::prelude::*;
 

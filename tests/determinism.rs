@@ -1,6 +1,9 @@
 //! Whole-stack determinism: the same seed reproduces every layer
 //! bit-for-bit — the property the figure harness depends on.
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use mvcom::prelude::*;
 
 #[test]

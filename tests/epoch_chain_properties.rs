@@ -1,5 +1,8 @@
 //! Property-based tests of the cross-epoch carry-over scheduler.
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use mvcom::core::epoch_chain::{EpochCapacity, EpochChain, EpochChainConfig};
 use mvcom::prelude::*;
 use proptest::prelude::*;

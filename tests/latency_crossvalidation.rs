@@ -3,6 +3,9 @@
 //! must be statistically consistent with the latencies *measured* by
 //! actually running the Elastico protocol.
 
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
 use mvcom::prelude::*;
 use mvcom::simnet::stats::Summary;
 
