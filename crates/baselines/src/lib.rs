@@ -82,6 +82,52 @@ pub trait Solver {
     fn solve(&self, instance: &Instance) -> Result<SolverOutcome>;
 }
 
+/// Runs `solver` and replays its convergence trajectory into `obs` as
+/// `solver_point` events (sampled at ~50 points per run, endpoints always
+/// included), closing with one `solver_done` event. The clock of these
+/// events is the solver's iteration index. Emission happens after the
+/// solve, so telemetry can never perturb a solver's RNG stream.
+///
+/// # Errors
+///
+/// Whatever [`Solver::solve`] returns.
+pub fn solve_observed(
+    solver: &dyn Solver,
+    instance: &Instance,
+    obs: &mvcom_obs::Obs,
+) -> Result<SolverOutcome> {
+    let outcome = solver.solve(instance)?;
+    if obs.enabled(mvcom_obs::ObsLevel::Events) {
+        let stride = (outcome.trajectory.len() / 50).max(1);
+        let last = outcome.trajectory.len().saturating_sub(1);
+        for (i, &(iter, best)) in outcome.trajectory.iter().enumerate() {
+            if i % stride != 0 && i != last {
+                continue;
+            }
+            obs.emit(
+                "solver_point",
+                iter as f64,
+                &[
+                    ("solver", mvcom_obs::Value::from(outcome.solver.as_str())),
+                    ("iter", mvcom_obs::Value::U64(iter)),
+                    ("best", mvcom_obs::Value::F64(best)),
+                ],
+            );
+        }
+        let iters = outcome.trajectory.last().map_or(0, |&(iter, _)| iter);
+        obs.emit(
+            "solver_done",
+            iters as f64,
+            &[
+                ("solver", mvcom_obs::Value::from(outcome.solver.as_str())),
+                ("iters", mvcom_obs::Value::U64(iters)),
+                ("best", mvcom_obs::Value::F64(outcome.best_utility)),
+            ],
+        );
+    }
+    Ok(outcome)
+}
+
 /// Validates a solver outcome against an instance — shared test helper.
 pub fn check_outcome(instance: &Instance, outcome: &SolverOutcome) -> Result<()> {
     if !instance.is_feasible(&outcome.best_solution) {
@@ -98,6 +144,48 @@ pub fn check_outcome(instance: &Instance, outcome: &SolverOutcome) -> Result<()>
         )));
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod observed_tests {
+    use super::test_support::{instance, tiny};
+    use super::*;
+    use mvcom_obs::{Obs, ObsLevel};
+
+    #[test]
+    fn observed_solve_matches_plain_solve_and_emits_points() {
+        let inst = instance(20, 3);
+        let solver = SaSolver::new(sa::SaConfig::paper(5));
+        let (obs, buf) = Obs::memory(ObsLevel::Events);
+        let observed = solve_observed(&solver, &inst, &obs).unwrap();
+        let plain = solver.solve(&inst).unwrap();
+        assert_eq!(observed, plain, "telemetry must not perturb the solver");
+        let text = buf.contents();
+        assert!(text.contains("\"kind\":\"solver_point\""));
+        assert!(text.contains("\"kind\":\"solver_done\""));
+        assert!(text.contains("\"solver\":\"sa\""));
+        assert_eq!(obs.invalid_dropped(), 0);
+        let points = text
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"solver_point\""))
+            .count();
+        assert!((2..=60).contains(&points), "sampled to ~50, got {points}");
+    }
+
+    #[test]
+    fn one_shot_solvers_emit_a_single_point() {
+        let inst = tiny();
+        let (obs, buf) = Obs::memory(ObsLevel::Events);
+        solve_observed(&GreedySolver::new(), &inst, &obs).unwrap();
+        let text = buf.contents();
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"kind\":\"solver_point\""))
+                .count(),
+            1
+        );
+        assert!(text.contains("\"kind\":\"solver_done\""));
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! threads Γ (|I_j| = 500, Ĉ = 500K, α = 1.5).
 
 use mvcom_core::se::{SeConfig, SeEngine};
+use mvcom_obs::{Obs, ObsLevel};
 use mvcom_types::Result;
 
 use crate::harness::{downsample, paper_instance, FigureReport, Scale};
@@ -25,7 +26,22 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
             record_every: 1,
             ..SeConfig::paper(8_001)
         };
-        let outcome = SeEngine::new(&instance, config)?.run();
+        // The saturation point Γ=10 also records a live obs event stream
+        // (se_init/se_point/se_improve/se_converged) next to the CSV —
+        // telemetry is emission-only, so the trajectory is unchanged.
+        let outcome = if gamma == 10 {
+            let (obs, buf) = Obs::memory(ObsLevel::Events);
+            let outcome = SeEngine::new(&instance, config)?
+                .with_obs(obs.clone())
+                .run();
+            obs.flush();
+            report
+                .files
+                .push(("fig8.events.jsonl".to_string(), buf.contents()));
+            outcome
+        } else {
+            SeEngine::new(&instance, config)?.run()
+        };
         let points = downsample(outcome.trajectory.points(), 300);
         for p in &points {
             rows.push(vec![gamma as f64, p.iteration as f64, p.current_best]);

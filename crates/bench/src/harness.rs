@@ -233,6 +233,42 @@ pub fn downsample<T: Copy>(points: &[T], max_points: usize) -> Vec<T> {
     out
 }
 
+/// Replays finished algorithm runs into a schema-validated JSONL event
+/// stream (`solver_point`/`solver_done`, one series per run, sampled to
+/// ~`max_points` each) — the obs event file some figures write next to
+/// their CSVs. Emission happens after all solves, so attaching telemetry
+/// cannot perturb a solver; `obs_report` consumes the result.
+pub fn runs_as_events(runs: &[AlgoRun], max_points: usize) -> String {
+    use mvcom_obs::{Obs, ObsLevel, Value};
+    let (obs, buf) = Obs::memory(ObsLevel::Events);
+    for run in runs {
+        for &(iter, best) in &downsample(&run.trajectory, max_points) {
+            obs.emit(
+                "solver_point",
+                iter as f64,
+                &[
+                    ("solver", Value::from(run.name)),
+                    ("iter", Value::U64(iter)),
+                    ("best", Value::F64(best)),
+                ],
+            );
+        }
+        let iters = run.trajectory.last().map_or(0, |&(iter, _)| iter);
+        obs.emit(
+            "solver_done",
+            iters as f64,
+            &[
+                ("solver", Value::from(run.name)),
+                ("iters", Value::U64(iters)),
+                ("best", Value::F64(run.utility)),
+            ],
+        );
+    }
+    obs.flush();
+    debug_assert_eq!(obs.invalid_dropped(), 0);
+    buf.contents()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

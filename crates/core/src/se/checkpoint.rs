@@ -15,6 +15,38 @@
 //! at; a recovery manager holding several can always prefer the newest and
 //! discard stale ones, mirroring the versioned RESET signals of the
 //! parallel runner.
+//!
+//! # Example: kill → JSON → resume
+//!
+//! ```
+//! use mvcom_core::problem::InstanceBuilder;
+//! use mvcom_core::se::{SeCheckpoint, SeConfig, SeEngine};
+//! use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+//!
+//! # fn main() -> Result<(), mvcom_types::Error> {
+//! let shards = (0..10).map(|i| ShardInfo::new(
+//!     CommitteeId(i),
+//!     100 + 10 * u64::from(i),
+//!     TwoPhaseLatency::from_total(SimTime::from_secs(500.0 + 10.0 * f64::from(i))),
+//! )).collect();
+//! let instance = InstanceBuilder::new()
+//!     .alpha(2.0).capacity(2_000).n_min(2).shards(shards).build()?;
+//! let mut engine = SeEngine::new(&instance, SeConfig::fast_test(3))?;
+//! for _ in 0..40 { engine.step(); }
+//! let ckpt = engine.checkpoint();
+//! assert_eq!(ckpt.version, 40);
+//! drop(engine); // the solver process dies here
+//!
+//! // The snapshot survives a process boundary as JSON…
+//! let json = serde_json::to_string(&ckpt).expect("checkpoints serialize");
+//! let ckpt: SeCheckpoint = serde_json::from_str(&json).expect("and parse back");
+//! // …and a replacement solver resumes where the original stood.
+//! let restored = SeEngine::from_checkpoint(&instance, SeConfig::fast_test(3), &ckpt)?;
+//! assert_eq!(restored.iteration(), 40);
+//! assert_eq!(restored.restored_chains(), ckpt.chain_count());
+//! # Ok(())
+//! # }
+//! ```
 
 use std::collections::BTreeSet;
 

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use mvcom_obs::{Obs, ObsLevel, Value};
 use mvcom_types::{Error, Result, ShardInfo};
 
 use crate::dynamics::DynamicsPolicy;
@@ -107,6 +108,7 @@ pub struct SeEngine {
     last_improvement: u64,
     trajectory: Trajectory,
     restored_chains: usize,
+    obs: Obs,
 }
 
 impl SeEngine {
@@ -132,11 +134,37 @@ impl SeEngine {
             last_improvement: 0,
             trajectory: Trajectory::default(),
             restored_chains: 0,
+            obs: Obs::off(),
         };
         engine.build_replicas(None)?;
         engine.seed_best();
         engine.record_point();
         Ok(engine)
+    }
+
+    /// Attaches a telemetry handle: emits `se_init` immediately (plus
+    /// `se_checkpoint_restore` for an engine rebuilt by
+    /// [`SeEngine::from_checkpoint`]) and a `se_chain_point` for every
+    /// chain, then streams trajectory, improvement, dynamics and
+    /// checkpoint events from subsequent calls. All timestamps are the
+    /// engine's virtual time.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> SeEngine {
+        self.obs = obs;
+        if self.restored_chains > 0 {
+            self.obs.emit(
+                "se_checkpoint_restore",
+                self.vtime,
+                &[
+                    ("version", Value::U64(self.iteration)),
+                    ("iter", Value::U64(self.iteration)),
+                    ("chains", Value::from(self.restored_chains)),
+                ],
+            );
+        }
+        self.emit_init();
+        self.emit_chain_points();
+        self
     }
 
     /// The engine's current view of the epoch (changes on dynamic events).
@@ -190,7 +218,7 @@ impl SeEngine {
     /// state: every chain's current solution per replica, the best
     /// solution so far, and both clocks. See [`crate::se::checkpoint`].
     pub fn checkpoint(&self) -> SeCheckpoint {
-        SeCheckpoint {
+        let ckpt = SeCheckpoint {
             version: self.iteration,
             seed: self.config.seed,
             iteration: self.iteration,
@@ -210,7 +238,17 @@ impl SeEngine {
                         .collect()
                 })
                 .collect(),
-        }
+        };
+        self.obs.emit(
+            "se_checkpoint_save",
+            self.vtime,
+            &[
+                ("version", Value::U64(ckpt.version)),
+                ("iter", Value::U64(ckpt.iteration)),
+                ("chains", Value::from(ckpt.chain_count())),
+            ],
+        );
+        ckpt
     }
 
     /// Rebuilds an engine from a checkpoint taken against the *same*
@@ -276,6 +314,7 @@ impl SeEngine {
             last_improvement: ckpt.iteration,
             trajectory: Trajectory::default(),
             restored_chains,
+            obs: Obs::off(),
         };
         engine.seed_best();
         engine.record_point();
@@ -294,6 +333,7 @@ impl SeEngine {
     /// virtual-time image of that concurrency.
     pub fn step(&mut self) {
         self.iteration += 1;
+        let trace = self.obs.enabled(ObsLevel::Trace);
         let mut min_duration = f64::INFINITY;
         let mut improved: Option<(usize, usize)> = None;
         for (r_idx, replica) in self.replicas.iter_mut().enumerate() {
@@ -303,8 +343,35 @@ impl SeEngine {
                 else {
                     continue;
                 };
+                if trace {
+                    self.obs.emit(
+                        "se_propose",
+                        self.vtime,
+                        &[
+                            ("replica", Value::from(r_idx)),
+                            ("chain", Value::from(c_idx)),
+                            ("iter", Value::U64(self.iteration)),
+                            ("out", Value::from(proposal.out)),
+                            ("inc", Value::from(proposal.inc)),
+                            ("delta", Value::F64(proposal.delta)),
+                            ("ln_timer", Value::F64(proposal.ln_timer)),
+                        ],
+                    );
+                }
                 replica.chains[c_idx].apply(&proposal, &self.instance);
                 let u = replica.chains[c_idx].utility();
+                if trace {
+                    self.obs.emit(
+                        "se_commit",
+                        self.vtime,
+                        &[
+                            ("replica", Value::from(r_idx)),
+                            ("chain", Value::from(c_idx)),
+                            ("iter", Value::U64(self.iteration)),
+                            ("utility", Value::F64(u)),
+                        ],
+                    );
+                }
                 if u > self.best_utility + self.config.convergence_tol {
                     self.best_utility = u;
                     improved = Some((r_idx, c_idx));
@@ -315,12 +382,24 @@ impl SeEngine {
         }
         if let Some((r_idx, c_idx)) = improved {
             self.best_solution = self.replicas[r_idx].chains[c_idx].solution().clone();
+            self.obs.emit(
+                "se_improve",
+                self.vtime,
+                &[
+                    ("iter", Value::U64(self.iteration)),
+                    ("utility", Value::F64(self.best_utility)),
+                ],
+            );
+            self.obs.incr("se.improvements");
         }
         if min_duration.is_finite() {
             self.vtime += min_duration;
         }
         if self.iteration.is_multiple_of(self.config.record_every) {
             self.record_point();
+        }
+        if self.iteration.is_multiple_of(self.chain_sample_every()) {
+            self.emit_chain_points();
         }
     }
 
@@ -353,6 +432,16 @@ impl SeEngine {
             }
         }
         self.record_point();
+        self.obs.emit(
+            "se_converged",
+            self.vtime,
+            &[
+                ("iter", Value::U64(self.iteration)),
+                ("best", Value::F64(self.best_utility)),
+                ("converged", Value::Bool(self.is_converged())),
+            ],
+        );
+        self.obs.set_gauge("se.best_utility", self.best_utility);
         SeOutcome {
             converged: self.is_converged(),
             iterations: self.iteration,
@@ -370,6 +459,8 @@ impl SeEngine {
     ///
     /// Propagates [`Instance::with_joined`] errors (duplicate committee).
     pub fn handle_join(&mut self, shard: ShardInfo, policy: DynamicsPolicy) -> Result<()> {
+        let committee = shard.committee();
+        let utility_before = self.current_best_utility();
         let new_instance = self.instance.with_joined(shard)?;
         let warm: Option<Vec<Solution>> = match policy {
             DynamicsPolicy::Reinitialize => None,
@@ -389,7 +480,9 @@ impl SeEngine {
             ),
         };
         self.instance = new_instance;
-        self.after_instance_change(warm)
+        self.after_instance_change(warm)?;
+        self.emit_dynamic("join", committee, utility_before);
+        Ok(())
     }
 
     /// Handles a committee *leave/failure* (paper §V): the shard is removed
@@ -406,6 +499,7 @@ impl SeEngine {
         committee: mvcom_types::CommitteeId,
         policy: DynamicsPolicy,
     ) -> Result<()> {
+        let utility_before = self.current_best_utility();
         let (new_instance, removed_idx) = self.instance.without_committee(committee)?;
         let warm: Option<Vec<Solution>> = match policy {
             DynamicsPolicy::Reinitialize => None,
@@ -418,7 +512,28 @@ impl SeEngine {
             ),
         };
         self.instance = new_instance;
-        self.after_instance_change(warm)
+        self.after_instance_change(warm)?;
+        self.emit_dynamic("leave", committee, utility_before);
+        Ok(())
+    }
+
+    fn emit_dynamic(
+        &self,
+        event: &'static str,
+        committee: mvcom_types::CommitteeId,
+        utility_before: f64,
+    ) {
+        self.obs.emit(
+            "se_dynamic",
+            self.vtime,
+            &[
+                ("iter", Value::U64(self.iteration)),
+                ("event", Value::from(event)),
+                ("committee", Value::from(committee.0)),
+                ("utility_before", Value::F64(utility_before)),
+                ("utility_after", Value::F64(self.current_best_utility())),
+            ],
+        );
     }
 
     fn after_instance_change(&mut self, warm: Option<Vec<Solution>>) -> Result<()> {
@@ -510,12 +625,68 @@ impl SeEngine {
 
     fn record_point(&mut self) {
         let current = self.current_best_utility();
+        self.obs.emit(
+            "se_point",
+            self.vtime,
+            &[
+                ("iter", Value::U64(self.iteration)),
+                ("current_best", Value::F64(current)),
+                ("best_so_far", Value::F64(self.best_utility)),
+            ],
+        );
         self.trajectory.push(TrajectoryPoint {
             iteration: self.iteration,
             vtime: self.vtime,
             current_best: current,
             best_so_far: self.best_utility,
         });
+    }
+
+    fn emit_init(&self) {
+        if !self.obs.enabled(ObsLevel::Events) {
+            return;
+        }
+        let chains: usize = self.replicas.iter().map(|r| r.chains.len()).sum();
+        let range = self.cardinality_range();
+        self.obs.emit(
+            "se_init",
+            self.vtime,
+            &[
+                ("iter", Value::U64(self.iteration)),
+                ("gamma", Value::from(self.config.gamma)),
+                ("chains", Value::from(chains)),
+                ("card_lo", Value::from(*range.start())),
+                ("card_hi", Value::from(*range.end())),
+                ("instance_len", Value::from(self.instance.len())),
+            ],
+        );
+    }
+
+    /// Rounds between two `se_chain_point` samples: 50 samples per budget,
+    /// never zero (plus one unconditional sample when obs is attached).
+    fn chain_sample_every(&self) -> u64 {
+        (self.config.max_iterations / 50).max(1)
+    }
+
+    fn emit_chain_points(&self) {
+        if !self.obs.enabled(ObsLevel::Events) {
+            return;
+        }
+        for (g, replica) in self.replicas.iter().enumerate() {
+            for (c, chain) in replica.chains.iter().enumerate() {
+                self.obs.emit(
+                    "se_chain_point",
+                    self.vtime,
+                    &[
+                        ("replica", Value::from(g)),
+                        ("chain", Value::from(c)),
+                        ("card", Value::from(chain.cardinality())),
+                        ("iter", Value::U64(self.iteration)),
+                        ("utility", Value::F64(chain.utility())),
+                    ],
+                );
+            }
+        }
     }
 }
 

@@ -12,12 +12,19 @@
 //! (unlike the virtual-time engine); use this runner to demonstrate the
 //! distributed-execution property or to exploit multicore wall-clock
 //! speedups, and the virtual-time engine for reproducible experiments.
+//!
+//! [`ParallelRunner::run_lockstep`] is the third mode: a deterministic
+//! round-robin emulation of the same replicas over the same `ResetBus`,
+//! used whenever a reproducible event stream is required (telemetry,
+//! replay tests). It trades the wall-clock speedup for byte-identical
+//! output.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
+use mvcom_obs::{Obs, ObsLevel, Value};
 use mvcom_types::{Error, Result};
 
 use crate::problem::Instance;
@@ -60,7 +67,7 @@ impl SharedBest {
     }
 }
 
-/// Counters describing RESET traffic on the [`ResetBus`] during one
+/// Counters describing RESET traffic on the `ResetBus` during one
 /// parallel run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResetStats {
@@ -180,7 +187,7 @@ impl ParallelRunner {
     }
 
     /// Like [`ParallelRunner::run`], additionally returning the RESET
-    /// traffic counters of the run's [`ResetBus`].
+    /// traffic counters of the run's `ResetBus`.
     ///
     /// # Errors
     ///
@@ -216,6 +223,296 @@ impl ParallelRunner {
             .take()
             .map(|(utility, solution)| (utility, solution, stats))
             .ok_or_else(|| Error::infeasible("no replica produced a feasible solution"))
+    }
+
+    /// Deterministic single-threaded emulation of the Γ replica threads.
+    ///
+    /// Replicas advance round-robin, one *round* (every chain fires once)
+    /// per replica per iteration — the virtual-time image of the
+    /// free-running threads of [`ParallelRunner::run`], sharing the same
+    /// `ResetBus` version-CAS semantics and the same shared-best
+    /// publication discipline. Because the interleaving is fixed and all
+    /// randomness is seeded, two runs with the same `(instance, config)`
+    /// produce bit-identical results *and* a byte-identical telemetry
+    /// stream on `obs` — this is the runner behind
+    /// `mvcom solve --solver par-se --obs-out`.
+    ///
+    /// Telemetry (all stamped with the round index as the logical clock):
+    /// `se_init`, per-replica `span_open`/`span_close`, sampled
+    /// `se_chain_point`s (every chain at round 0), `se_improve` with the
+    /// publishing replica, `reset_publish`/`reset_apply`/`reset_stale`
+    /// with bus version stamps, `se_converged`, and the
+    /// `se.resets_*`/`se.improvements` counters.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors, or [`Error::Infeasible`] when no chain can be
+    /// initialized and the full selection is infeasible.
+    pub fn run_lockstep(
+        &self,
+        instance: &Instance,
+        obs: &Obs,
+    ) -> Result<(f64, Solution, ResetStats)> {
+        self.config.validate()?;
+        let config = &self.config;
+        let shared = SharedBest::new();
+        let resets = ResetBus::default();
+        let trace = obs.enabled(ObsLevel::Trace);
+
+        let lo = instance.n_min().max(1);
+        let hi = instance
+            .max_feasible_cardinality()
+            .min(instance.len().saturating_sub(1));
+        let mut replicas: Vec<LockstepReplica> = (0..config.gamma)
+            .map(|g| {
+                let mut master = mvcom_simnet::rng::master(config.seed);
+                let mut rng =
+                    mvcom_simnet::rng::fork(&mut master, &format!("parallel-replica-{g}"));
+                let chains: Vec<Chain> = (lo..=hi)
+                    .filter_map(|n| Chain::init(instance, n, config, &mut rng).ok())
+                    .collect();
+                LockstepReplica {
+                    active: !chains.is_empty(),
+                    chains,
+                    rng,
+                    last_seen: 0,
+                    since_improvement: 0,
+                    span: None,
+                }
+            })
+            .collect();
+
+        let total_chains: usize = replicas.iter().map(|r| r.chains.len()).sum();
+        obs.emit(
+            "se_init",
+            0.0,
+            &[
+                ("iter", Value::U64(0)),
+                ("gamma", Value::from(config.gamma)),
+                ("chains", Value::from(total_chains)),
+                ("card_lo", Value::from(lo)),
+                ("card_hi", Value::from(hi.max(lo))),
+                ("instance_len", Value::from(instance.len())),
+            ],
+        );
+
+        // Round 0: seed the shared best from every chain's initial state,
+        // open the per-replica spans, and sample every chain once so each
+        // appears in any events-level file.
+        for (g, replica) in replicas.iter_mut().enumerate() {
+            if !replica.active {
+                continue;
+            }
+            replica.span = Some(obs.span("se_replica", 0.0, &[("replica", Value::from(g))]));
+            for chain in &replica.chains {
+                if shared.offer(chain.utility(), chain.solution()) {
+                    obs.emit(
+                        "se_improve",
+                        0.0,
+                        &[
+                            ("iter", Value::U64(0)),
+                            ("utility", Value::F64(chain.utility())),
+                            ("replica", Value::from(g)),
+                        ],
+                    );
+                    obs.incr("se.improvements");
+                    if resets.poll(&mut replica.last_seen) {
+                        emit_reset(obs, "reset_apply", replica.last_seen, g, 0);
+                    }
+                    let observed = replica.last_seen;
+                    if resets.broadcast_from(observed) {
+                        emit_reset(obs, "reset_publish", observed + 1, g, 0);
+                    } else {
+                        emit_reset(obs, "reset_stale", observed, g, 0);
+                    }
+                }
+            }
+            emit_chain_points(obs, g, &replica.chains, 0);
+        }
+
+        let sample_every = (config.max_iterations / 50).max(1);
+        let mut stopped = false;
+        let mut final_round = 0u64;
+        for round in 1..=config.max_iterations {
+            if stopped || replicas.iter().all(|r| !r.active) {
+                break;
+            }
+            final_round = round;
+            let t = round as f64;
+            for (g, replica) in replicas.iter_mut().enumerate() {
+                if !replica.active {
+                    continue;
+                }
+                if stopped {
+                    // A RESET-converged peer stopped the run earlier this
+                    // round; this replica observes the flag at its next
+                    // turn, exactly like the threaded runner's stop check.
+                    replica.finish(t);
+                    continue;
+                }
+                let mut any_fired = false;
+                for (c, chain) in replica.chains.iter_mut().enumerate() {
+                    let Some(proposal) = chain.race(instance, config, &mut replica.rng) else {
+                        continue;
+                    };
+                    if trace {
+                        obs.emit(
+                            "se_propose",
+                            t,
+                            &[
+                                ("replica", Value::from(g)),
+                                ("chain", Value::from(c)),
+                                ("iter", Value::U64(round)),
+                                ("out", Value::from(proposal.out)),
+                                ("inc", Value::from(proposal.inc)),
+                                ("delta", Value::F64(proposal.delta)),
+                                ("ln_timer", Value::F64(proposal.ln_timer)),
+                            ],
+                        );
+                    }
+                    chain.apply(&proposal, instance);
+                    any_fired = true;
+                    if trace {
+                        obs.emit(
+                            "se_commit",
+                            t,
+                            &[
+                                ("replica", Value::from(g)),
+                                ("chain", Value::from(c)),
+                                ("iter", Value::U64(round)),
+                                ("utility", Value::F64(chain.utility())),
+                            ],
+                        );
+                    }
+                    if shared.offer(chain.utility(), chain.solution()) {
+                        obs.emit(
+                            "se_improve",
+                            t,
+                            &[
+                                ("iter", Value::U64(round)),
+                                ("utility", Value::F64(chain.utility())),
+                                ("replica", Value::from(g)),
+                            ],
+                        );
+                        obs.incr("se.improvements");
+                        if resets.poll(&mut replica.last_seen) {
+                            emit_reset(obs, "reset_apply", replica.last_seen, g, round);
+                        }
+                        let observed = replica.last_seen;
+                        if resets.broadcast_from(observed) {
+                            emit_reset(obs, "reset_publish", observed + 1, g, round);
+                        } else {
+                            emit_reset(obs, "reset_stale", observed, g, round);
+                        }
+                    }
+                }
+                if !any_fired {
+                    replica.finish(t);
+                    continue;
+                }
+                if resets.poll(&mut replica.last_seen) {
+                    emit_reset(obs, "reset_apply", replica.last_seen, g, round);
+                    replica.since_improvement = 0;
+                } else {
+                    replica.since_improvement += 1;
+                }
+                if config.convergence_window > 0
+                    && replica.since_improvement >= config.convergence_window
+                {
+                    stopped = true;
+                    replica.finish(t);
+                }
+            }
+            if round.is_multiple_of(sample_every) {
+                for (g, replica) in replicas.iter().enumerate() {
+                    if replica.active {
+                        emit_chain_points(obs, g, &replica.chains, round);
+                    }
+                }
+            }
+        }
+        let t_end = final_round as f64;
+        for replica in &mut replicas {
+            if replica.active {
+                replica.finish(t_end);
+            }
+        }
+
+        if config.include_full_solution {
+            let full = Solution::full(instance);
+            if instance.is_feasible(&full) {
+                shared.offer(instance.utility(&full), &full);
+            }
+        }
+        let stats = resets.stats();
+        obs.add("se.resets_broadcast", stats.broadcast);
+        obs.add("se.resets_applied", stats.applied);
+        obs.add("se.resets_stale", stats.ignored_stale);
+        let (utility, solution) = shared
+            .take()
+            .ok_or_else(|| Error::infeasible("no replica produced a feasible solution"))?;
+        obs.emit(
+            "se_converged",
+            t_end,
+            &[
+                ("iter", Value::U64(final_round)),
+                ("best", Value::F64(utility)),
+                ("converged", Value::Bool(stopped)),
+            ],
+        );
+        obs.set_gauge("se.best_utility", utility);
+        Ok((utility, solution, stats))
+    }
+}
+
+/// Per-replica state of the lockstep emulation.
+struct LockstepReplica {
+    chains: Vec<Chain>,
+    rng: mvcom_simnet::SimRng,
+    last_seen: u64,
+    since_improvement: u64,
+    active: bool,
+    span: Option<mvcom_obs::Span>,
+}
+
+impl LockstepReplica {
+    /// Retires the replica at logical time `t`, closing its span.
+    fn finish(&mut self, t: f64) {
+        self.active = false;
+        if let Some(span) = self.span.take() {
+            span.close(t);
+        }
+    }
+}
+
+fn emit_reset(obs: &Obs, kind: &'static str, version: u64, replica: usize, round: u64) {
+    obs.emit(
+        kind,
+        round as f64,
+        &[
+            ("version", Value::U64(version)),
+            ("replica", Value::from(replica)),
+            ("iter", Value::U64(round)),
+        ],
+    );
+}
+
+fn emit_chain_points(obs: &Obs, replica: usize, chains: &[Chain], round: u64) {
+    if !obs.enabled(ObsLevel::Events) {
+        return;
+    }
+    for (c, chain) in chains.iter().enumerate() {
+        obs.emit(
+            "se_chain_point",
+            round as f64,
+            &[
+                ("replica", Value::from(replica)),
+                ("chain", Value::from(c)),
+                ("card", Value::from(chain.cardinality())),
+                ("iter", Value::U64(round)),
+                ("utility", Value::F64(chain.utility())),
+            ],
+        );
     }
 }
 
@@ -358,6 +655,59 @@ mod tests {
         // Every attempt either advanced the version or was dropped stale;
         // no signal is double-counted.
         assert!(resets.applied <= resets.broadcast * 4, "{resets:?}");
+    }
+
+    #[test]
+    fn lockstep_is_deterministic_and_emits_reset_events() {
+        let inst = instance(24);
+        let cfg = SeConfig::fast_test(5).with_gamma(3);
+        let run = || {
+            let (obs, buffer) = Obs::memory(ObsLevel::Events);
+            let out = ParallelRunner::new(cfg).run_lockstep(&inst, &obs).unwrap();
+            obs.flush();
+            assert_eq!(obs.invalid_dropped(), 0);
+            (out, buffer.contents())
+        };
+        let ((u_a, sol_a, stats_a), jsonl_a) = run();
+        let ((u_b, sol_b, stats_b), jsonl_b) = run();
+        assert_eq!(u_a, u_b);
+        assert_eq!(sol_a, sol_b);
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(
+            jsonl_a, jsonl_b,
+            "lockstep telemetry must be byte-identical"
+        );
+        assert!(inst.is_feasible(&sol_a));
+        for kind in [
+            "se_init",
+            "se_chain_point",
+            "se_improve",
+            "reset_publish",
+            "reset_apply",
+            "se_converged",
+            "span_open",
+            "span_close",
+        ] {
+            assert!(
+                jsonl_a.contains(&format!("\"kind\":\"{kind}\"")),
+                "missing {kind} in lockstep stream"
+            );
+        }
+    }
+
+    #[test]
+    fn lockstep_without_obs_matches_lockstep_with_obs() {
+        let inst = instance(18);
+        let cfg = SeConfig::fast_test(8).with_gamma(2);
+        let silent = ParallelRunner::new(cfg)
+            .run_lockstep(&inst, &Obs::off())
+            .unwrap();
+        let (obs, _buffer) = Obs::memory(ObsLevel::Trace);
+        let traced = ParallelRunner::new(cfg).run_lockstep(&inst, &obs).unwrap();
+        // Telemetry must never perturb the computation.
+        assert_eq!(silent.0, traced.0);
+        assert_eq!(silent.1, traced.1);
+        assert_eq!(silent.2, traced.2);
     }
 
     #[test]

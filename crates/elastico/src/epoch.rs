@@ -4,6 +4,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use mvcom_dataset::{ShardSampler, Trace, TraceConfig};
+use mvcom_obs::{Obs, Value};
 use mvcom_pbft::runner::{PbftConfig, PbftRunner};
 use mvcom_pbft::ConsensusResult;
 use mvcom_simnet::{rng, LatencyModel, Network, NetworkConfig, SimRng};
@@ -225,6 +226,7 @@ pub struct ElasticoSim {
     rng: SimRng,
     epoch: EpochId,
     randomness: Hash32,
+    obs: Obs,
 }
 
 impl ElasticoSim {
@@ -245,7 +247,24 @@ impl ElasticoSim {
             rng: master,
             epoch: EpochId::GENESIS,
             randomness: Hash32::digest(b"elastico-genesis-randomness"),
+            obs: Obs::off(),
         })
+    }
+
+    /// Attaches a telemetry handle: every subsequent epoch emits the
+    /// `epoch_*`, `pow_done`, `formation_done`, `committee_consensus`,
+    /// `final_block` and `pbft_*` events documented in OBSERVABILITY.md.
+    /// Event timestamps are simulated seconds, relative to the epoch start.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> ElasticoSim {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`ElasticoSim::with_obs`] was called).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The epoch the next `run_epoch` call will execute.
@@ -284,6 +303,16 @@ impl ElasticoSim {
     /// [`crate::recovery`]. The RNG fork order here is load-bearing: it is
     /// what makes a seed reproduce an epoch bit-for-bit.
     pub(crate) fn run_stages(&mut self) -> Result<StageOutput> {
+        let epoch = self.epoch.value();
+        self.obs.emit(
+            "epoch_start",
+            0.0,
+            &[
+                ("epoch", Value::U64(epoch)),
+                ("nodes", Value::U64(u64::from(self.config.n_nodes))),
+            ],
+        );
+
         // Stage 1: PoW identity lottery.
         let mut stage_rng = rng::fork(&mut self.rng, "lottery");
         let solutions = run_lottery(
@@ -292,6 +321,16 @@ impl ElasticoSim {
             self.randomness,
             &mut stage_rng,
         )?;
+        // Solutions arrive sorted by solve time; the last one closes stage 1.
+        let pow_done_at = solutions.last().map_or(SimTime::ZERO, |s| s.solved_at);
+        self.obs.emit(
+            "pow_done",
+            pow_done_at.as_secs(),
+            &[
+                ("epoch", Value::U64(epoch)),
+                ("solutions", Value::U64(solutions.len() as u64)),
+            ],
+        );
 
         // Stage 2: committee formation + overlay configuration.
         let formation =
@@ -321,6 +360,21 @@ impl ElasticoSim {
         } else {
             formed
         };
+        let formation_done_at = formed
+            .iter()
+            .map(|c| c.formation_latency)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.obs.emit(
+            "formation_done",
+            formation_done_at.as_secs(),
+            &[
+                ("epoch", Value::U64(epoch)),
+                ("committees", Value::U64(formed.len() as u64)),
+                ("directory", Value::Bool(self.config.directory.is_some())),
+            ],
+        );
+        self.obs.add("epoch.committees_formed", formed.len() as u64);
 
         // Assign shard transaction counts from the trace.
         let sampler = ShardSampler::new(&self.trace);
@@ -341,6 +395,17 @@ impl ElasticoSim {
                 .concat(),
             );
             let result = self.run_pbft(n, *txs, digest, &format!("pbft-{}", committee.id))?;
+            self.obs.emit(
+                "committee_consensus",
+                (committee.formation_latency + result.latency).as_secs(),
+                &[
+                    ("epoch", Value::U64(epoch)),
+                    ("committee", Value::U64(u64::from(committee.id.value()))),
+                    ("committed", Value::Bool(result.committed)),
+                    ("latency", Value::F64(result.latency.as_secs())),
+                    ("txs", Value::U64(*txs)),
+                ],
+            );
             consensus.push((committee.id, result));
             if result.committed {
                 shards.push(ShardInfo::new(
@@ -393,6 +458,30 @@ impl ElasticoSim {
         let final_committee_size = formed[0].members.len() as u32;
         let final_result =
             self.run_pbft(final_committee_size, total_txs, final_digest, "pbft-final")?;
+        let epoch = self.epoch.value();
+        self.obs.emit(
+            "final_block",
+            final_result.latency.as_secs(),
+            &[
+                ("epoch", Value::U64(epoch)),
+                ("committed", Value::Bool(final_result.committed)),
+                ("included", Value::U64(admitted.len() as u64)),
+                ("total_txs", Value::U64(total_txs)),
+                ("latency", Value::F64(final_result.latency.as_secs())),
+            ],
+        );
+        self.obs
+            .observe("epoch.final_latency_s", final_result.latency.as_secs());
+        self.obs.emit(
+            "epoch_end",
+            final_result.latency.as_secs(),
+            &[
+                ("epoch", Value::U64(epoch)),
+                ("shards", Value::U64(shards.len() as u64)),
+                ("admitted", Value::U64(admitted.len() as u64)),
+                ("committed", Value::Bool(final_result.committed)),
+            ],
+        );
         let final_block = FinalBlock {
             epoch: self.epoch,
             committed: final_result.committed,
@@ -452,7 +541,9 @@ impl ElasticoSim {
             net_config,
             rng::fork(&mut self.rng, &format!("{label}-net")),
         )?;
-        PbftRunner::new(config, network, rng::fork(&mut self.rng, label)).run(digest)
+        PbftRunner::new(config, network, rng::fork(&mut self.rng, label))
+            .with_obs(self.obs.clone(), label)
+            .run(digest)
     }
 }
 
@@ -565,6 +656,38 @@ mod tests {
                 c.id
             );
         }
+    }
+
+    #[test]
+    fn telemetry_covers_every_stage_and_is_deterministic() {
+        let run = || {
+            let (obs, buf) = Obs::memory(mvcom_obs::ObsLevel::Events);
+            let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 11)
+                .unwrap()
+                .with_obs(obs.clone());
+            let report = sim.run_epoch().unwrap();
+            assert_eq!(obs.invalid_dropped(), 0);
+            (report, buf.contents())
+        };
+        let (report_a, text_a) = run();
+        let (report_b, text_b) = run();
+        assert_eq!(report_a, report_b);
+        assert_eq!(text_a, text_b, "same seed must replay byte-identically");
+        for needle in [
+            "\"kind\":\"epoch_start\"",
+            "\"kind\":\"pow_done\"",
+            "\"kind\":\"formation_done\"",
+            "\"kind\":\"committee_consensus\"",
+            "\"kind\":\"pbft_done\"",
+            "\"label\":\"pbft-final\"",
+            "\"kind\":\"final_block\"",
+            "\"kind\":\"epoch_end\"",
+        ] {
+            assert!(text_a.contains(needle), "missing {needle}");
+        }
+        // Telemetry must not perturb the simulation itself.
+        let mut silent = ElasticoSim::new(ElasticoConfig::small_test(), 11).unwrap();
+        assert_eq!(silent.run_epoch().unwrap(), report_a);
     }
 
     #[test]

@@ -12,10 +12,9 @@
 //!    deadline is excluded (and recorded as timed out).
 //! 2. **Heartbeat monitoring** — while the scheduler works, the final
 //!    committee pings every submitted committee at a fixed interval
-//!    through [`Network::ping_at`]; the phi-accrual
-//!    [`HeartbeatMonitor`](crate::detector::HeartbeatMonitor) turns
-//!    missed pongs into failure verdicts (paper §V-A: a failed committee
-//!    is perceived as infinite ping latency).
+//!    through [`Network::ping_at`]; the phi-accrual [`HeartbeatMonitor`]
+//!    turns missed pongs into failure verdicts (paper §V-A: a failed
+//!    committee is perceived as infinite ping latency).
 //! 3. **Online re-solving** — each detected failure is forwarded to the
 //!    [`RecoverySelector`], which removes the committee from the
 //!    scheduler's solution space (the MVCom implementation trims the SE
@@ -30,6 +29,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use mvcom_obs::Value;
 use mvcom_simnet::{ChaosConfig, ChaosInjector, ChaosStats, Network, NetworkConfig};
 use mvcom_types::{CommitteeId, Error, NodeId, Result, ShardInfo, SimTime};
 
@@ -199,8 +199,13 @@ impl ElasticoSim {
     ) -> Result<EpochReport> {
         recovery.validate()?;
         let stages = self.run_stages()?;
+        let obs = self.obs().clone();
         let deadline = self.config().consensus_deadline;
         let bytes_per_tx = self.config().bytes_per_tx;
+        obs.add(
+            "chaos.crashes_injected",
+            recovery.chaos.crashes.len() as u64,
+        );
 
         // The submission network: node 0 is the final committee, node 1+i
         // the i-th surviving shard's committee, chaos installed on top.
@@ -229,6 +234,18 @@ impl ElasticoSim {
                 }
                 if attempt > 0 {
                     submission_retries += 1;
+                    obs.emit(
+                        "submission_retry",
+                        at.as_secs(),
+                        &[
+                            (
+                                "committee",
+                                Value::U64(u64::from(shard.committee().value())),
+                            ),
+                            ("attempt", Value::U64(u64::from(attempt))),
+                        ],
+                    );
+                    obs.incr("recovery.retries");
                 }
                 if let Some(t) = net.send(from, FINAL_NODE, payload, at) {
                     arrival = Some(t);
@@ -284,8 +301,31 @@ impl ElasticoSim {
                 }
                 let rtt = net.ping_at(FINAL_NODE, node_of(committee), now);
                 monitor.observe(committee, rtt, now);
+                let phi = monitor.phi(committee, now);
+                // Sample the suspicion trajectory once it becomes
+                // interesting (half the declaration threshold); healthy
+                // committees with φ ≈ 0 stay silent in the event stream.
+                if phi >= recovery.heartbeat.phi_threshold / 2.0 {
+                    obs.emit(
+                        "suspicion",
+                        now.as_secs(),
+                        &[
+                            ("committee", Value::U64(u64::from(committee.value()))),
+                            ("phi", Value::F64(phi)),
+                        ],
+                    );
+                }
                 if monitor.health(committee, now) == CommitteeHealth::Failed {
                     failures_detected.push((committee, now));
+                    obs.emit(
+                        "failure_declared",
+                        now.as_secs(),
+                        &[
+                            ("committee", Value::U64(u64::from(committee.value()))),
+                            ("phi", Value::F64(phi)),
+                        ],
+                    );
+                    obs.incr("recovery.failures_declared");
                     selector.on_failure(committee)?;
                 }
             }
@@ -438,6 +478,36 @@ mod tests {
             report.shards.len() - 1,
             "exactly the victim is excluded"
         );
+    }
+
+    #[test]
+    fn telemetry_traces_an_injected_crash_through_detection() {
+        let crash_at = SimTime::from_secs(2_500.0);
+        let recovery = RecoveryConfig {
+            chaos: ChaosConfig::none()
+                .with_crash(CrashEvent::permanent(submission_node(1), crash_at)),
+            ..RecoveryConfig::paper()
+        };
+        let (obs, buf) = mvcom_obs::Obs::memory(mvcom_obs::ObsLevel::Events);
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 19)
+            .unwrap()
+            .with_obs(obs.clone());
+        let report = sim
+            .run_epoch_recovering(&mut SurvivorsOnly::default(), &recovery)
+            .unwrap();
+        let victim = report.shards[1].committee();
+        let text = buf.contents();
+        let victim_key = format!("\"committee\":{}", victim.value());
+        let suspicion = text
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"suspicion\"") && l.contains(&victim_key))
+            .count();
+        assert!(suspicion > 0, "crash must leave a suspicion series");
+        assert!(
+            text.contains("\"kind\":\"failure_declared\""),
+            "declaration missing:\n{text}"
+        );
+        assert_eq!(obs.invalid_dropped(), 0);
     }
 
     #[test]

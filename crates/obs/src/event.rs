@@ -1,0 +1,216 @@
+//! The event envelope and its deterministic JSONL encoding.
+//!
+//! Every event serializes to exactly one line of JSON with a fixed
+//! envelope — `{"v":1,"seq":N,"t":T,"kind":"…", …fields}` — in a fixed
+//! field order (envelope first, then payload fields in emission order).
+//! The encoder is hand-rolled over `std::fmt` so the byte stream depends
+//! only on the emitted values: same run, same bytes.
+
+use std::fmt::Write as _;
+
+use crate::schema::SCHEMA_VERSION;
+
+/// A telemetry field value.
+///
+/// The set is deliberately flat (no nesting): every documented event kind
+/// is a fixed bag of scalars, which keeps the schema checkable and the
+/// JSONL grep-able.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, ids, iterations, versions).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (utilities, latencies in seconds, suspicion levels). Encoded
+    /// with Rust's shortest-round-trip formatting; non-finite values
+    /// encode as JSON `null`.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (names, labels, enum-like tags).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// One telemetry event, before sequencing and encoding.
+///
+/// `t` is a *logical* timestamp fed by the emitting site (virtual seconds,
+/// simulated seconds, or a round/iteration index — each event kind
+/// documents its clock in OBSERVABILITY.md). Observability never reads the
+/// wall clock, so a trace replays byte-identically for a fixed seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The event kind — one of the names registered in [`crate::schema`].
+    pub kind: &'static str,
+    /// Logical timestamp (unit documented per kind).
+    pub t: f64,
+    /// Payload fields, encoded in this order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Builds an event from a kind, a logical timestamp and a field slice.
+    pub fn new(kind: &'static str, t: f64, fields: &[(&'static str, Value)]) -> Event {
+        Event {
+            kind,
+            t,
+            fields: fields.to_vec(),
+        }
+    }
+}
+
+/// Appends `value` as a JSON scalar.
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::F64(v) => write_f64(out, *v),
+        Value::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Value::Str(v) => write_str(out, v),
+    }
+}
+
+/// Appends `v` using Rust's shortest-round-trip float formatting — the
+/// same bits always print the same bytes. Non-finite floats have no JSON
+/// representation and encode as `null`.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `s` as a JSON string with the mandatory escapes.
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Encodes one event as its JSONL line (no trailing newline).
+pub(crate) fn encode_line(seq: u64, event: &Event) -> String {
+    let mut out = String::with_capacity(64 + event.fields.len() * 24);
+    let _ = write!(out, "{{\"v\":{SCHEMA_VERSION},\"seq\":{seq},\"t\":");
+    write_f64(&mut out, event.t);
+    out.push_str(",\"kind\":");
+    write_str(&mut out, event.kind);
+    for (name, value) in &event.fields {
+        out.push(',');
+        write_str(&mut out, name);
+        out.push(':');
+        write_value(&mut out, value);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_is_first_and_fields_keep_order() {
+        let ev = Event::new(
+            "span_open",
+            1.5,
+            &[("id", Value::U64(3)), ("name", Value::from("formation"))],
+        );
+        assert_eq!(
+            encode_line(7, &ev),
+            r#"{"v":1,"seq":7,"t":1.5,"kind":"span_open","id":3,"name":"formation"}"#
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_becomes_null() {
+        let ev = Event::new(
+            "metric",
+            f64::NAN,
+            &[
+                ("a", Value::F64(0.1 + 0.2)),
+                ("b", Value::F64(f64::INFINITY)),
+                ("c", Value::F64(-0.0)),
+            ],
+        );
+        let line = encode_line(0, &ev);
+        assert!(line.contains("\"t\":null"), "{line}");
+        assert!(line.contains("\"a\":0.30000000000000004"), "{line}");
+        assert!(line.contains("\"b\":null"), "{line}");
+        assert!(line.contains("\"c\":-0"), "{line}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let ev = Event::new("metric", 0.0, &[("name", Value::from("a\"b\\c\nd\u{1}"))]);
+        let line = encode_line(0, &ev);
+        assert!(line.contains(r#""name":"a\"b\\c\nd\u0001""#), "{line}");
+    }
+
+    #[test]
+    fn value_conversions_cover_the_scalars() {
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-3i64), Value::I64(-3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+    }
+}

@@ -1,0 +1,700 @@
+//! The versioned event schema: every kind, field, unit and emitting site.
+//!
+//! This table is the single source of truth for the JSONL wire format.
+//! OBSERVABILITY.md is generated *from prose against this table* — a test
+//! in this module checks that every registered kind is documented there,
+//! so the doc and the code cannot drift silently.
+//!
+//! Every event line carries the envelope `v` (schema version), `seq`
+//! (monotone per sink), `t` (logical timestamp; the unit is per-kind) and
+//! `kind`; the payload fields are listed here. [`validate`] checks an
+//! event against its [`KindSpec`] — unknown kinds, missing required
+//! fields, type mismatches and (for closed kinds) undeclared fields are
+//! all errors. The sink validates every event before encoding it, so a
+//! file produced by this crate conforms to this schema by construction.
+
+use crate::event::{Event, Value};
+use crate::ObsLevel;
+
+/// Version stamp written as `"v"` on every event line. Bump on any
+/// incompatible change to the envelope or a registered kind.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Wire type of a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldType {
+    /// JSON number, unsigned integer range.
+    U64,
+    /// JSON number, signed integer range.
+    I64,
+    /// JSON number (or `null` for a non-finite float).
+    F64,
+    /// JSON string.
+    Str,
+    /// JSON `true`/`false`.
+    Bool,
+}
+
+impl FieldType {
+    fn matches(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (FieldType::U64, Value::U64(_))
+                | (FieldType::I64, Value::I64(_))
+                | (FieldType::F64, Value::F64(_))
+                | (FieldType::Str, Value::Str(_))
+                | (FieldType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+/// One documented field of an event kind.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldSpec {
+    /// Field name on the wire.
+    pub name: &'static str,
+    /// Wire type.
+    pub ty: FieldType,
+    /// `false` for fields that may be omitted.
+    pub required: bool,
+    /// Unit or domain, for the schema document ("s", "iterations", …).
+    pub unit: &'static str,
+}
+
+const fn req(name: &'static str, ty: FieldType, unit: &'static str) -> FieldSpec {
+    FieldSpec {
+        name,
+        ty,
+        required: true,
+        unit,
+    }
+}
+
+const fn opt(name: &'static str, ty: FieldType, unit: &'static str) -> FieldSpec {
+    FieldSpec {
+        name,
+        ty,
+        required: false,
+        unit,
+    }
+}
+
+/// One documented event kind.
+#[derive(Debug, Clone, Copy)]
+pub struct KindSpec {
+    /// The `kind` value on the wire.
+    pub kind: &'static str,
+    /// Minimum [`ObsLevel`] at which the kind is emitted.
+    pub level: ObsLevel,
+    /// The clock feeding `t` for this kind.
+    pub clock: &'static str,
+    /// Where the event is emitted from (crate::module).
+    pub site: &'static str,
+    /// Payload fields.
+    pub fields: &'static [FieldSpec],
+    /// When `true` the kind may carry extra context fields beyond
+    /// `fields` (only the span kinds are open; everything else is closed).
+    pub open: bool,
+}
+
+use FieldType::{Bool, Str, F64, U64};
+
+/// Every event kind of schema v1, in documentation order.
+pub const KINDS: &[KindSpec] = &[
+    // ---- run envelope -------------------------------------------------
+    KindSpec {
+        kind: "run_info",
+        level: ObsLevel::Summary,
+        clock: "constant 0",
+        site: "src/bin/mvcom.rs",
+        fields: &[
+            req("tool", Str, "emitting binary/subcommand"),
+            req("schema", U64, "schema version"),
+            req("seed", U64, "master seed"),
+            req("level", Str, "off|summary|events|trace"),
+        ],
+        open: false,
+    },
+    // ---- spans --------------------------------------------------------
+    KindSpec {
+        kind: "span_open",
+        level: ObsLevel::Events,
+        clock: "emitting site's logical clock",
+        site: "any (span! macro)",
+        fields: &[
+            req("id", U64, "span id, unique per sink"),
+            req("name", Str, "span name"),
+        ],
+        open: true,
+    },
+    KindSpec {
+        kind: "span_close",
+        level: ObsLevel::Events,
+        clock: "emitting site's logical clock",
+        site: "any (span! macro)",
+        fields: &[
+            req("id", U64, "span id of the matching span_open"),
+            req("name", Str, "span name"),
+            req("dur", F64, "t_close − t_open, logical seconds"),
+        ],
+        open: false,
+    },
+    // ---- SE engine (clock: virtual seconds, `vtime`) ------------------
+    KindSpec {
+        kind: "se_init",
+        level: ObsLevel::Events,
+        clock: "virtual seconds",
+        site: "mvcom-core::se::engine",
+        fields: &[
+            req("iter", U64, "iterations executed so far"),
+            req("gamma", U64, "replica count"),
+            req("chains", U64, "total chains across replicas"),
+            req("card_lo", U64, "lowest chain cardinality"),
+            req("card_hi", U64, "highest chain cardinality"),
+            req("instance_len", U64, "|I|, shards in the instance"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "se_point",
+        level: ObsLevel::Events,
+        clock: "virtual seconds",
+        site: "mvcom-core::se::engine",
+        fields: &[
+            req("iter", U64, "iteration"),
+            req(
+                "current_best",
+                F64,
+                "best utility among current chain states",
+            ),
+            req("best_so_far", F64, "best feasible utility since run start"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "se_chain_point",
+        level: ObsLevel::Events,
+        clock: "virtual seconds (engine) / round (lockstep)",
+        site: "mvcom-core::se::{engine,parallel}",
+        fields: &[
+            req("replica", U64, "replica index g"),
+            req("chain", U64, "chain index within the replica"),
+            req("card", U64, "chain cardinality n"),
+            req("iter", U64, "iteration/round"),
+            req("utility", F64, "U_{f_n} of the chain's current solution"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "se_propose",
+        level: ObsLevel::Trace,
+        clock: "virtual seconds (engine) / round (lockstep)",
+        site: "mvcom-core::se::{engine,parallel}",
+        fields: &[
+            req("replica", U64, "replica index"),
+            req("chain", U64, "chain index"),
+            req("iter", U64, "iteration/round"),
+            req("out", U64, "shard index leaving the solution (ĩ)"),
+            req("inc", U64, "shard index entering the solution (ï)"),
+            req("delta", F64, "utility change U_f' − U_f"),
+            req("ln_timer", F64, "ln of the winning exponential timer"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "se_commit",
+        level: ObsLevel::Trace,
+        clock: "virtual seconds (engine) / round (lockstep)",
+        site: "mvcom-core::se::{engine,parallel}",
+        fields: &[
+            req("replica", U64, "replica index"),
+            req("chain", U64, "chain index"),
+            req("iter", U64, "iteration/round"),
+            req("utility", F64, "chain utility after the committed swap"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "se_improve",
+        level: ObsLevel::Events,
+        clock: "virtual seconds (engine) / round (lockstep)",
+        site: "mvcom-core::se::{engine,parallel}",
+        fields: &[
+            req("iter", U64, "iteration/round of the improvement"),
+            req("utility", F64, "new best-so-far utility"),
+            opt("replica", U64, "publishing replica (lockstep only)"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "se_converged",
+        level: ObsLevel::Events,
+        clock: "virtual seconds (engine) / round (lockstep)",
+        site: "mvcom-core::se::{engine,parallel}",
+        fields: &[
+            req("iter", U64, "iteration/round at convergence"),
+            req("best", F64, "best feasible utility at convergence"),
+            req("converged", Bool, "false when the iteration budget ran out"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "se_dynamic",
+        level: ObsLevel::Events,
+        clock: "virtual seconds",
+        site: "mvcom-core::se::engine",
+        fields: &[
+            req("iter", U64, "iteration of the dynamic event"),
+            req("event", Str, "join|leave"),
+            req("committee", U64, "committee id"),
+            req("utility_before", F64, "current best before the event"),
+            req("utility_after", F64, "current best after re-seeding"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "se_checkpoint_save",
+        level: ObsLevel::Events,
+        clock: "virtual seconds",
+        site: "mvcom-core::se::engine",
+        fields: &[
+            req("version", U64, "checkpoint version stamp"),
+            req("iter", U64, "iteration the snapshot was taken at"),
+            req("chains", U64, "chains recorded in the snapshot"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "se_checkpoint_restore",
+        level: ObsLevel::Events,
+        clock: "virtual seconds",
+        site: "mvcom-core::se::engine",
+        fields: &[
+            req("version", U64, "checkpoint version stamp"),
+            req("iter", U64, "iteration resumed from"),
+            req("chains", U64, "chains rebuilt from the snapshot"),
+        ],
+        open: false,
+    },
+    // ---- RESET bus (clock: lockstep round index) ----------------------
+    KindSpec {
+        kind: "reset_publish",
+        level: ObsLevel::Events,
+        clock: "round",
+        site: "mvcom-core::se::parallel (lockstep)",
+        fields: &[
+            req("version", U64, "bus version after the broadcast"),
+            req("replica", U64, "broadcasting replica"),
+            req("iter", U64, "round"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "reset_apply",
+        level: ObsLevel::Events,
+        clock: "round",
+        site: "mvcom-core::se::parallel (lockstep)",
+        fields: &[
+            req("version", U64, "bus version adopted"),
+            req("replica", U64, "applying replica"),
+            req("iter", U64, "round"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "reset_stale",
+        level: ObsLevel::Events,
+        clock: "round",
+        site: "mvcom-core::se::parallel (lockstep)",
+        fields: &[
+            req(
+                "version",
+                U64,
+                "superseded version the signal was stamped against",
+            ),
+            req("replica", U64, "replica whose broadcast lost the race"),
+            req("iter", U64, "round"),
+        ],
+        open: false,
+    },
+    // ---- Elastico epoch (clock: simulated seconds) --------------------
+    KindSpec {
+        kind: "epoch_start",
+        level: ObsLevel::Summary,
+        clock: "simulated seconds (epoch-relative)",
+        site: "mvcom-elastico::epoch",
+        fields: &[
+            req("epoch", U64, "epoch id"),
+            req("nodes", U64, "nodes running PoW"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "pow_done",
+        level: ObsLevel::Events,
+        clock: "simulated seconds",
+        site: "mvcom-elastico::epoch",
+        fields: &[
+            req("epoch", U64, "epoch id"),
+            req("solutions", U64, "PoW solutions found"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "formation_done",
+        level: ObsLevel::Events,
+        clock: "simulated seconds",
+        site: "mvcom-elastico::epoch",
+        fields: &[
+            req("epoch", U64, "epoch id"),
+            req("committees", U64, "committees at/above the minimum size"),
+            req("directory", Bool, "message-level directory protocol used"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "committee_consensus",
+        level: ObsLevel::Events,
+        clock: "simulated seconds",
+        site: "mvcom-elastico::epoch",
+        fields: &[
+            req("epoch", U64, "epoch id"),
+            req("committee", U64, "committee id"),
+            req("committed", Bool, "intra-committee PBFT committed"),
+            req("latency", F64, "consensus latency, s"),
+            req("txs", U64, "shard transaction count"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "final_block",
+        level: ObsLevel::Summary,
+        clock: "simulated seconds",
+        site: "mvcom-elastico::epoch",
+        fields: &[
+            req("epoch", U64, "epoch id"),
+            req("committed", Bool, "final PBFT committed"),
+            req("included", U64, "admitted committees"),
+            req("total_txs", U64, "transactions in the final block"),
+            req("latency", F64, "final consensus latency, s"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "epoch_end",
+        level: ObsLevel::Summary,
+        clock: "simulated seconds",
+        site: "mvcom-elastico::epoch",
+        fields: &[
+            req("epoch", U64, "epoch id"),
+            req("shards", U64, "shards that survived stage 3"),
+            req("admitted", U64, "shards admitted to the final block"),
+            req("committed", Bool, "final block committed"),
+        ],
+        open: false,
+    },
+    // ---- PBFT (clock: simulated seconds) ------------------------------
+    KindSpec {
+        kind: "pbft_phase",
+        level: ObsLevel::Trace,
+        clock: "simulated seconds",
+        site: "mvcom-pbft::runner",
+        fields: &[
+            req("label", Str, "consensus instance label"),
+            req("view", U64, "view number"),
+            req("phase", Str, "pre-prepare|prepared|committed"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "pbft_view_change",
+        level: ObsLevel::Events,
+        clock: "simulated seconds",
+        site: "mvcom-pbft::runner",
+        fields: &[
+            req("label", Str, "consensus instance label"),
+            req("view", U64, "view being abandoned"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "pbft_done",
+        level: ObsLevel::Events,
+        clock: "simulated seconds",
+        site: "mvcom-pbft::runner",
+        fields: &[
+            req("label", Str, "consensus instance label"),
+            req("committed", Bool, "decision reached before the deadline"),
+            req("view", U64, "deciding view"),
+            req("latency", F64, "consensus latency, s"),
+        ],
+        open: false,
+    },
+    // ---- recovery path (clock: simulated seconds) ---------------------
+    KindSpec {
+        kind: "suspicion",
+        level: ObsLevel::Events,
+        clock: "simulated seconds",
+        site: "mvcom-elastico::recovery",
+        fields: &[
+            req("committee", U64, "monitored committee id"),
+            req("phi", F64, "phi-accrual suspicion level (null = infinite)"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "failure_declared",
+        level: ObsLevel::Events,
+        clock: "simulated seconds",
+        site: "mvcom-elastico::recovery",
+        fields: &[
+            req("committee", U64, "failed committee id"),
+            req(
+                "phi",
+                F64,
+                "suspicion level at declaration (null = infinite)",
+            ),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "submission_retry",
+        level: ObsLevel::Events,
+        clock: "simulated seconds",
+        site: "mvcom-elastico::recovery",
+        fields: &[
+            req("committee", U64, "retrying committee id"),
+            req("attempt", U64, "retry ordinal (1 = first retry)"),
+        ],
+        open: false,
+    },
+    // ---- baselines (clock: iteration index) ---------------------------
+    KindSpec {
+        kind: "solver_point",
+        level: ObsLevel::Events,
+        clock: "iteration",
+        site: "mvcom-baselines",
+        fields: &[
+            req("solver", Str, "solver name"),
+            req("iter", U64, "iteration"),
+            req("best", F64, "best utility so far"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "solver_done",
+        level: ObsLevel::Events,
+        clock: "iteration",
+        site: "mvcom-baselines / src/bin/mvcom.rs",
+        fields: &[
+            req("solver", Str, "solver name"),
+            req("iters", U64, "iterations executed"),
+            req("best", F64, "final best utility"),
+        ],
+        open: false,
+    },
+    // ---- metrics flush (clock: emitting site's logical clock) ---------
+    KindSpec {
+        kind: "metric",
+        level: ObsLevel::Summary,
+        clock: "emitting site's logical clock",
+        site: "mvcom-obs::metrics (flush)",
+        fields: &[
+            req(
+                "name",
+                Str,
+                "metric name (naming convention: area.noun_unit)",
+            ),
+            req("metric", Str, "counter|gauge"),
+            req("value", F64, "current value"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "metric_hist",
+        level: ObsLevel::Summary,
+        clock: "emitting site's logical clock",
+        site: "mvcom-obs::metrics (flush)",
+        fields: &[
+            req("name", Str, "histogram name"),
+            req("count", U64, "observations"),
+            req("sum", F64, "sum of observations"),
+            req(
+                "buckets",
+                Str,
+                "cumulative `le<bound>:<count>` pairs, comma-separated",
+            ),
+        ],
+        open: false,
+    },
+];
+
+/// Looks up the spec for `kind`.
+pub fn spec(kind: &str) -> Option<&'static KindSpec> {
+    KINDS.iter().find(|s| s.kind == kind)
+}
+
+/// A schema violation found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The event kind is not registered.
+    UnknownKind(String),
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field is present with the wrong wire type.
+    WrongType(&'static str),
+    /// A closed kind carries a field the schema does not declare.
+    UndeclaredField(String),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::UnknownKind(k) => write!(f, "unknown event kind `{k}`"),
+            SchemaError::MissingField(n) => write!(f, "missing required field `{n}`"),
+            SchemaError::WrongType(n) => write!(f, "field `{n}` has the wrong type"),
+            SchemaError::UndeclaredField(n) => write!(f, "undeclared field `{n}` on a closed kind"),
+        }
+    }
+}
+
+/// Validates `event` against the registry.
+///
+/// # Errors
+///
+/// The first [`SchemaError`] found, in field-declaration order.
+pub fn validate(event: &Event) -> Result<(), SchemaError> {
+    let Some(spec) = spec(event.kind) else {
+        return Err(SchemaError::UnknownKind(event.kind.to_string()));
+    };
+    for field in spec.fields {
+        match event.fields.iter().find(|(n, _)| *n == field.name) {
+            Some((_, value)) if !field.ty.matches(value) => {
+                return Err(SchemaError::WrongType(field.name));
+            }
+            Some(_) => {}
+            None if field.required => return Err(SchemaError::MissingField(field.name)),
+            None => {}
+        }
+    }
+    if !spec.open {
+        for (name, _) in &event.fields {
+            if !spec.fields.iter().any(|f| f.name == *name) {
+                return Err(SchemaError::UndeclaredField((*name).to_string()));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique_and_named_reasonably() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in KINDS {
+            assert!(seen.insert(k.kind), "duplicate kind {}", k.kind);
+            assert!(
+                k.kind
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "kind {} breaks the snake_case convention",
+                k.kind
+            );
+            assert!(!k.fields.is_empty() || k.open, "{} has no payload", k.kind);
+        }
+    }
+
+    #[test]
+    fn validate_accepts_a_well_formed_event() {
+        let ev = Event::new(
+            "reset_publish",
+            3.0,
+            &[
+                ("version", Value::U64(2)),
+                ("replica", Value::U64(0)),
+                ("iter", Value::U64(3)),
+            ],
+        );
+        assert_eq!(validate(&ev), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_each_violation_class() {
+        let unknown = Event::new("nope", 0.0, &[]);
+        assert!(matches!(
+            validate(&unknown),
+            Err(SchemaError::UnknownKind(_))
+        ));
+        let missing = Event::new("reset_publish", 0.0, &[("version", Value::U64(1))]);
+        assert_eq!(
+            validate(&missing),
+            Err(SchemaError::MissingField("replica"))
+        );
+        let wrong = Event::new(
+            "reset_publish",
+            0.0,
+            &[
+                ("version", Value::F64(1.0)),
+                ("replica", Value::U64(0)),
+                ("iter", Value::U64(0)),
+            ],
+        );
+        assert_eq!(validate(&wrong), Err(SchemaError::WrongType("version")));
+        let extra = Event::new(
+            "reset_publish",
+            0.0,
+            &[
+                ("version", Value::U64(1)),
+                ("replica", Value::U64(0)),
+                ("iter", Value::U64(0)),
+                ("bogus", Value::U64(9)),
+            ],
+        );
+        assert!(matches!(
+            validate(&extra),
+            Err(SchemaError::UndeclaredField(_))
+        ));
+    }
+
+    #[test]
+    fn span_kinds_are_open_to_context_fields() {
+        let ev = Event::new(
+            "span_open",
+            0.0,
+            &[
+                ("id", Value::U64(1)),
+                ("name", Value::from("formation")),
+                ("epoch", Value::U64(4)),
+            ],
+        );
+        assert_eq!(validate(&ev), Ok(()));
+    }
+
+    #[test]
+    fn every_kind_is_documented_in_observability_md() {
+        // OBSERVABILITY.md lives at the workspace root, two levels up.
+        let doc = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../OBSERVABILITY.md"
+        ))
+        .expect("OBSERVABILITY.md must exist at the workspace root");
+        for k in KINDS {
+            assert!(
+                doc.contains(&format!("`{}`", k.kind)),
+                "event kind `{}` is not documented in OBSERVABILITY.md",
+                k.kind
+            );
+            for f in k.fields {
+                assert!(
+                    doc.contains(&format!("`{}`", f.name)),
+                    "field `{}` of `{}` is not documented in OBSERVABILITY.md",
+                    f.name,
+                    k.kind
+                );
+            }
+        }
+    }
+}

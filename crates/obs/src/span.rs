@@ -1,0 +1,61 @@
+//! Logical-clock spans: paired `span_open` / `span_close` events.
+
+use crate::{Obs, Value};
+
+/// A span opened by [`Obs::span`] or the [`span!`](crate::span!) macro.
+///
+/// The span carries the opening logical time; [`Span::close`] emits the
+/// matching `span_close` with the duration in the *same* logical clock.
+/// Dropping an open span without closing it emits nothing — a missing
+/// `span_close` in a trace marks work that never finished (a crash or an
+/// injected failure), which is itself signal.
+#[derive(Debug)]
+pub struct Span {
+    state: Option<SpanState>,
+}
+
+#[derive(Debug)]
+struct SpanState {
+    obs: Obs,
+    id: u64,
+    name: &'static str,
+    opened_at: f64,
+}
+
+impl Span {
+    pub(crate) fn disabled() -> Span {
+        Span { state: None }
+    }
+
+    pub(crate) fn open(obs: Obs, id: u64, name: &'static str, opened_at: f64) -> Span {
+        Span {
+            state: Some(SpanState {
+                obs,
+                id,
+                name,
+                opened_at,
+            }),
+        }
+    }
+
+    /// The span id, shared by its open and close events (0 when disabled).
+    pub fn id(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.id)
+    }
+
+    /// Closes the span at logical time `t`, emitting `span_close` with
+    /// `dur = t - opened_at`.
+    pub fn close(mut self, t: f64) {
+        if let Some(s) = self.state.take() {
+            s.obs.emit(
+                "span_close",
+                t,
+                &[
+                    ("id", Value::U64(s.id)),
+                    ("name", Value::from(s.name)),
+                    ("dur", Value::F64(t - s.opened_at)),
+                ],
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Aligned plain-text tables for per-epoch human-readable summaries.
+
+/// A small column-aligned table builder used by the CLI's `--obs-level
+/// summary` output (and by [`MetricsRegistry::render_table`]-style
+/// reports).
+///
+/// [`MetricsRegistry::render_table`]: crate::MetricsRegistry::render_table
+///
+/// ```
+/// let mut table = mvcom_obs::Table::new(&["epoch", "util", "resets"]);
+/// table.row(&["0".into(), "-41.2".into(), "3".into()]);
+/// table.row(&["1".into(), "-39.8".into(), "0".into()]);
+/// let text = table.render();
+/// assert!(text.starts_with("  epoch  util   resets\n"), "{text}");
+/// ```
+#[derive(Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with two-space indentation and column alignment.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (idx, cell) in row.iter().enumerate() {
+                if cell.len() > widths[idx] {
+                    widths[idx] = cell.len();
+                }
+            }
+        }
+        let mut out = String::new();
+        let push_row = |cells: &[String], out: &mut String| {
+            out.push_str("  ");
+            for (idx, cell) in cells.iter().enumerate() {
+                if idx > 0 {
+                    out.push_str("  ");
+                }
+                if idx + 1 == cells.len() {
+                    out.push_str(cell);
+                } else {
+                    out.push_str(&format!("{cell:width$}", width = widths[idx]));
+                }
+            }
+            out.push('\n');
+        };
+        push_row(&self.headers, &mut out);
+        for row in &self.rows {
+            push_row(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align_to_widest_cell() {
+        let mut t = Table::new(&["name", "n"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer-name".into(), "23".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("  name"));
+        assert!(lines[2].starts_with("  longer-name  23"), "{text}");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use mvcom_obs::{Obs, Value};
 use mvcom_simnet::event::Scheduler;
 use mvcom_simnet::{LatencyModel, Network, SimRng};
 use mvcom_types::{Error, Hash32, NodeId, Result, SimTime};
@@ -117,6 +118,8 @@ pub struct PbftRunner {
     config: PbftConfig,
     network: Network,
     rng: SimRng,
+    obs: Obs,
+    label: String,
 }
 
 impl PbftRunner {
@@ -127,7 +130,49 @@ impl PbftRunner {
             config,
             network,
             rng,
+            obs: Obs::off(),
+            label: String::from("pbft"),
         }
+    }
+
+    /// Attaches a telemetry handle; `label` names this consensus instance
+    /// on every `pbft_*` event (e.g. `pbft-committee-3`, `pbft-final`).
+    /// Timestamps are simulated seconds from the instance's proposal.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs, label: &str) -> PbftRunner {
+        self.obs = obs;
+        self.label = label.to_string();
+        self
+    }
+
+    fn emit_phase(&self, t: SimTime, view: u64, phase: &'static str) {
+        self.obs.emit(
+            "pbft_phase",
+            t.as_secs(),
+            &[
+                ("label", Value::from(self.label.as_str())),
+                ("view", Value::U64(view)),
+                ("phase", Value::from(phase)),
+            ],
+        );
+    }
+
+    fn emit_done(&self, result: &ConsensusResult) {
+        self.obs.emit(
+            "pbft_done",
+            result.latency.as_secs(),
+            &[
+                ("label", Value::from(self.label.as_str())),
+                ("committed", Value::Bool(result.committed)),
+                ("view", Value::U64(result.final_view)),
+                ("latency", Value::F64(result.latency.as_secs())),
+            ],
+        );
+        self.obs.incr(if result.committed {
+            "pbft.commits"
+        } else {
+            "pbft.misses"
+        });
     }
 
     /// Executes the protocol to agreement on `digest` (or to the deadline).
@@ -158,7 +203,12 @@ impl PbftRunner {
         // Kick off: leader proposes, every replica arms its view-0 timer.
         // lint: allow(P1, validate() rejects n < 4, so replicas is non-empty)
         let initial = replicas[0].propose(digest);
+        self.emit_phase(SimTime::ZERO, 0, "pre-prepare");
         self.dispatch(initial, 0, &mut sched);
+        // Highest view any replica has entered (for view-change telemetry)
+        // and whether a first local commit has been observed.
+        let mut top_view: u64 = 0;
+        let mut locally_committed = false;
         for i in 0..n {
             sched.schedule_in(
                 self.config.view_timeout,
@@ -213,8 +263,36 @@ impl PbftRunner {
                         {
                             let proposal = replicas[i as usize].propose(digest);
                             if !proposal.is_empty() {
+                                self.emit_phase(now, view, "pre-prepare");
                                 self.dispatch(proposal, i, &mut sched);
                             }
+                        }
+                    }
+                    while let Some(v) = replicas
+                        .iter()
+                        .map(Replica::view)
+                        .max()
+                        .filter(|&v| v > top_view)
+                    {
+                        // Report each abandoned view once, even if a
+                        // replica skipped several views in one delivery.
+                        self.obs.emit(
+                            "pbft_view_change",
+                            now.as_secs(),
+                            &[
+                                ("label", Value::from(self.label.as_str())),
+                                ("view", Value::U64(top_view)),
+                            ],
+                        );
+                        self.obs.incr("pbft.view_changes");
+                        top_view = (top_view + 1).min(v);
+                    }
+                    if !locally_committed {
+                        if let Some(r) = replicas.iter().find(|r| r.committed().is_some()) {
+                            // The first local commit is the earliest point at
+                            // which a prepared certificate is visible here.
+                            locally_committed = true;
+                            self.emit_phase(now, r.view(), "prepared");
                         }
                     }
                     // Termination: quorum of commits.
@@ -231,13 +309,16 @@ impl PbftRunner {
                             .find(|r| r.committed().is_some())
                             .map(|r| r.view())
                             .unwrap_or(0);
-                        return Ok(ConsensusResult {
+                        self.emit_phase(now, final_view, "committed");
+                        let result = ConsensusResult {
                             committed: true,
                             latency: now,
                             digest: d,
                             final_view,
                             messages_delivered: delivered,
-                        });
+                        };
+                        self.emit_done(&result);
+                        return Ok(result);
                     }
                 }
                 Event::ViewTimeout { replica, view } => {
@@ -250,13 +331,15 @@ impl PbftRunner {
                 }
             }
         }
-        Ok(ConsensusResult {
+        let result = ConsensusResult {
             committed: false,
             latency: self.config.deadline,
             digest: Hash32::ZERO,
             final_view: replicas.iter().map(Replica::view).max().unwrap_or(0),
             messages_delivered: delivered,
-        })
+        };
+        self.emit_done(&result);
+        Ok(result)
     }
 
     fn dispatch(&mut self, out: Vec<Outbound>, from: u32, sched: &mut Scheduler<Event>) {
@@ -437,6 +520,35 @@ mod tests {
         )
         .run(digest());
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn telemetry_covers_phases_view_changes_and_completion() {
+        let (obs, buf) = Obs::memory(mvcom_obs::ObsLevel::Trace);
+        let config = PbftConfig::new(4)
+            .unwrap()
+            .with_behavior(0, Behavior::Silent);
+        let mut master = rng::master(4);
+        let network =
+            Network::new(NetworkConfig::lan(config.n), rng::fork(&mut master, "net")).unwrap();
+        let result = PbftRunner::new(config, network, rng::fork(&mut master, "pbft"))
+            .with_obs(obs.clone(), "pbft-test")
+            .run(digest())
+            .unwrap();
+        assert!(result.committed);
+        let text = buf.contents();
+        for needle in [
+            "\"kind\":\"pbft_phase\"",
+            "\"phase\":\"pre-prepare\"",
+            "\"phase\":\"prepared\"",
+            "\"phase\":\"committed\"",
+            "\"kind\":\"pbft_view_change\"",
+            "\"kind\":\"pbft_done\"",
+            "\"label\":\"pbft-test\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert_eq!(obs.invalid_dropped(), 0);
     }
 
     #[test]

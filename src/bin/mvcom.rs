@@ -3,12 +3,16 @@
 //! ```text
 //! mvcom dataset generate [--blocks N] [--seed S] [--out FILE]
 //! mvcom dataset stats <FILE>                      # JSON or CSV trace
-//! mvcom schedule [--committees N] [--alpha A] [--capacity C]
+//! mvcom solve    [--committees N] [--alpha A] [--capacity C]
 //!                [--n-min K] [--solver se|par-se|sa|dp|woa|greedy|bnb]
 //!                [--seed S] [--trace FILE]
+//!                [--obs-out FILE] [--obs-level off|summary|events|trace]
 //! mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]
 //!                [--chaos-drop P] [--crash IDX@SECS[..SECS]] [--heartbeat SECS]
+//!                [--obs-out FILE] [--obs-level off|summary|events|trace]
 //! ```
+//!
+//! `schedule` is accepted as an alias of `solve`.
 //!
 //! Any of `--chaos-drop`, `--crash`, `--heartbeat` switches `simulate` to
 //! the fault-tolerant epoch runner: shards are submitted over a
@@ -16,16 +20,23 @@
 //! member committees, and detected failures are trimmed out of the running
 //! schedule. `--crash` may be repeated; `IDX` addresses the IDX-th
 //! surviving shard's committee (see `submission_node`).
+//!
+//! `--obs-out FILE` streams the structured telemetry documented in
+//! OBSERVABILITY.md as JSON Lines; `--obs-level` picks the verbosity
+//! (default `events`). With telemetry on, `--solver par-se` runs the
+//! deterministic lockstep emulation of the parallel runner, so the event
+//! file is byte-identical across same-seed runs.
 
 use std::process::ExitCode;
 
+use mvcom::obs::Value;
 use mvcom::prelude::*;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("dataset") => dataset(&args[1..]),
-        Some("schedule") => schedule(&args[1..]),
+        Some("solve" | "schedule") => solve(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
         Some("--help" | "-h") | None => {
             print_usage();
@@ -51,11 +62,44 @@ fn print_usage() {
         "usage:\n  \
          mvcom dataset generate [--blocks N] [--seed S] [--out FILE]\n  \
          mvcom dataset stats <FILE>\n  \
-         mvcom schedule [--committees N] [--alpha A] [--capacity C] [--n-min K]\n           \
-         [--solver se|par-se|sa|dp|woa|greedy|bnb] [--seed S] [--trace FILE]\n  \
+         mvcom solve    [--committees N] [--alpha A] [--capacity C] [--n-min K]\n           \
+         [--solver se|par-se|sa|dp|woa|greedy|bnb] [--seed S] [--trace FILE]\n           \
+         [--obs-out FILE] [--obs-level off|summary|events|trace]\n  \
          mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]\n           \
-         [--chaos-drop P] [--crash IDX@SECS[..SECS]] [--heartbeat SECS]"
+         [--chaos-drop P] [--crash IDX@SECS[..SECS]] [--heartbeat SECS]\n           \
+         [--obs-out FILE] [--obs-level off|summary|events|trace]"
     );
+}
+
+/// Builds the telemetry handle from `--obs-out` / `--obs-level` and emits
+/// the `run_info` header. Without `--obs-out` the handle is disabled and
+/// every emission downstream is a no-op.
+fn obs_from_flags(flags: &Flags, tool: &str, seed: u64) -> Result<Obs> {
+    let level = match flags.get("obs-level") {
+        None => ObsLevel::Events,
+        Some(raw) => ObsLevel::parse(raw).ok_or_else(|| {
+            Error::invalid_config(
+                "obs-level",
+                format!("unknown level `{raw}` (use off|summary|events|trace)"),
+            )
+        })?,
+    };
+    let obs = match flags.get("obs-out") {
+        None => Obs::off(),
+        Some(path) => Obs::to_file(level, std::path::Path::new(path))
+            .map_err(|e| Error::invalid_config("obs-out", format!("opening {path}: {e}")))?,
+    };
+    obs.emit(
+        "run_info",
+        0.0,
+        &[
+            ("tool", Value::from(tool)),
+            ("schema", Value::U64(u64::from(mvcom::obs::SCHEMA_VERSION))),
+            ("seed", Value::U64(seed)),
+            ("level", Value::from(level.as_str())),
+        ],
+    );
+    Ok(obs)
 }
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
@@ -183,8 +227,8 @@ fn dataset(args: &[String]) -> Result<()> {
     }
 }
 
-fn schedule(args: &[String]) -> Result<()> {
-    use mvcom::baselines::{dp::DpConfig, sa::SaConfig, woa::WoaConfig};
+fn solve(args: &[String]) -> Result<()> {
+    use mvcom::baselines::{dp::DpConfig, sa::SaConfig, solve_observed, woa::WoaConfig};
     let flags = Flags::parse(args)?;
     let committees: usize = flags.num("committees", 50usize)?;
     let alpha: f64 = flags.num("alpha", 1.5f64)?;
@@ -203,36 +247,63 @@ fn schedule(args: &[String]) -> Result<()> {
         .shards(shards)
         .build()?;
 
+    let obs = obs_from_flags(&flags, "mvcom solve", seed)?;
+    let span = obs.span("solve", 0.0, &[("solver", Value::from(solver))]);
     let mut resets: Option<ResetStats> = None;
+    // The logical end of the run on the solver's iteration clock.
+    let mut t_end = 0.0f64;
     let (name, solution): (String, Solution) = match solver {
         "se" => {
-            let outcome = SeEngine::new(&instance, SeConfig::paper(seed))?.run();
+            let outcome = SeEngine::new(&instance, SeConfig::paper(seed))?
+                .with_obs(obs.clone())
+                .run();
+            t_end = outcome.iterations as f64;
+            obs.emit(
+                "solver_done",
+                t_end,
+                &[
+                    ("solver", Value::from("se")),
+                    ("iters", Value::U64(outcome.iterations)),
+                    ("best", Value::F64(outcome.best_utility)),
+                ],
+            );
             ("SE".into(), outcome.best_solution)
         }
         "par-se" => {
-            let (_, solution, stats) =
-                ParallelRunner::new(SeConfig::paper(seed)).run_with_stats(&instance)?;
+            let config = SeConfig::paper(seed);
+            let runner = ParallelRunner::new(config);
+            // With telemetry on, run the deterministic lockstep emulation
+            // so the event file replays byte-identically per seed; the
+            // threaded runner stays the fast path otherwise.
+            let (_, solution, stats) = if obs.enabled(ObsLevel::Summary) {
+                runner.run_lockstep(&instance, &obs)?
+            } else {
+                runner.run_with_stats(&instance)?
+            };
+            t_end = config.max_iterations as f64;
             resets = Some(stats);
             ("parallel SE".into(), solution)
         }
         "sa" => {
-            let o = SaSolver::new(SaConfig::paper(seed)).solve(&instance)?;
+            let o = solve_observed(&SaSolver::new(SaConfig::paper(seed)), &instance, &obs)?;
+            t_end = o.trajectory.last().map_or(0.0, |&(i, _)| i as f64);
             ("SA".into(), o.best_solution)
         }
         "dp" => {
-            let o = DpSolver::new(DpConfig::paper()).solve(&instance)?;
+            let o = solve_observed(&DpSolver::new(DpConfig::paper()), &instance, &obs)?;
             ("DP".into(), o.best_solution)
         }
         "woa" => {
-            let o = WoaSolver::new(WoaConfig::paper(seed)).solve(&instance)?;
+            let o = solve_observed(&WoaSolver::new(WoaConfig::paper(seed)), &instance, &obs)?;
+            t_end = o.trajectory.last().map_or(0.0, |&(i, _)| i as f64);
             ("WOA".into(), o.best_solution)
         }
         "greedy" => {
-            let o = GreedySolver::new().solve(&instance)?;
+            let o = solve_observed(&GreedySolver::new(), &instance, &obs)?;
             ("greedy".into(), o.best_solution)
         }
         "bnb" => {
-            let o = BnbSolver::default().solve(&instance)?;
+            let o = solve_observed(&BnbSolver::default(), &instance, &obs)?;
             ("branch-and-bound".into(), o.best_solution)
         }
         other => {
@@ -259,6 +330,12 @@ fn schedule(args: &[String]) -> Result<()> {
             "  RESET signals:    {} broadcast, {} applied, {} ignored stale",
             r.broadcast, r.applied, r.ignored_stale
         );
+    }
+    span.close(t_end);
+    obs.flush_metrics(t_end);
+    obs.flush();
+    if let Some(table) = obs.metrics_table() {
+        println!("metrics:\n{table}");
     }
     Ok(())
 }
@@ -309,8 +386,10 @@ fn simulate(args: &[String]) -> Result<()> {
         ));
     }
 
-    let mut sim = ElasticoSim::new(ElasticoConfig::with_nodes(nodes, 12), seed)?;
-    let mut se_selector = SeSelector::adaptive(seed, 0.6);
+    let obs = obs_from_flags(&flags, "mvcom simulate", seed)?;
+    let mut sim =
+        ElasticoSim::new(ElasticoConfig::with_nodes(nodes, 12), seed)?.with_obs(obs.clone());
+    let mut se_selector = SeSelector::adaptive(seed, 0.6).with_obs(obs.clone());
     let recovery = {
         let mut chaos = ChaosConfig::lossy(chaos_drop);
         chaos.crashes = crashes;
@@ -329,7 +408,7 @@ fn simulate(args: &[String]) -> Result<()> {
             ("se", false) => sim.run_epoch_with(&mut se_selector)?,
             ("all", false) => sim.run_epoch_with(&mut WaitForAll)?,
             ("se", true) => {
-                let mut selector = SeRecoverySelector::adaptive(seed, 0.6);
+                let mut selector = SeRecoverySelector::adaptive(seed, 0.6).with_obs(obs.clone());
                 sim.run_epoch_recovering(&mut selector, &recovery)?
             }
             ("all", true) => sim.run_epoch_recovering(&mut SurvivorsOnly::default(), &recovery)?,
@@ -352,6 +431,49 @@ fn simulate(args: &[String]) -> Result<()> {
             report.final_block.total_txs,
             if report.final_block.committed { "committed" } else { "FAILED" },
         );
+        if obs.enabled(ObsLevel::Summary) {
+            let mut table = mvcom::obs::Table::new(&[
+                "committee",
+                "members",
+                "txs",
+                "form s",
+                "pbft s",
+                "status",
+                "admitted",
+            ]);
+            for (cid, res) in &report.consensus {
+                let members = report
+                    .formed
+                    .iter()
+                    .find(|c| c.id == *cid)
+                    .map_or(0, |c| c.members.len());
+                let formation = report
+                    .formed
+                    .iter()
+                    .find(|c| c.id == *cid)
+                    .map_or(0.0, |c| c.formation_latency.as_secs());
+                let txs = report
+                    .shards
+                    .iter()
+                    .find(|s| s.committee() == *cid)
+                    .map_or(0, ShardInfo::tx_count);
+                table.row(&[
+                    cid.value().to_string(),
+                    members.to_string(),
+                    txs.to_string(),
+                    format!("{formation:.0}"),
+                    format!("{:.0}", res.latency.as_secs()),
+                    if res.committed { "committed" } else { "failed" }.to_string(),
+                    if report.final_block.included.contains(cid) {
+                        "yes"
+                    } else {
+                        "no"
+                    }
+                    .to_string(),
+                ]);
+            }
+            print!("{}", table.render());
+        }
         if let Some(r) = report.robustness {
             println!(
                 "  robustness: {} heartbeats ({} missed), {} failures detected, {} stragglers, \
@@ -384,6 +506,11 @@ fn simulate(args: &[String]) -> Result<()> {
             m.chaos_dropped,
             m.degraded_epochs,
         );
+    }
+    obs.flush_metrics(0.0);
+    obs.flush();
+    if let Some(table) = obs.metrics_table() {
+        println!("metrics:\n{table}");
     }
     Ok(())
 }

@@ -55,6 +55,7 @@ pub use mvcom_baselines as baselines;
 pub use mvcom_core as core;
 pub use mvcom_dataset as dataset;
 pub use mvcom_elastico as elastico;
+pub use mvcom_obs as obs;
 pub use mvcom_pbft as pbft;
 pub use mvcom_simnet as simnet;
 pub use mvcom_types as types;
@@ -88,6 +89,7 @@ pub mod prelude {
         submission_node, RecoveryConfig, RecoverySelector, RobustnessReport, SurvivorsOnly,
         FINAL_NODE,
     };
+    pub use mvcom_obs::{Obs, ObsLevel};
     pub use mvcom_simnet::{ChaosConfig, ChaosInjector, ChaosStats, CrashEvent};
     pub use mvcom_types::{
         CommitteeId, EpochId, Error, Hash32, NodeId, Result, ShardInfo, SimTime, TwoPhaseLatency,
@@ -136,6 +138,7 @@ pub struct SeSelector {
     pub n_max_fraction: f64,
     /// The SE engine configuration.
     pub se: SeConfig,
+    obs: mvcom_obs::Obs,
 }
 
 /// How a [`SeSelector`] derives the final-block capacity `Ĉ` for an epoch.
@@ -176,7 +179,16 @@ impl SeSelector {
             n_min_fraction: 0.5,
             n_max_fraction: 0.8,
             se: SeConfig::paper(seed),
+            obs: mvcom_obs::Obs::off(),
         }
+    }
+
+    /// Attaches a telemetry handle: each epoch's SE run emits the `se_*`
+    /// events documented in OBSERVABILITY.md.
+    #[must_use]
+    pub fn with_obs(mut self, obs: mvcom_obs::Obs) -> SeSelector {
+        self.obs = obs;
+        self
     }
 
     /// A workload-adaptive selector: `Ĉ` is the given fraction of the
@@ -223,7 +235,7 @@ impl ShardSelector for SeSelector {
         };
         match SeEngine::new(&instance, self.se) {
             Ok(engine) => {
-                let outcome = engine.run();
+                let outcome = engine.with_obs(self.obs.clone()).run();
                 outcome
                     .best_solution
                     .iter_selected()
@@ -267,6 +279,7 @@ pub struct SeRecoverySelector {
     shards: Vec<ShardInfo>,
     events: Vec<EventRecord>,
     chains_restored: usize,
+    obs: mvcom_obs::Obs,
 }
 
 impl SeRecoverySelector {
@@ -284,7 +297,17 @@ impl SeRecoverySelector {
             shards: Vec::new(),
             events: Vec::new(),
             chains_restored: 0,
+            obs: mvcom_obs::Obs::off(),
         }
+    }
+
+    /// Attaches a telemetry handle: the live engine emits `se_*` events and
+    /// each handled failure emits the `se_checkpoint_save` /
+    /// `se_checkpoint_restore` / `se_dynamic` sequence.
+    #[must_use]
+    pub fn with_obs(mut self, obs: mvcom_obs::Obs) -> SeRecoverySelector {
+        self.obs = obs;
+        self
     }
 
     /// The utility perturbations recorded around each handled failure.
@@ -321,7 +344,9 @@ impl RecoverySelector for SeRecoverySelector {
             Ok(instance) => instance,
             Err(_) => return Ok(()), // fall back to admitting every survivor
         };
-        self.engine = SeEngine::new(&instance, self.se).ok();
+        self.engine = SeEngine::new(&instance, self.se)
+            .ok()
+            .map(|e| e.with_obs(self.obs.clone()));
         Ok(())
     }
 
@@ -358,7 +383,8 @@ impl RecoverySelector for SeRecoverySelector {
             .map_err(|e| Error::simulation(format!("checkpoint encode failed: {e}")))?;
         let ckpt: mvcom_core::se::SeCheckpoint = serde_json::from_str(&json)
             .map_err(|e| Error::simulation(format!("checkpoint decode failed: {e}")))?;
-        let mut restored = SeEngine::from_checkpoint(&instance, config, &ckpt)?;
+        let mut restored =
+            SeEngine::from_checkpoint(&instance, config, &ckpt)?.with_obs(self.obs.clone());
         self.chains_restored += restored.restored_chains();
         // §V solution-space surgery: trim the dead committee, keep going.
         match restored.handle_leave(committee, DynamicsPolicy::Trim) {
