@@ -3,11 +3,15 @@
 //! ```text
 //! repro all [--quick] [--out DIR]      # every figure
 //! repro fig8 fig10 [--quick]           # selected figures
+//! repro fig8 --threads 4               # fan sweep points across threads
 //! repro --list                         # available figures
 //! ```
 //!
 //! CSVs are written under `--out` (default `results/`); a summary with
-//! shape-check verdicts is printed per figure.
+//! shape-check verdicts is printed per figure. `--threads N` (or the
+//! `MVCOM_THREADS` environment variable) fans each figure's independent
+//! sweep points across worker threads — outputs are byte-identical to the
+//! serial run at any thread count, only wall-clock changes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,6 +39,15 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => scale = Scale::Quick,
             "--list" => list = true,
             "--svg" => svg = true,
+            "--threads" => {
+                let value = argv
+                    .next()
+                    .ok_or_else(|| "--threads needs a count".to_string())?;
+                let threads: usize = value
+                    .parse()
+                    .map_err(|_| format!("--threads needs a number, got `{value}`"))?;
+                mvcom_bench::harness::set_threads(threads);
+            }
             "--out" => {
                 out = PathBuf::from(
                     argv.next()
@@ -62,7 +75,9 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: repro <figure…|all> [--quick] [--svg] [--out DIR] [--list]");
+            eprintln!(
+                "usage: repro <figure…|all> [--quick] [--svg] [--threads N] [--out DIR] [--list]"
+            );
             return ExitCode::FAILURE;
         }
     };

@@ -4,8 +4,16 @@
 use mvcom_types::Result;
 
 use crate::harness::{
-    downsample, paper_instance, run_all_algorithms, runs_as_events, FigureReport, Scale,
+    downsample, paper_instance, run_all_algorithms, run_tasks, runs_as_events, FigureReport, Scale,
 };
+
+/// One |I| point's products, merged into the report in sweep order.
+struct SizePoint {
+    rows: Vec<Vec<String>>,
+    events: Option<String>,
+    gap: (usize, f64, f64, f64, f64, f64),
+    note: String,
+}
 
 /// Runs the |I_j| sweep.
 pub fn run(scale: Scale) -> Result<FigureReport> {
@@ -14,52 +22,75 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
         Scale::Quick => vec![50, 80, 100],
     };
     let iters = scale.iters(3_000);
+    // One task per |I|: seeds derive from the sweep index, so the
+    // parallel fan-out merges byte-identically to the serial loop.
+    let last = sizes.len() - 1;
+    let tasks: Vec<_> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            move || -> Result<SizePoint> {
+                let instance = paper_instance(n, 1_000 * n as u64, 1.5, 11_000 + i as u64)?;
+                let runs = run_all_algorithms(&instance, iters, 10, 11_100 + i as u64)?;
+                // Obs event file for the largest sweep point (see
+                // OBSERVABILITY.md; feed it to `obs_report` for the mixing
+                // summary).
+                let events = (i == last).then(|| runs_as_events(&runs, 150));
+                let mut rows = Vec::new();
+                for r in &runs {
+                    for &(iter, u) in downsample(&r.trajectory, 150).iter() {
+                        rows.push(vec![
+                            n.to_string(),
+                            r.name.to_string(),
+                            iter.to_string(),
+                            format!("{u:.2}"),
+                        ]);
+                    }
+                }
+                let get = |name: &str| {
+                    runs.iter()
+                        .find(|r| r.name == name)
+                        .map(|r| r.utility)
+                        // lint: allow(P1, the sweep ran every named algorithm)
+                        .expect("algorithm present")
+                };
+                // Starting utility of the SE trajectory: anchors the
+                // optimality gap to the scale the solvers actually traverse.
+                let se_start = runs
+                    .iter()
+                    .find(|r| r.name == "SE")
+                    .and_then(|r| r.trajectory.first())
+                    .map(|&(_, u)| u)
+                    .unwrap_or(0.0);
+                Ok(SizePoint {
+                    rows,
+                    events,
+                    gap: (n, get("SE"), get("SA"), get("DP"), get("WOA"), se_start),
+                    note: format!(
+                        "|I|={n}: SE {:.1}, SA {:.1}, DP {:.1}, WOA {:.1}",
+                        get("SE"),
+                        get("SA"),
+                        get("DP"),
+                        get("WOA")
+                    ),
+                })
+            }
+        })
+        .collect();
+    let points = run_tasks(tasks)?;
+
     let mut report = FigureReport::new("fig11");
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut gaps = Vec::new();
-    for (i, &n) in sizes.iter().enumerate() {
-        let instance = paper_instance(n, 1_000 * n as u64, 1.5, 11_000 + i as u64)?;
-        let runs = run_all_algorithms(&instance, iters, 10, 11_100 + i as u64)?;
-        // Obs event file for the largest sweep point (see OBSERVABILITY.md;
-        // feed it to `obs_report` for the mixing summary).
-        if i + 1 == sizes.len() {
+    for point in points {
+        if let Some(events) = point.events {
             report
                 .files
-                .push(("fig11.events.jsonl".to_string(), runs_as_events(&runs, 150)));
+                .push(("fig11.events.jsonl".to_string(), events));
         }
-        for r in &runs {
-            for &(iter, u) in downsample(&r.trajectory, 150).iter() {
-                rows.push(vec![
-                    n.to_string(),
-                    r.name.to_string(),
-                    iter.to_string(),
-                    format!("{u:.2}"),
-                ]);
-            }
-        }
-        let get = |name: &str| {
-            runs.iter()
-                .find(|r| r.name == name)
-                .map(|r| r.utility)
-                // lint: allow(P1, the sweep ran every named algorithm)
-                .expect("algorithm present")
-        };
-        // Starting utility of the SE trajectory: anchors the optimality
-        // gap to the scale the solvers actually traverse.
-        let se_start = runs
-            .iter()
-            .find(|r| r.name == "SE")
-            .and_then(|r| r.trajectory.first())
-            .map(|&(_, u)| u)
-            .unwrap_or(0.0);
-        gaps.push((n, get("SE"), get("SA"), get("DP"), get("WOA"), se_start));
-        report.note(format!(
-            "|I|={n}: SE {:.1}, SA {:.1}, DP {:.1}, WOA {:.1}",
-            get("SE"),
-            get("SA"),
-            get("DP"),
-            get("WOA")
-        ));
+        rows.extend(point.rows);
+        gaps.push(point.gap);
+        report.note(point.note);
     }
     report.add_csv(
         "fig11.csv",

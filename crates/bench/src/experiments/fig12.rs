@@ -3,49 +3,77 @@
 
 use mvcom_types::Result;
 
-use crate::harness::{downsample, paper_instance, run_all_algorithms, FigureReport, Scale};
+use crate::harness::{
+    downsample, paper_instance, run_all_algorithms, run_tasks, FigureReport, Scale,
+};
 
 /// The α values the paper sweeps.
 pub const ALPHAS: [f64; 3] = [1.5, 5.0, 10.0];
+
+/// One α point's products, merged into the report in sweep order.
+struct AlphaPoint {
+    rows: Vec<Vec<String>>,
+    utilities: (f64, f64, f64, f64, f64),
+    note: String,
+}
 
 /// Runs the α sweep.
 pub fn run(scale: Scale) -> Result<FigureReport> {
     let n = scale.committees(50).max(20);
     let capacity = 1_000 * n as u64;
     let iters = scale.iters(3_000);
+    // One task per α: seeds derive from the sweep index alone, so the
+    // parallel fan-out merges byte-identically to the serial loop.
+    let tasks: Vec<_> = ALPHAS
+        .iter()
+        .enumerate()
+        .map(|(i, &alpha)| {
+            move || -> Result<AlphaPoint> {
+                let instance = paper_instance(n, capacity, alpha, 12_000)?;
+                let runs = run_all_algorithms(&instance, iters, 25, 12_100 + i as u64)?;
+                let mut rows = Vec::new();
+                for r in &runs {
+                    for &(iter, u) in downsample(&r.trajectory, 150).iter() {
+                        rows.push(vec![
+                            format!("{alpha}"),
+                            r.name.to_string(),
+                            iter.to_string(),
+                            format!("{u:.2}"),
+                        ]);
+                    }
+                }
+                let get = |name: &str| {
+                    runs.iter()
+                        .find(|r| r.name == name)
+                        .map(|r| r.utility)
+                        // lint: allow(P1, the sweep ran every named algorithm)
+                        .expect("algorithm present")
+                };
+                Ok(AlphaPoint {
+                    rows,
+                    utilities: (alpha, get("SE"), get("SA"), get("DP"), get("WOA")),
+                    note: format!(
+                        "α={alpha}: SE {:.1}, SA {:.1}, DP {:.1}, WOA {:.1}",
+                        get("SE"),
+                        get("SA"),
+                        get("DP"),
+                        get("WOA")
+                    ),
+                })
+            }
+        })
+        .collect();
+    let points = run_tasks(tasks)?;
+
     let mut report = FigureReport::new("fig12");
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut se_by_alpha = Vec::new();
     let mut all_by_alpha = Vec::new();
-    for (i, &alpha) in ALPHAS.iter().enumerate() {
-        let instance = paper_instance(n, capacity, alpha, 12_000)?;
-        let runs = run_all_algorithms(&instance, iters, 25, 12_100 + i as u64)?;
-        for r in &runs {
-            for &(iter, u) in downsample(&r.trajectory, 150).iter() {
-                rows.push(vec![
-                    format!("{alpha}"),
-                    r.name.to_string(),
-                    iter.to_string(),
-                    format!("{u:.2}"),
-                ]);
-            }
-        }
-        let get = |name: &str| {
-            runs.iter()
-                .find(|r| r.name == name)
-                .map(|r| r.utility)
-                // lint: allow(P1, the sweep ran every named algorithm)
-                .expect("algorithm present")
-        };
-        se_by_alpha.push(get("SE"));
-        all_by_alpha.push((alpha, get("SE"), get("SA"), get("DP"), get("WOA")));
-        report.note(format!(
-            "α={alpha}: SE {:.1}, SA {:.1}, DP {:.1}, WOA {:.1}",
-            get("SE"),
-            get("SA"),
-            get("DP"),
-            get("WOA")
-        ));
+    for point in points {
+        rows.extend(point.rows);
+        se_by_alpha.push(point.utilities.1);
+        all_by_alpha.push(point.utilities);
+        report.note(point.note);
     }
     report.add_csv(
         "fig12.csv",

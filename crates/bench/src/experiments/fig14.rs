@@ -10,9 +10,18 @@ use mvcom_core::se::SeConfig;
 use mvcom_types::{CommitteeId, Result, ShardInfo};
 
 use crate::experiments::fig12::ALPHAS;
-use crate::harness::{downsample, paper_instance, run_all_algorithms, FigureReport, Scale};
+use crate::harness::{
+    downsample, paper_instance, run_all_algorithms, run_tasks, FigureReport, Scale,
+};
 
 const JOINS: usize = 23;
+
+/// One α point's products, merged into the report in sweep order.
+struct AlphaPoint {
+    rows: Vec<Vec<String>>,
+    verdict: (f64, f64, f64),
+    note: String,
+}
 
 /// Runs the online-joins α sweep.
 pub fn run(scale: Scale) -> Result<FigureReport> {
@@ -21,87 +30,110 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
     let n_start = n_final - n_joins;
     let capacity = 800 * n_final as u64; // Ĉ = 40K at |I| = 50
     let iters = scale.iters(3_000);
+    // One task per α: seeds derive from the sweep index alone, so the
+    // parallel fan-out merges byte-identically to the serial loop.
+    let tasks: Vec<_> = ALPHAS
+        .iter()
+        .enumerate()
+        .map(|(ai, &alpha)| {
+            move || -> Result<AlphaPoint> {
+                // The online SE path: start small, absorb joins.
+                let start = paper_instance(n_start, capacity, alpha, 14_000 + ai as u64)?;
+                let donor = paper_instance(n_joins, capacity, alpha, 14_050 + ai as u64)?;
+                let events: Vec<TimedEvent> = donor
+                    .shards()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, s)| {
+                        let relabeled = ShardInfo::new(
+                            CommitteeId(20_000 + k as u32),
+                            s.tx_count(),
+                            s.latency(),
+                        );
+                        TimedEvent::join(
+                            iters / 10 + (k as u64) * (iters / (2 * n_joins as u64)),
+                            relabeled,
+                        )
+                    })
+                    .collect();
+                let config = SeConfig {
+                    gamma: 25,
+                    max_iterations: iters,
+                    convergence_window: 0,
+                    record_every: 1,
+                    ..SeConfig::paper(14_100 + ai as u64)
+                };
+                let online = run_online(&start, config, &events, DynamicsPolicy::Reinitialize)?;
+                let mut rows = Vec::new();
+                for p in downsample(online.outcome.trajectory.points(), 150) {
+                    rows.push(vec![
+                        format!("{alpha}"),
+                        "SE-online".to_string(),
+                        p.iteration.to_string(),
+                        format!("{:.2}", p.current_best),
+                    ]);
+                }
+
+                // Offline baselines on the final epoch (same shard
+                // population).
+                let mut final_shards = start.shards().to_vec();
+                final_shards.extend(events.iter().map(|e| match e.kind {
+                    mvcom_core::dynamics::EventKind::Join(s) => s,
+                    mvcom_core::dynamics::EventKind::Leave(_) => unreachable!("joins only"),
+                }));
+                let final_instance = mvcom_core::problem::InstanceBuilder::new()
+                    .alpha(alpha)
+                    .capacity(capacity)
+                    .n_min(start.n_min())
+                    .shards(final_shards)
+                    .build()?;
+                let runs = run_all_algorithms(&final_instance, iters, 25, 14_200 + ai as u64)?;
+                for r in &runs {
+                    if r.name == "SE" {
+                        continue; // SE is represented by its online run
+                    }
+                    for &(iter, u) in downsample(&r.trajectory, 150).iter() {
+                        rows.push(vec![
+                            format!("{alpha}"),
+                            r.name.to_string(),
+                            iter.to_string(),
+                            format!("{u:.2}"),
+                        ]);
+                    }
+                }
+                let get = |name: &str| {
+                    runs.iter()
+                        .find(|r| r.name == name)
+                        .map(|r| r.utility)
+                        // lint: allow(P1, the sweep ran every named algorithm)
+                        .expect("algorithm present")
+                };
+                let se_online = online.outcome.best_utility;
+                let best_baseline = get("SA").max(get("DP")).max(get("WOA"));
+                Ok(AlphaPoint {
+                    rows,
+                    verdict: (alpha, se_online, best_baseline),
+                    note: format!(
+                        "α={alpha}: SE-online {:.1} vs offline SA {:.1}, DP {:.1}, WOA {:.1} ({} joins applied)",
+                        se_online,
+                        get("SA"),
+                        get("DP"),
+                        get("WOA"),
+                        online.events.len()
+                    ),
+                })
+            }
+        })
+        .collect();
+    let points = run_tasks(tasks)?;
+
     let mut report = FigureReport::new("fig14");
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut verdicts = Vec::new();
-    for (ai, &alpha) in ALPHAS.iter().enumerate() {
-        // The online SE path: start small, absorb joins.
-        let start = paper_instance(n_start, capacity, alpha, 14_000 + ai as u64)?;
-        let donor = paper_instance(n_joins, capacity, alpha, 14_050 + ai as u64)?;
-        let events: Vec<TimedEvent> = donor
-            .shards()
-            .iter()
-            .enumerate()
-            .map(|(k, s)| {
-                let relabeled =
-                    ShardInfo::new(CommitteeId(20_000 + k as u32), s.tx_count(), s.latency());
-                TimedEvent::join(
-                    iters / 10 + (k as u64) * (iters / (2 * n_joins as u64)),
-                    relabeled,
-                )
-            })
-            .collect();
-        let config = SeConfig {
-            gamma: 25,
-            max_iterations: iters,
-            convergence_window: 0,
-            record_every: 1,
-            ..SeConfig::paper(14_100 + ai as u64)
-        };
-        let online = run_online(&start, config, &events, DynamicsPolicy::Reinitialize)?;
-        for p in downsample(online.outcome.trajectory.points(), 150) {
-            rows.push(vec![
-                format!("{alpha}"),
-                "SE-online".to_string(),
-                p.iteration.to_string(),
-                format!("{:.2}", p.current_best),
-            ]);
-        }
-
-        // Offline baselines on the final epoch (same shard population).
-        let mut final_shards = start.shards().to_vec();
-        final_shards.extend(events.iter().map(|e| match e.kind {
-            mvcom_core::dynamics::EventKind::Join(s) => s,
-            mvcom_core::dynamics::EventKind::Leave(_) => unreachable!("joins only"),
-        }));
-        let final_instance = mvcom_core::problem::InstanceBuilder::new()
-            .alpha(alpha)
-            .capacity(capacity)
-            .n_min(start.n_min())
-            .shards(final_shards)
-            .build()?;
-        let runs = run_all_algorithms(&final_instance, iters, 25, 14_200 + ai as u64)?;
-        for r in &runs {
-            if r.name == "SE" {
-                continue; // SE is represented by its online run
-            }
-            for &(iter, u) in downsample(&r.trajectory, 150).iter() {
-                rows.push(vec![
-                    format!("{alpha}"),
-                    r.name.to_string(),
-                    iter.to_string(),
-                    format!("{u:.2}"),
-                ]);
-            }
-        }
-        let get = |name: &str| {
-            runs.iter()
-                .find(|r| r.name == name)
-                .map(|r| r.utility)
-                // lint: allow(P1, the sweep ran every named algorithm)
-                .expect("algorithm present")
-        };
-        let se_online = online.outcome.best_utility;
-        let best_baseline = get("SA").max(get("DP")).max(get("WOA"));
-        verdicts.push((alpha, se_online, best_baseline));
-        report.note(format!(
-            "α={alpha}: SE-online {:.1} vs offline SA {:.1}, DP {:.1}, WOA {:.1} ({} joins applied)",
-            se_online,
-            get("SA"),
-            get("DP"),
-            get("WOA"),
-            online.events.len()
-        ));
+    for point in points {
+        rows.extend(point.rows);
+        verdicts.push(point.verdict);
+        report.note(point.note);
     }
     report.add_csv(
         "fig14.csv",

@@ -5,7 +5,18 @@ use mvcom_core::se::{SeConfig, SeEngine};
 use mvcom_obs::{Obs, ObsLevel};
 use mvcom_types::Result;
 
-use crate::harness::{downsample, paper_instance, FigureReport, Scale};
+use crate::harness::{
+    downsample, downsample_events_jsonl, paper_instance, run_tasks, FigureReport, Scale,
+    MAX_EVENT_LINES,
+};
+
+/// One Γ point's products, merged into the report in sweep order.
+struct GammaPoint {
+    gamma: usize,
+    rows: Vec<Vec<f64>>,
+    events: Option<String>,
+    utility: f64,
+}
 
 /// Runs the Γ sweep.
 pub fn run(scale: Scale) -> Result<FigureReport> {
@@ -15,41 +26,65 @@ pub fn run(scale: Scale) -> Result<FigureReport> {
     let gammas: &[usize] = &[1, 5, 10, 15, 20, 25];
     let instance = paper_instance(n, capacity, 1.5, 8_000)?;
 
+    // One task per Γ. Every seed is a function of the parameter point
+    // alone (never of execution order), so `run_tasks` merges the fan-out
+    // byte-identically to a serial sweep at any thread count.
+    let instance_ref = &instance;
+    let tasks: Vec<_> = gammas
+        .iter()
+        .map(|&gamma| {
+            move || -> Result<GammaPoint> {
+                let config = SeConfig {
+                    gamma,
+                    max_iterations: iters,
+                    convergence_window: 0,
+                    record_every: 1,
+                    ..SeConfig::paper(8_001)
+                };
+                // The saturation point Γ=10 also records a live obs event
+                // stream (se_init/se_point/se_improve/se_converged) next to
+                // the CSV — telemetry is emission-only, so the trajectory
+                // is unchanged. The stream is downsampled to the artifact
+                // cap before it lands in the repo.
+                let mut events = None;
+                let outcome = if gamma == 10 {
+                    let (obs, buf) = Obs::memory(ObsLevel::Events);
+                    let outcome = SeEngine::new(instance_ref, config)?
+                        .with_obs(obs.clone())
+                        .run();
+                    obs.flush();
+                    events = Some(downsample_events_jsonl(&buf.contents(), MAX_EVENT_LINES));
+                    outcome
+                } else {
+                    SeEngine::new(instance_ref, config)?.run()
+                };
+                let rows = downsample(outcome.trajectory.points(), 300)
+                    .iter()
+                    .map(|p| vec![gamma as f64, p.iteration as f64, p.current_best])
+                    .collect();
+                Ok(GammaPoint {
+                    gamma,
+                    rows,
+                    events,
+                    utility: outcome.best_utility,
+                })
+            }
+        })
+        .collect();
+    let points = run_tasks(tasks)?;
+
     let mut report = FigureReport::new("fig8");
     let mut finals = Vec::new();
     let mut rows: Vec<Vec<f64>> = Vec::new();
-    for &gamma in gammas {
-        let config = SeConfig {
-            gamma,
-            max_iterations: iters,
-            convergence_window: 0,
-            record_every: 1,
-            ..SeConfig::paper(8_001)
-        };
-        // The saturation point Γ=10 also records a live obs event stream
-        // (se_init/se_point/se_improve/se_converged) next to the CSV —
-        // telemetry is emission-only, so the trajectory is unchanged.
-        let outcome = if gamma == 10 {
-            let (obs, buf) = Obs::memory(ObsLevel::Events);
-            let outcome = SeEngine::new(&instance, config)?
-                .with_obs(obs.clone())
-                .run();
-            obs.flush();
-            report
-                .files
-                .push(("fig8.events.jsonl".to_string(), buf.contents()));
-            outcome
-        } else {
-            SeEngine::new(&instance, config)?.run()
-        };
-        let points = downsample(outcome.trajectory.points(), 300);
-        for p in &points {
-            rows.push(vec![gamma as f64, p.iteration as f64, p.current_best]);
+    for point in points {
+        if let Some(events) = point.events {
+            report.files.push(("fig8.events.jsonl".to_string(), events));
         }
-        finals.push((gamma, outcome.best_utility));
+        rows.extend(point.rows);
+        finals.push((point.gamma, point.utility));
         report.note(format!(
-            "Γ={gamma}: converged utility {:.1}",
-            outcome.best_utility
+            "Γ={}: converged utility {:.1}",
+            point.gamma, point.utility
         ));
     }
     report.add_csv("fig8.csv", &["gamma", "iteration", "utility"], rows);

@@ -12,7 +12,7 @@ pub mod fig9;
 
 use mvcom_types::{Error, Result};
 
-use crate::harness::{FigureReport, Scale};
+use crate::harness::{FigureReport, Scale, MAX_EVENT_LINES};
 
 /// All figure identifiers, in paper order, plus the extra ablations.
 pub const ALL: &[&str] = &[
@@ -37,6 +37,30 @@ pub const ALL: &[&str] = &[
 /// [`Error::InvalidConfig`] for unknown names; otherwise propagates the
 /// experiment's own errors.
 pub fn run(name: &str, scale: Scale) -> Result<FigureReport> {
+    let mut report = dispatch(name, scale)?;
+    // Artifact size guard: an emitted event stream over the cap fails the
+    // figure's shape checks (experiments must downsample — see
+    // `harness::downsample_events_jsonl`) so `results/` can't silently
+    // accumulate 100k-line JSONL files again.
+    for (path, text) in report
+        .files
+        .iter()
+        .filter(|(path, _)| path.ends_with(".events.jsonl"))
+    {
+        let lines = text.lines().count();
+        report.summary.push(format!(
+            "[{}] event artifact {path} within the {MAX_EVENT_LINES}-line cap ({lines} lines)",
+            if lines <= MAX_EVENT_LINES {
+                "OK"
+            } else {
+                "MISMATCH"
+            }
+        ));
+    }
+    Ok(report)
+}
+
+fn dispatch(name: &str, scale: Scale) -> Result<FigureReport> {
     match name {
         "fig2a" => fig2::fig2a(scale),
         "fig2b" => fig2::fig2b(scale),

@@ -3,6 +3,9 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
 
 use mvcom_baselines::{dp::DpConfig, sa::SaConfig, woa::WoaConfig};
 use mvcom_baselines::{DpSolver, SaSolver, Solver, WoaSolver};
@@ -45,6 +48,86 @@ impl Scale {
             Scale::Quick => (full / 4).max(2),
         }
     }
+}
+
+/// Worker-thread count for [`run_tasks`]. `0` means "not yet resolved":
+/// the first read falls back to `MVCOM_THREADS` (then 1).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads figure experiments fan their independent
+/// points across. Defaults to the `MVCOM_THREADS` environment variable,
+/// or serial (1) when unset.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => std::env::var("MVCOM_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1),
+        t => t,
+    }
+}
+
+/// Overrides the worker-thread count (the bench bins' `--threads` knob).
+/// Values below 1 are clamped to 1.
+pub fn set_threads(threads: usize) {
+    THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// Runs independent closures across [`threads`] worker threads and
+/// returns their results **in task order**.
+///
+/// This is the deterministic fan-out primitive behind the figure
+/// experiments: each task owns its own seeds (the experiments derive them
+/// from the task's parameter point, never from execution order), workers
+/// claim tasks dynamically off a shared counter, and results are written
+/// into per-task slots — so the merged output is byte-identical to the
+/// serial run at any thread count, only wall-clock changes. Same
+/// `crossbeam::scope` pattern as `mvcom_core::se::parallel`.
+///
+/// With one thread (the default) the tasks run inline on the caller's
+/// thread with no synchronization at all.
+///
+/// # Errors
+///
+/// Returns the first failing task's error (in task order), or
+/// [`mvcom_types::Error::Simulation`] if a worker thread panicked.
+pub fn run_tasks<T, F>(tasks: Vec<F>) -> Result<Vec<T>>
+where
+    T: Send,
+    F: FnOnce() -> Result<T> + Send,
+{
+    let workers = threads().min(tasks.len());
+    if workers <= 1 {
+        return tasks.into_iter().map(|task| task()).collect();
+    }
+    let total = tasks.len();
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<Result<T>>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let task = slots[index].lock().take();
+                if let Some(task) = task {
+                    *results[index].lock() = Some(task());
+                }
+            });
+        }
+    })
+    .map_err(|_| mvcom_types::Error::simulation("experiment worker thread panicked"))?;
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                // lint: allow(P1, every index below `total` was claimed exactly once)
+                .expect("task slot filled")
+        })
+        .collect()
 }
 
 /// The output of one figure experiment: CSV files plus a textual summary
@@ -233,6 +316,82 @@ pub fn downsample<T: Copy>(points: &[T], max_points: usize) -> Vec<T> {
     out
 }
 
+/// Ceiling on the line count of `.events.jsonl` artifacts a figure may
+/// emit; `experiments::run` fails the figure's shape checks above it so
+/// event streams can't silently bloat the repository again (the original
+/// `fig8.events.jsonl` was 122k lines).
+pub const MAX_EVENT_LINES: usize = 5_000;
+
+/// Downsamples a JSONL event stream to at most `max_lines` lines,
+/// preserving the original line order.
+///
+/// Rare event kinds (≤ 200 lines) are kept in full — they carry the
+/// lifecycle markers (`se_init`, `se_improve`, `se_converged`, …) that
+/// `obs_report` and the replay tests anchor on. Dominant kinds split the
+/// remaining budget evenly and are stride-sampled per kind via
+/// [`downsample`], so the sampled stream keeps full time coverage of
+/// every series rather than truncating the tail.
+pub fn downsample_events_jsonl(events: &str, max_lines: usize) -> String {
+    let lines: Vec<&str> = events.lines().collect();
+    if lines.len() <= max_lines {
+        return events.to_string();
+    }
+    let kind_of = |line: &str| -> String {
+        line.split_once("\"kind\":\"")
+            .and_then(|(_, rest)| rest.split_once('"'))
+            .map(|(kind, _)| kind.to_string())
+            .unwrap_or_default()
+    };
+    // Group line indices per kind, in first-seen order.
+    let mut kinds: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let kind = kind_of(line);
+        match kinds.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, indices)) => indices.push(i),
+            None => kinds.push((kind, vec![i])),
+        }
+    }
+    let rare_total: usize = kinds
+        .iter()
+        .filter(|(_, idx)| idx.len() <= 200)
+        .map(|(_, idx)| idx.len())
+        .sum();
+    let heavy: Vec<&(String, Vec<usize>)> =
+        kinds.iter().filter(|(_, idx)| idx.len() > 200).collect();
+    let mut keep = vec![false; lines.len()];
+    if rare_total >= max_lines || heavy.is_empty() {
+        // Degenerate distribution: sample uniformly across everything.
+        let all: Vec<usize> = (0..lines.len()).collect();
+        for i in downsample(&all, max_lines.saturating_sub(2).max(2)) {
+            keep[i] = true;
+        }
+    } else {
+        for (_, indices) in kinds.iter().filter(|(_, idx)| idx.len() <= 200) {
+            for &i in indices {
+                keep[i] = true;
+            }
+        }
+        // `downsample` may exceed its target by ~2 (stride rounding + the
+        // kept last point); budget conservatively so the cap still holds.
+        let share = ((max_lines - rare_total) / heavy.len())
+            .saturating_sub(2)
+            .max(2);
+        for (_, indices) in heavy {
+            for &i in &downsample(indices, share) {
+                keep[i] = true;
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        if keep[i] {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
 /// Replays finished algorithm runs into a schema-validated JSONL event
 /// stream (`solver_point`/`solver_done`, one series per run, sampled to
 /// ~`max_points` each) — the obs event file some figures write next to
@@ -308,6 +467,65 @@ mod tests {
         assert_eq!(ds[0], 0);
         assert_eq!(*ds.last().unwrap(), 999);
         assert_eq!(downsample(&points, 2000), points);
+    }
+
+    #[test]
+    fn run_tasks_preserves_task_order_at_any_thread_count() {
+        let tasks = |n: usize| -> Vec<_> {
+            (0..n)
+                .map(|i| move || Ok::<usize, mvcom_types::Error>(i * 10))
+                .collect()
+        };
+        let serial = run_tasks(tasks(9)).unwrap();
+        for workers in [1, 2, 8] {
+            set_threads(workers);
+            assert_eq!(run_tasks(tasks(9)).unwrap(), serial, "threads={workers}");
+        }
+        set_threads(1);
+        assert_eq!(serial, vec![0, 10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn run_tasks_surfaces_the_first_error_in_task_order() {
+        set_threads(4);
+        let tasks: Vec<Box<dyn FnOnce() -> mvcom_types::Result<u32> + Send>> = vec![
+            Box::new(|| Ok(1)),
+            Box::new(|| Err(mvcom_types::Error::simulation("second task failed"))),
+            Box::new(|| Ok(3)),
+        ];
+        let err = run_tasks(tasks).unwrap_err();
+        assert!(err.to_string().contains("second task failed"), "{err}");
+        set_threads(1);
+    }
+
+    #[test]
+    fn downsample_events_keeps_rare_kinds_and_caps_lines() {
+        let mut events = String::new();
+        events.push_str("{\"kind\":\"se_init\",\"t\":0}\n");
+        for i in 0..20_000 {
+            events.push_str(&format!("{{\"kind\":\"se_chain_point\",\"t\":{i}}}\n"));
+        }
+        for i in 0..9_000 {
+            events.push_str(&format!("{{\"kind\":\"se_point\",\"t\":{i}}}\n"));
+        }
+        events.push_str("{\"kind\":\"se_converged\",\"t\":9}\n");
+        let trimmed = downsample_events_jsonl(&events, 5_000);
+        let n_lines = trimmed.lines().count();
+        assert!(n_lines <= 5_000, "still {n_lines} lines");
+        assert!(n_lines > 3_000, "over-trimmed to {n_lines} lines");
+        assert!(trimmed.contains("se_init"));
+        assert!(trimmed.contains("se_converged"));
+        // The last sample of each heavy series survives.
+        assert!(trimmed.contains("{\"kind\":\"se_chain_point\",\"t\":19999}"));
+        assert!(trimmed.contains("{\"kind\":\"se_point\",\"t\":8999}"));
+        // Order is preserved: converged is still the final line.
+        assert_eq!(
+            trimmed.lines().last().unwrap(),
+            "{\"kind\":\"se_converged\",\"t\":9}"
+        );
+        // Small streams pass through untouched.
+        let small = "{\"kind\":\"a\"}\n{\"kind\":\"b\"}\n";
+        assert_eq!(downsample_events_jsonl(small, 5_000), small);
     }
 
     #[test]

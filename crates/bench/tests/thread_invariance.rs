@@ -1,0 +1,53 @@
+//! The parallel harness must be invisible in the outputs: every figure
+//! artifact (CSV and event stream) is byte-identical at any `--threads`
+//! count, because seeds derive from sweep indices and results merge in
+//! task order. CI re-checks this end-to-end on the repro binary; this
+//! test pins it at the library level on the smoke-scale fig8 sweep (the
+//! figure that also exercises the event-stream path).
+
+// Test code: unwrap is fine here.
+#![allow(clippy::unwrap_used)]
+
+use mvcom_bench::experiments;
+use mvcom_bench::harness::{set_threads, Scale};
+
+/// One test (not one per thread count): `set_threads` is process-global,
+/// and the test harness runs `#[test]` functions concurrently.
+#[test]
+fn fig8_smoke_outputs_are_byte_identical_across_thread_counts() {
+    set_threads(1);
+    let baseline = experiments::run("fig8", Scale::Quick).unwrap();
+    assert!(
+        baseline.files.iter().any(|(p, _)| p.ends_with(".csv")),
+        "baseline produced no CSV"
+    );
+    assert!(
+        baseline
+            .files
+            .iter()
+            .any(|(p, _)| p.ends_with(".events.jsonl")),
+        "baseline produced no event stream"
+    );
+
+    for threads in [2usize, 8] {
+        set_threads(threads);
+        let report = experiments::run("fig8", Scale::Quick).unwrap();
+        assert_eq!(
+            report.summary, baseline.summary,
+            "summary diverged at {threads} threads"
+        );
+        assert_eq!(
+            report.files.len(),
+            baseline.files.len(),
+            "file set diverged at {threads} threads"
+        );
+        for ((path, text), (base_path, base_text)) in report.files.iter().zip(&baseline.files) {
+            assert_eq!(path, base_path, "file order diverged at {threads} threads");
+            assert_eq!(
+                text, base_text,
+                "{path} bytes diverged at {threads} threads"
+            );
+        }
+    }
+    set_threads(1);
+}

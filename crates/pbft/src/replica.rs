@@ -1,6 +1,15 @@
 //! The per-node PBFT state machine.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! Quorum votes are tracked in fixed-width bitmask voter sets
+//! ([`VoterMask`]) instead of hash maps: a committee of `n ≤ 128` fits in
+//! one `u128`, so recording a vote is one OR and a quorum check is one
+//! popcount — no hashing, no heap traffic — which matters because the
+//! simulation layer delivers O(n²) votes per consensus instance. Larger
+//! committees fall back to a word vector with identical semantics. The
+//! original hash-map implementation survives as
+//! [`ReferenceReplica`](crate::reference::ReferenceReplica), and
+//! `tests/bitmask_differential.rs` checks the two machines agree
+//! message-for-message on randomized schedules.
 
 use serde::{Deserialize, Serialize};
 
@@ -40,12 +49,90 @@ pub struct Outbound {
     pub message: Message,
 }
 
+/// A set of committee-local voter indices with O(1) insert and popcount
+/// cardinality.
+///
+/// Committees of `n ≤ 128` — every committee size the paper's evaluation
+/// produces — use the inline `u128`; anything larger spills to a word
+/// vector with the same semantics (covered by the differential test's
+/// `n > 128` schedules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum VoterMask {
+    /// Inline mask for committees of at most 128 replicas.
+    Small(u128),
+    /// Word-vector fallback, bit `i` at `words[i / 64] >> (i % 64)`.
+    Large(Vec<u64>),
+}
+
+impl VoterMask {
+    /// An empty mask sized for a committee of `n`.
+    fn new(n: u32) -> VoterMask {
+        if n <= 128 {
+            VoterMask::Small(0)
+        } else {
+            VoterMask::Large(vec![0; (n as usize).div_ceil(64)])
+        }
+    }
+
+    /// Records voter `i` (idempotent).
+    fn insert(&mut self, i: u32) {
+        match self {
+            VoterMask::Small(bits) => *bits |= 1u128 << i,
+            VoterMask::Large(words) => words[(i / 64) as usize] |= 1u64 << (i % 64),
+        }
+    }
+
+    /// Number of distinct voters recorded.
+    fn count(&self) -> u32 {
+        match self {
+            VoterMask::Small(bits) => bits.count_ones(),
+            VoterMask::Large(words) => words.iter().map(|w| w.count_ones()).sum(),
+        }
+    }
+}
+
+/// Records `from`'s vote for `digest` in a per-digest tally list and
+/// returns the digest's updated vote count. A view sees at most two
+/// distinct digests (one honest, one equivocated), so a linear scan beats
+/// any map.
+fn tally(entries: &mut Vec<(Hash32, VoterMask)>, n: u32, digest: Hash32, from: u32) -> u32 {
+    let slot = match entries.iter().position(|(d, _)| *d == digest) {
+        Some(i) => i,
+        None => {
+            entries.push((digest, VoterMask::new(n)));
+            entries.len() - 1
+        }
+    };
+    entries[slot].1.insert(from);
+    entries[slot].1.count()
+}
+
+/// Monotone replacement for the old per-view `HashSet<u64>` sent-guards:
+/// a replica's view never decreases, so "not yet sent in view `v`" is
+/// exactly "`v` is above the watermark". Returns `true` if the send is
+/// fresh and records it.
+fn mark_sent(watermark: &mut Option<u64>, view: u64) -> bool {
+    if watermark.is_none_or(|last| view > last) {
+        *watermark = Some(view);
+        true
+    } else {
+        false
+    }
+}
+
 /// One PBFT replica for a single-decision instance.
 ///
 /// Quorum rules follow Castro–Liskov with `n = 3f+1`:
 /// * *prepared* after a valid pre-prepare plus `2f` matching prepares
 ///   from distinct replicas;
 /// * *committed* after `2f+1` matching commits from distinct replicas.
+///
+/// Votes are tallied in [`VoterMask`]s for the *current* view only —
+/// stale-view messages are dropped before tallying and views are
+/// monotone, so per-view state can be cleared on view entry. Messages
+/// whose `from` is outside `0..n` are dropped outright (the reference
+/// implementation counted such forged indices as distinct voters; see
+/// `tests/bitmask_differential.rs` for the in-range equivalence).
 #[derive(Debug, Clone)]
 pub struct Replica {
     index: u32,
@@ -55,13 +142,16 @@ pub struct Replica {
     view: u64,
     /// Digest accepted from the current view's pre-prepare.
     accepted: Option<Hash32>,
-    prepares: HashMap<(u64, Hash32), HashSet<u32>>,
-    commits: HashMap<(u64, Hash32), HashSet<u32>>,
-    view_votes: HashMap<u64, HashSet<u32>>,
-    sent_proposal: HashSet<u64>,
-    sent_prepare: HashSet<u64>,
-    sent_commit: HashSet<u64>,
-    sent_view_change: HashSet<u64>,
+    /// Prepare votes per digest, current view only.
+    prepares: Vec<(Hash32, VoterMask)>,
+    /// Commit votes per digest, current view only.
+    commits: Vec<(Hash32, VoterMask)>,
+    /// View-change votes for views above the current one.
+    view_votes: Vec<(u64, VoterMask)>,
+    sent_proposal: Option<u64>,
+    sent_prepare: Option<u64>,
+    sent_commit: Option<u64>,
+    sent_view_change: Option<u64>,
     committed: Option<Hash32>,
 }
 
@@ -81,13 +171,15 @@ impl Replica {
             behavior,
             view: 0,
             accepted: None,
-            prepares: HashMap::new(),
-            commits: HashMap::new(),
-            view_votes: HashMap::new(),
-            sent_proposal: HashSet::new(),
-            sent_prepare: HashSet::new(),
-            sent_commit: HashSet::new(),
-            sent_view_change: HashSet::new(),
+            // A view tallies at most two digests (honest + equivocated);
+            // reserving them here keeps the vote path allocation-free.
+            prepares: Vec::with_capacity(2),
+            commits: Vec::with_capacity(2),
+            view_votes: Vec::with_capacity(2),
+            sent_proposal: None,
+            sent_prepare: None,
+            sent_commit: None,
+            sent_view_change: None,
             committed: None,
         }
     }
@@ -133,15 +225,23 @@ impl Replica {
     /// digests (recipient-parity flip), a [`Behavior::Silent`] leader emits
     /// nothing.
     pub fn propose(&mut self, digest: Hash32) -> Vec<Outbound> {
+        let mut out = Vec::new();
+        self.propose_into(digest, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Replica::propose`]: appends to `out` instead of
+    /// returning a fresh vector. Hot loops pass a reused buffer.
+    pub fn propose_into(&mut self, digest: Hash32, out: &mut Vec<Outbound>) {
         if !self.is_leader() {
-            return Vec::new();
+            return;
         }
         // At most one proposal per view (the runner may re-poll leaders).
-        if !self.sent_proposal.insert(self.view) {
-            return Vec::new();
+        if !mark_sent(&mut self.sent_proposal, self.view) {
+            return;
         }
         match self.behavior {
-            Behavior::Honest => vec![Outbound {
+            Behavior::Honest => out.push(Outbound {
                 target: Target::All,
                 message: Message {
                     kind: MessageKind::PrePrepare,
@@ -149,38 +249,43 @@ impl Replica {
                     digest,
                     from: self.index,
                 },
-            }],
-            Behavior::Silent => Vec::new(),
-            Behavior::Equivocate => (0..self.n)
-                .map(|to| {
-                    let mut twisted = digest;
-                    if to % 2 == 1 {
-                        twisted.0[0] ^= 0xFF;
-                    }
-                    Outbound {
-                        target: Target::One(to),
-                        message: Message {
-                            kind: MessageKind::PrePrepare,
-                            view: self.view,
-                            digest: twisted,
-                            from: self.index,
-                        },
-                    }
-                })
-                .collect(),
+            }),
+            Behavior::Silent => {}
+            Behavior::Equivocate => out.extend((0..self.n).map(|to| {
+                let mut twisted = digest;
+                if to % 2 == 1 {
+                    twisted.0[0] ^= 0xFF;
+                }
+                Outbound {
+                    target: Target::One(to),
+                    message: Message {
+                        kind: MessageKind::PrePrepare,
+                        view: self.view,
+                        digest: twisted,
+                        from: self.index,
+                    },
+                }
+            })),
         }
     }
 
     /// Local timeout: vote to depose the current leader.
     pub fn on_timeout(&mut self) -> Vec<Outbound> {
+        let mut out = Vec::new();
+        self.on_timeout_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`Replica::on_timeout`]: appends to `out`.
+    pub fn on_timeout_into(&mut self, out: &mut Vec<Outbound>) {
         if self.committed.is_some() || self.behavior != Behavior::Honest {
-            return Vec::new();
+            return;
         }
         let next_view = self.view + 1;
-        if !self.sent_view_change.insert(next_view) {
-            return Vec::new();
+        if !mark_sent(&mut self.sent_view_change, next_view) {
+            return;
         }
-        vec![Outbound {
+        out.push(Outbound {
             target: Target::All,
             message: Message {
                 kind: MessageKind::ViewChange,
@@ -188,35 +293,46 @@ impl Replica {
                 digest: Hash32::ZERO,
                 from: self.index,
             },
-        }]
+        });
     }
 
     /// Feeds one delivered message into the state machine, returning any
     /// outbound messages it triggers.
     pub fn on_message(&mut self, msg: Message) -> Vec<Outbound> {
+        let mut out = Vec::new();
+        self.on_message_into(msg, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Replica::on_message`]: appends any triggered
+    /// messages to `out` (which is *not* cleared — callers reuse buffers).
+    pub fn on_message_into(&mut self, msg: Message, out: &mut Vec<Outbound>) {
         if self.behavior != Behavior::Honest || self.committed.is_some() {
             // Silent and equivocating replicas never *respond*; the
             // equivocator only misbehaves when leading (see `propose`).
-            return Vec::new();
+            return;
+        }
+        if msg.from >= self.n {
+            return; // forged sender index — never counts as a voter
         }
         match msg.kind {
-            MessageKind::PrePrepare | MessageKind::NewView => self.on_pre_prepare(msg),
-            MessageKind::Prepare => self.on_prepare(msg),
+            MessageKind::PrePrepare | MessageKind::NewView => self.on_pre_prepare(msg, out),
+            MessageKind::Prepare => self.on_prepare(msg, out),
             MessageKind::Commit => self.on_commit(msg),
             MessageKind::ViewChange => self.on_view_change(msg),
         }
     }
 
-    fn on_pre_prepare(&mut self, msg: Message) -> Vec<Outbound> {
+    fn on_pre_prepare(&mut self, msg: Message, out: &mut Vec<Outbound>) {
         if msg.view != self.view || msg.from != self.leader_of(self.view) {
-            return Vec::new();
+            return;
         }
         if self.accepted.is_some() {
-            return Vec::new(); // at most one accepted proposal per view
+            return; // at most one accepted proposal per view
         }
         self.accepted = Some(msg.digest);
-        if !self.sent_prepare.insert(self.view) {
-            return Vec::new();
+        if !mark_sent(&mut self.sent_prepare, self.view) {
+            return;
         }
         let prepare = Message {
             kind: MessageKind::Prepare,
@@ -225,65 +341,70 @@ impl Replica {
             from: self.index,
         };
         // Count our own prepare immediately.
-        let mut out = self.on_prepare(prepare);
+        self.on_prepare(prepare, out);
         out.push(Outbound {
             target: Target::All,
             message: prepare,
         });
-        out
     }
 
-    fn on_prepare(&mut self, msg: Message) -> Vec<Outbound> {
+    fn on_prepare(&mut self, msg: Message, out: &mut Vec<Outbound>) {
         if msg.view != self.view {
-            return Vec::new();
+            return;
         }
-        let votes = self.prepares.entry((msg.view, msg.digest)).or_default();
-        votes.insert(msg.from);
-        let enough = votes.len() as u32 >= 2 * self.f;
+        let votes = tally(&mut self.prepares, self.n, msg.digest, msg.from);
+        let enough = votes >= 2 * self.f;
         let matches_accepted = self.accepted == Some(msg.digest);
-        if enough && matches_accepted && self.sent_commit.insert(self.view) {
+        if enough && matches_accepted && mark_sent(&mut self.sent_commit, self.view) {
             let commit = Message {
                 kind: MessageKind::Commit,
                 view: self.view,
                 digest: msg.digest,
                 from: self.index,
             };
-            let mut out = self.on_commit(commit);
+            self.on_commit(commit);
             out.push(Outbound {
                 target: Target::All,
                 message: commit,
             });
-            return out;
         }
-        Vec::new()
     }
 
-    fn on_commit(&mut self, msg: Message) -> Vec<Outbound> {
+    fn on_commit(&mut self, msg: Message) {
         if msg.view != self.view {
-            return Vec::new();
+            return;
         }
-        let votes = self.commits.entry((msg.view, msg.digest)).or_default();
-        votes.insert(msg.from);
-        if votes.len() as u32 > 2 * self.f && self.accepted == Some(msg.digest) {
+        let votes = tally(&mut self.commits, self.n, msg.digest, msg.from);
+        if votes > 2 * self.f && self.accepted == Some(msg.digest) {
             self.committed = Some(msg.digest);
         }
-        Vec::new()
     }
 
-    fn on_view_change(&mut self, msg: Message) -> Vec<Outbound> {
+    fn on_view_change(&mut self, msg: Message) {
         if msg.view <= self.view {
-            return Vec::new();
+            return;
         }
-        let votes = self.view_votes.entry(msg.view).or_default();
-        votes.insert(msg.from);
-        if votes.len() as u32 > 2 * self.f {
+        let slot = match self.view_votes.iter().position(|(v, _)| *v == msg.view) {
+            Some(i) => i,
+            None => {
+                self.view_votes.push((msg.view, VoterMask::new(self.n)));
+                self.view_votes.len() - 1
+            }
+        };
+        self.view_votes[slot].1.insert(msg.from);
+        if self.view_votes[slot].1.count() > 2 * self.f {
             // Enter the new view; state for the old view is abandoned
             // (single-decision instance: nothing prepared carries over
             // unless we had committed, which short-circuits earlier).
+            // Views are monotone, so per-view tallies can be dropped —
+            // stale-view messages never reach `tally`.
             self.view = msg.view;
             self.accepted = None;
+            self.prepares.clear();
+            self.commits.clear();
+            let entered = self.view;
+            self.view_votes.retain(|(v, _)| *v > entered);
         }
-        Vec::new()
     }
 }
 
@@ -474,5 +595,52 @@ mod tests {
         assert!(!out1.is_empty());
         let out2 = r.on_message(second);
         assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_sender_is_dropped() {
+        let mut r = Replica::new(1, 4, Behavior::Honest);
+        // Seat the pre-prepare so prepares are being tallied.
+        let pre = Message {
+            kind: MessageKind::PrePrepare,
+            view: 0,
+            digest: digest(),
+            from: 0,
+        };
+        assert!(!r.on_message(pre).is_empty());
+        // Two forged prepares from indices outside 0..4 must not count
+        // toward the 2f = 2 prepare quorum (a commit would be emitted).
+        for forged_from in [4, 200] {
+            let forged = Message {
+                kind: MessageKind::Prepare,
+                view: 0,
+                digest: digest(),
+                from: forged_from,
+            };
+            assert!(r.on_message(forged).is_empty());
+        }
+    }
+
+    #[test]
+    fn large_committee_uses_word_fallback_and_commits() {
+        // n = 130 > 128 exercises VoterMask::Large end to end.
+        let mut replicas = committee(130, &[]);
+        let proposal = replicas[0].propose(digest());
+        run_to_quiescence(&mut replicas, proposal);
+        for r in &replicas {
+            assert_eq!(r.committed(), Some(digest()), "replica {}", r.index());
+        }
+    }
+
+    #[test]
+    fn voter_mask_counts_distinct_voters() {
+        for n in [4, 128, 129, 200] {
+            let mut mask = VoterMask::new(n);
+            assert_eq!(mask.count(), 0);
+            mask.insert(0);
+            mask.insert(n - 1);
+            mask.insert(0); // idempotent
+            assert_eq!(mask.count(), 2, "n={n}");
+        }
     }
 }

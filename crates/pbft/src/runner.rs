@@ -177,6 +177,15 @@ impl PbftRunner {
 
     /// Executes the protocol to agreement on `digest` (or to the deadline).
     ///
+    /// The event loop does O(1) bookkeeping per delivery: a [`Message`]
+    /// delivered to replica `to` can only change `to`'s state (a timeout
+    /// never changes a view or commit status — it only emits votes), so
+    /// the timeout re-arm, the leader re-propose, the view-change
+    /// telemetry, and the commit-quorum count all inspect `to` alone
+    /// instead of rescanning the whole committee. Deliveries are drained
+    /// in same-instant batches ([`Scheduler::next_batch`]), which is
+    /// order-identical to popping one event at a time.
+    ///
     /// # Errors
     ///
     /// Configuration errors, or [`Error::Simulation`] if the network is
@@ -195,20 +204,28 @@ impl PbftRunner {
         let mut replicas: Vec<Replica> = (0..n)
             .map(|i| Replica::new(i, n, self.config.behaviors[i as usize]))
             .collect();
-        let mut sched: Scheduler<Event> = Scheduler::new();
+        // Steady state holds ≤ ~3 broadcasts per replica in flight
+        // (prepare + commit + a proposal or view-change vote) plus one
+        // timer each; pre-sizing keeps the heap from reallocating mid-run.
+        let mut sched: Scheduler<Event> = Scheduler::with_capacity((3 * n * n + 2 * n) as usize);
         let mut delivered: u64 = 0;
         // Highest view for which each replica has an armed timeout timer.
         let mut armed_view: Vec<u64> = vec![0; n as usize];
+        // Reused buffers: state-machine output and the current event batch.
+        let mut out: Vec<Outbound> = Vec::with_capacity(n as usize + 2);
+        let mut batch: Vec<Event> = Vec::with_capacity(n as usize);
 
         // Kick off: leader proposes, every replica arms its view-0 timer.
         // lint: allow(P1, validate() rejects n < 4, so replicas is non-empty)
-        let initial = replicas[0].propose(digest);
+        replicas[0].propose_into(digest, &mut out);
         self.emit_phase(SimTime::ZERO, 0, "pre-prepare");
-        self.dispatch(initial, 0, &mut sched);
-        // Highest view any replica has entered (for view-change telemetry)
-        // and whether a first local commit has been observed.
+        self.dispatch(&mut out, 0, &mut sched);
+        // Highest view any replica has entered (for view-change telemetry),
+        // whether a first local commit has been observed, and the running
+        // number of locally-committed replicas (only `to` can flip).
         let mut top_view: u64 = 0;
         let mut locally_committed = false;
+        let mut committed_count: u32 = 0;
         for i in 0..n {
             sched.schedule_in(
                 self.config.view_timeout,
@@ -219,114 +236,109 @@ impl PbftRunner {
             );
         }
 
-        while let Some((now, event)) = sched.next_event() {
+        while let Some(now) = sched.next_batch(&mut batch) {
             if now > self.config.deadline {
                 break;
             }
-            match event {
-                Event::Deliver { to, msg } => {
-                    delivered += 1;
-                    // Verification cost for proposals.
-                    if matches!(
-                        msg.kind,
-                        crate::message::MessageKind::PrePrepare
-                            | crate::message::MessageKind::NewView
-                    ) {
-                        // The verification delay is modelled as already
-                        // elapsed: sample and fold into the outbound sends.
-                        let delay = self.config.verify_delay.sample(&mut self.rng);
-                        let out = replicas[to as usize].on_message(msg);
-                        self.dispatch_delayed(out, to, &mut sched, delay);
-                    } else {
-                        let out = replicas[to as usize].on_message(msg);
-                        self.dispatch(out, to, &mut sched);
-                    }
-                    // Entering a new view re-arms that replica's timeout —
-                    // even when the new leader is faulty and never
-                    // proposes, so successive view changes stay live.
-                    for i in 0..n {
-                        let view = replicas[i as usize].view();
-                        if view > armed_view[i as usize]
-                            && replicas[i as usize].committed().is_none()
-                        {
-                            armed_view[i as usize] = view;
+            for event in batch.drain(..) {
+                match event {
+                    Event::Deliver { to, msg } => {
+                        delivered += 1;
+                        let replica = &mut replicas[to as usize];
+                        let was_committed = replica.committed().is_some();
+                        // Verification cost for proposals.
+                        if matches!(
+                            msg.kind,
+                            crate::message::MessageKind::PrePrepare
+                                | crate::message::MessageKind::NewView
+                        ) {
+                            // The verification delay is modelled as already
+                            // elapsed: sample and fold into the outbound sends.
+                            let delay = self.config.verify_delay.sample(&mut self.rng);
+                            replica.on_message_into(msg, &mut out);
+                            self.dispatch_delayed(&mut out, to, &mut sched, delay);
+                        } else {
+                            replica.on_message_into(msg, &mut out);
+                            self.dispatch(&mut out, to, &mut sched);
+                        }
+                        // Only `to` can have changed state. Entering a new
+                        // view re-arms its timeout — even when the new
+                        // leader is faulty and never proposes, so
+                        // successive view changes stay live.
+                        let replica = &mut replicas[to as usize];
+                        let view = replica.view();
+                        if view > armed_view[to as usize] && replica.committed().is_none() {
+                            armed_view[to as usize] = view;
                             sched.schedule_in(
                                 self.config.view_timeout,
-                                Event::ViewTimeout { replica: i, view },
+                                Event::ViewTimeout { replica: to, view },
                             );
                         }
                         // A view change that reached quorum makes the new
                         // leader re-propose (at most once per view).
-                        if replicas[i as usize].is_leader()
-                            && view > 0
-                            && replicas[i as usize].committed().is_none()
-                        {
-                            let proposal = replicas[i as usize].propose(digest);
-                            if !proposal.is_empty() {
+                        if replica.is_leader() && view > 0 && replica.committed().is_none() {
+                            replica.propose_into(digest, &mut out);
+                            if !out.is_empty() {
                                 self.emit_phase(now, view, "pre-prepare");
-                                self.dispatch(proposal, i, &mut sched);
+                                self.dispatch(&mut out, to, &mut sched);
                             }
                         }
-                    }
-                    while let Some(v) = replicas
-                        .iter()
-                        .map(Replica::view)
-                        .max()
-                        .filter(|&v| v > top_view)
-                    {
-                        // Report each abandoned view once, even if a
-                        // replica skipped several views in one delivery.
-                        self.obs.emit(
-                            "pbft_view_change",
-                            now.as_secs(),
-                            &[
-                                ("label", Value::from(self.label.as_str())),
-                                ("view", Value::U64(top_view)),
-                            ],
-                        );
-                        self.obs.incr("pbft.view_changes");
-                        top_view = (top_view + 1).min(v);
-                    }
-                    if !locally_committed {
-                        if let Some(r) = replicas.iter().find(|r| r.committed().is_some()) {
-                            // The first local commit is the earliest point at
-                            // which a prepared certificate is visible here.
-                            locally_committed = true;
-                            self.emit_phase(now, r.view(), "prepared");
+                        while view > top_view {
+                            // Report each abandoned view once, even if a
+                            // replica skipped several views in one delivery.
+                            self.obs.emit(
+                                "pbft_view_change",
+                                now.as_secs(),
+                                &[
+                                    ("label", Value::from(self.label.as_str())),
+                                    ("view", Value::U64(top_view)),
+                                ],
+                            );
+                            self.obs.incr("pbft.view_changes");
+                            top_view += 1;
+                        }
+                        let newly_committed =
+                            !was_committed && replicas[to as usize].committed().is_some();
+                        if newly_committed {
+                            committed_count += 1;
+                            if !locally_committed {
+                                // The first local commit is the earliest point
+                                // at which a prepared certificate is visible.
+                                locally_committed = true;
+                                self.emit_phase(now, replicas[to as usize].view(), "prepared");
+                            }
+                        }
+                        // Termination: quorum of commits.
+                        if committed_count >= quorum {
+                            let d = replicas
+                                .iter()
+                                .find_map(|r| r.committed())
+                                // lint: allow(P1, committed_count >= quorum >= 1 guarantees a committed replica)
+                                .expect("counted commits");
+                            let final_view = replicas
+                                .iter()
+                                .find(|r| r.committed().is_some())
+                                .map(|r| r.view())
+                                .unwrap_or(0);
+                            self.emit_phase(now, final_view, "committed");
+                            let result = ConsensusResult {
+                                committed: true,
+                                latency: now,
+                                digest: d,
+                                final_view,
+                                messages_delivered: delivered,
+                            };
+                            self.emit_done(&result);
+                            return Ok(result);
                         }
                     }
-                    // Termination: quorum of commits.
-                    let committed =
-                        replicas.iter().filter(|r| r.committed().is_some()).count() as u32;
-                    if committed >= quorum {
-                        let d = replicas
-                            .iter()
-                            .find_map(|r| r.committed())
-                            // lint: allow(P1, committed >= quorum >= 1 guarantees a committed replica)
-                            .expect("counted commits");
-                        let final_view = replicas
-                            .iter()
-                            .find(|r| r.committed().is_some())
-                            .map(|r| r.view())
-                            .unwrap_or(0);
-                        self.emit_phase(now, final_view, "committed");
-                        let result = ConsensusResult {
-                            committed: true,
-                            latency: now,
-                            digest: d,
-                            final_view,
-                            messages_delivered: delivered,
-                        };
-                        self.emit_done(&result);
-                        return Ok(result);
-                    }
-                }
-                Event::ViewTimeout { replica, view } => {
-                    if replicas[replica as usize].view() == view
-                        && replicas[replica as usize].committed().is_none()
-                    {
-                        let out = replicas[replica as usize].on_timeout();
-                        self.dispatch(out, replica, &mut sched);
+                    Event::ViewTimeout { replica, view } => {
+                        if replicas[replica as usize].view() == view
+                            && replicas[replica as usize].committed().is_none()
+                        {
+                            replicas[replica as usize].on_timeout_into(&mut out);
+                            self.dispatch(&mut out, replica, &mut sched);
+                        }
                     }
                 }
             }
@@ -342,19 +354,21 @@ impl PbftRunner {
         Ok(result)
     }
 
-    fn dispatch(&mut self, out: Vec<Outbound>, from: u32, sched: &mut Scheduler<Event>) {
+    fn dispatch(&mut self, out: &mut Vec<Outbound>, from: u32, sched: &mut Scheduler<Event>) {
         self.dispatch_delayed(out, from, sched, SimTime::ZERO);
     }
 
+    /// Schedules every queued [`Outbound`], draining (and thereby reusing)
+    /// the caller's buffer.
     fn dispatch_delayed(
         &mut self,
-        out: Vec<Outbound>,
+        out: &mut Vec<Outbound>,
         from: u32,
         sched: &mut Scheduler<Event>,
         extra: SimTime,
     ) {
         let now = sched.now() + extra;
-        for ob in out {
+        for ob in out.drain(..) {
             let size = ob.message.wire_size(self.config.block_bytes);
             match ob.target {
                 Target::All => {

@@ -84,12 +84,17 @@ impl<'a> GossipRun<'a> {
         let n = self.network.len();
         let mut delivered: BTreeMap<NodeId, SimTime> = BTreeMap::new();
         delivered.insert(origin, start);
-        let mut frontier = vec![origin];
+        // Double-buffered frontiers: the rounds loop swaps them instead of
+        // allocating a fresh Vec per round, keeping the flood allocation-free
+        // after the initial reservations.
+        let mut frontier = Vec::with_capacity(n as usize);
+        let mut next_frontier: Vec<NodeId> = Vec::with_capacity(n as usize);
+        frontier.push(origin);
         for _ in 0..self.config.max_rounds {
             if frontier.is_empty() || delivered.len() as u32 >= n {
                 break;
             }
-            let mut next_frontier = Vec::new();
+            next_frontier.clear();
             for &node in &frontier {
                 let sent_at = delivered[&node];
                 for _ in 0..self.config.fanout {
@@ -111,7 +116,7 @@ impl<'a> GossipRun<'a> {
                     }
                 }
             }
-            frontier = next_frontier;
+            std::mem::swap(&mut frontier, &mut next_frontier);
         }
         Ok(delivered)
     }
