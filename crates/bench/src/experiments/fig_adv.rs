@@ -1,0 +1,379 @@
+//! `fig_adv` — the adversarial utility/safety frontier (no paper
+//! counterpart; see DESIGN.md §10).
+//!
+//! Sweeps adversarial fraction ∈ {0, 0.05, 0.1, 0.2, 0.33} for each
+//! strategy (`misreport`, `freerider`, `starver`) over a stable
+//! [`StrategicPopulation`], and runs three scheduler arms per point:
+//!
+//! * **reference** — the same population with nobody lying; its realized
+//!   honest utility normalizes everything else.
+//! * **defense on** — reports screened through
+//!   [`mvcom_core::DefenseEngine`] before the SE scheduler sees them.
+//! * **defense off** — the SE scheduler consumes the raw claims.
+//!
+//! Two frontier metrics per point, both computed from ground truth (what
+//! committees actually deliver), never from claims:
+//!
+//! * **honest-utility capture** — realized utility summed over *admitted
+//!   honest* committees, divided by the reference arm's figure;
+//! * **starvation rate** — fraction of epochs in which fewer than half of
+//!   the honest committees were admitted (the Starver's objective is to
+//!   push rivals below `N_min`).
+//!
+//! Every seed derives from the sweep point, so the parallel fan-out
+//! merges byte-identically to the serial run at any thread count.
+
+use std::collections::BTreeSet;
+
+use mvcom_core::defense::{DefenseConfig, DefenseEngine, DefenseObservation};
+use mvcom_core::problem::InstanceBuilder;
+use mvcom_core::se::{SeConfig, SeEngine};
+use mvcom_dataset::StrategicPopulation;
+use mvcom_dataset::{build_adversary, Adversary, AdversaryConfig, CommitteeReport};
+use mvcom_obs::{Obs, ObsLevel, Value};
+use mvcom_types::{CommitteeId, Result};
+
+use crate::harness::{downsample_events_jsonl, run_tasks, FigureReport, Scale, MAX_EVENT_LINES};
+
+const STRATEGIES: &[&str] = &["misreport", "freerider", "starver"];
+const FRACTIONS: &[f64] = &[0.0, 0.05, 0.1, 0.2, 0.33];
+/// Middle of Fig. 12's α sweep. At α = 1.5 the realized utility of a
+/// committee is dominated by the Exp(600 s) formation-latency spread, so
+/// the reference arm's total — the capture ratio's denominator — sits
+/// near zero and the ratio is ill-conditioned; at α = 5 the size term
+/// dominates and every arm settles on a solidly positive total.
+const ALPHA: f64 = 5.0;
+const CAPACITY_PER_COMMITTEE: u64 = 1_000;
+
+/// What one arm of one sweep point produced.
+struct ArmOutcome {
+    /// Σ realized utility of admitted honest committees, over all epochs.
+    honest_utility: f64,
+    /// Epochs in which honest admissions fell below half the honest roster.
+    starved_epochs: usize,
+    /// Mean admitted adversarial committees per epoch.
+    adv_admitted_mean: f64,
+}
+
+/// One (strategy, fraction) sweep point.
+struct AdvPoint {
+    fraction: f64,
+    capture_on: f64,
+    capture_off: f64,
+    starve_on: f64,
+    starve_off: f64,
+    rows: Vec<Vec<String>>,
+    note: String,
+    events: Option<String>,
+}
+
+/// Realized (ground-truth) utility of the admitted set, the honest share
+/// of it, and the honest-admission count. The deadline is the max *true*
+/// latency over the **admitted** set — the final committee waits for the
+/// slowest sub-block it scheduled, not for excluded shards — so admitting
+/// a freerider taxes every admitted committee's `(t − l)` term, and
+/// quarantining one lifts that tax.
+fn settle_epoch(
+    reports: &[CommitteeReport],
+    admitted: &BTreeSet<CommitteeId>,
+) -> (f64, usize, usize) {
+    let t = reports
+        .iter()
+        .filter(|r| admitted.contains(&r.committee()))
+        .map(|r| r.truth.two_phase_latency().as_secs())
+        .fold(0.0f64, f64::max);
+    let mut honest_utility = 0.0;
+    let mut honest_admitted = 0;
+    let mut adv_admitted = 0;
+    for r in reports {
+        if !admitted.contains(&r.committee()) {
+            continue;
+        }
+        if r.adversarial {
+            adv_admitted += 1;
+        } else {
+            let l = r.truth.two_phase_latency().as_secs();
+            honest_utility += ALPHA * r.truth.tx_count() as f64 - (t - l);
+            honest_admitted += 1;
+        }
+    }
+    (honest_utility, honest_admitted, adv_admitted)
+}
+
+/// Runs one arm: `epochs` epochs of report → (screen) → SE schedule →
+/// settle-on-truth → (defense feedback).
+fn run_arm(
+    population: &StrategicPopulation,
+    adversary: &dyn Adversary,
+    defense: bool,
+    epochs: u64,
+    se_base: SeConfig,
+    obs: Option<Obs>,
+) -> Result<ArmOutcome> {
+    let obs_handle = obs.unwrap_or_else(Obs::off);
+    let mut engine = if defense {
+        Some(DefenseEngine::new(DefenseConfig::paper())?.with_obs(obs_handle.clone()))
+    } else {
+        None
+    };
+    let mut honest_utility = 0.0;
+    let mut starved_epochs = 0;
+    let mut adv_admitted_total = 0usize;
+    for epoch in 0..epochs {
+        let reports = population.epoch_reports(epoch, adversary);
+        for r in &reports {
+            if r.adversarial {
+                obs_handle.emit(
+                    "adversary_act",
+                    epoch as f64,
+                    &[
+                        ("committee", Value::U64(u64::from(r.committee().value()))),
+                        ("epoch", Value::U64(epoch)),
+                        ("strategy", Value::from(adversary.name())),
+                        ("ds", Value::F64(r.ds())),
+                        ("dl", Value::F64(r.dl())),
+                    ],
+                );
+            }
+        }
+        let honest_total = reports.iter().filter(|r| !r.adversarial).count();
+        let reported: Vec<_> = reports.iter().map(|r| r.reported).collect();
+        let n_min = reported.len() / 2;
+        let candidates = match &mut engine {
+            Some(engine) => engine.admissible(epoch, &reported, n_min),
+            None => reported,
+        };
+        let capacity = CAPACITY_PER_COMMITTEE * population.committees().len() as u64;
+        let se = SeConfig {
+            seed: se_base.seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..se_base
+        };
+        // Degenerate epochs (infeasible knapsack) degrade to admit-all,
+        // exactly like `SeSelector` does inside Elastico.
+        let admitted: BTreeSet<CommitteeId> = match InstanceBuilder::new()
+            .alpha(ALPHA)
+            .capacity(capacity)
+            .n_min(n_min.min(candidates.len()))
+            .shards(candidates.clone())
+            .build()
+            .and_then(|instance| {
+                let outcome = SeEngine::new(&instance, se)?.run();
+                Ok(outcome
+                    .best_solution
+                    .iter_selected()
+                    .map(|i| instance.shards()[i].committee())
+                    .collect())
+            }) {
+            Ok(set) => set,
+            Err(_) => candidates.iter().map(|s| s.committee()).collect(),
+        };
+        let (utility, honest_admitted, adv_admitted) = settle_epoch(&reports, &admitted);
+        honest_utility += utility;
+        adv_admitted_total += adv_admitted;
+        if honest_admitted * 2 < honest_total {
+            starved_epochs += 1;
+        }
+        if let Some(engine) = &mut engine {
+            let observations: Vec<DefenseObservation> = reports
+                .iter()
+                .map(|r| DefenseObservation {
+                    committee: r.committee(),
+                    reported_size: r.reported.tx_count(),
+                    reported_latency: r.reported.two_phase_latency(),
+                    observed_latency: r.truth.two_phase_latency(),
+                    observed_size: admitted
+                        .contains(&r.committee())
+                        .then_some(r.truth.tx_count()),
+                })
+                .collect();
+            engine.end_epoch(epoch, &observations);
+        }
+    }
+    Ok(ArmOutcome {
+        honest_utility,
+        starved_epochs,
+        adv_admitted_mean: adv_admitted_total as f64 / epochs as f64,
+    })
+}
+
+/// Runs the adversarial frontier sweep.
+pub fn run(scale: Scale) -> Result<FigureReport> {
+    let committees = scale.committees(40);
+    let epochs: u64 = match scale {
+        Scale::Full => 10,
+        Scale::Quick => 4,
+    };
+    let se_base = SeConfig {
+        gamma: match scale {
+            Scale::Full => 4,
+            Scale::Quick => 2,
+        },
+        max_iterations: scale.iters(600),
+        convergence_window: scale.iters(600) / 2,
+        ..SeConfig::paper(0)
+    };
+    let points: Vec<(usize, &'static str, f64)> = STRATEGIES
+        .iter()
+        .flat_map(|&s| FRACTIONS.iter().map(move |&f| (s, f)))
+        .enumerate()
+        .map(|(i, (s, f))| (i, s, f))
+        .collect();
+    let tasks: Vec<_> = points
+        .into_iter()
+        .map(|(i, strategy, fraction)| {
+            move || -> Result<AdvPoint> {
+                let seed = 15_000 + i as u64;
+                let population = StrategicPopulation::new(committees, seed);
+                let adversary = build_adversary(strategy, AdversaryConfig::new(fraction, seed)?)?;
+                let none = build_adversary(strategy, AdversaryConfig::new(0.0, seed)?)?;
+                let se = SeConfig { seed, ..se_base };
+                // The densest adversarial point of the starver sweep keeps
+                // its telemetry as the figure's event artifact.
+                let keep_events = strategy == "starver" && fraction >= 0.33;
+                let buffer = keep_events.then(|| Obs::memory(ObsLevel::Events));
+                let reference = run_arm(&population, none.as_ref(), false, epochs, se, None)?;
+                let on = run_arm(
+                    &population,
+                    adversary.as_ref(),
+                    true,
+                    epochs,
+                    se,
+                    buffer.as_ref().map(|(obs, _)| obs.clone()),
+                )?;
+                let off = run_arm(&population, adversary.as_ref(), false, epochs, se, None)?;
+                let events = buffer.map(|(obs, buf)| {
+                    obs.flush();
+                    downsample_events_jsonl(&buf.contents(), MAX_EVENT_LINES)
+                });
+                let norm = reference.honest_utility.abs().max(f64::EPSILON);
+                let capture = |arm: &ArmOutcome| arm.honest_utility / norm;
+                let starve = |arm: &ArmOutcome| arm.starved_epochs as f64 / epochs as f64;
+                let mut rows = Vec::new();
+                for (arm, label) in [(&on, "on"), (&off, "off")] {
+                    rows.push(vec![
+                        strategy.to_string(),
+                        format!("{fraction:.2}"),
+                        label.to_string(),
+                        format!("{:.6}", capture(arm)),
+                        format!("{:.4}", starve(arm)),
+                        format!("{:.3}", arm.adv_admitted_mean),
+                    ]);
+                }
+                let note = format!(
+                    "{strategy} f={fraction:.2}: capture on {:.3} / off {:.3}, \
+                     starvation on {:.2} / off {:.2}",
+                    capture(&on),
+                    capture(&off),
+                    starve(&on),
+                    starve(&off),
+                );
+                Ok(AdvPoint {
+                    fraction,
+                    capture_on: capture(&on),
+                    capture_off: capture(&off),
+                    starve_on: starve(&on),
+                    starve_off: starve(&off),
+                    rows,
+                    note,
+                    events,
+                })
+            }
+        })
+        .collect();
+    let points = run_tasks(tasks)?;
+
+    let mut report = FigureReport::new("fig_adv");
+    let mut rows = Vec::new();
+    for point in &points {
+        rows.extend(point.rows.clone());
+        report.note(point.note.clone());
+        if let Some(events) = &point.events {
+            report
+                .files
+                .push(("fig_adv.events.jsonl".to_string(), events.clone()));
+        }
+    }
+    report.add_csv(
+        "fig_adv.csv",
+        &[
+            "strategy",
+            "fraction",
+            "defense",
+            "honest_capture",
+            "starvation_rate",
+            "adv_admitted_mean",
+        ],
+        rows,
+    );
+    // Shape checks.
+    report.check(
+        "fraction-0 arms are exactly the honest reference (capture = 1, no starvation)",
+        points.iter().filter(|p| p.fraction.abs() < 1e-9).all(|p| {
+            (p.capture_on - 1.0).abs() < 1e-12
+                && (p.capture_off - 1.0).abs() < 1e-12
+                && p.starve_on.abs() < 1e-12
+                && p.starve_off.abs() < 1e-12
+        }),
+    );
+    report.check(
+        "capture and starvation stay in sane ranges at every point",
+        points.iter().all(|p| {
+            p.capture_on.is_finite()
+                && p.capture_off.is_finite()
+                && (-0.5..=1.5).contains(&p.capture_on)
+                && (-0.5..=1.5).contains(&p.capture_off)
+                && (0.0..=1.0).contains(&p.starve_on)
+                && (0.0..=1.0).contains(&p.starve_off)
+        }),
+    );
+    let margin_at = |fraction: f64| {
+        let at: Vec<_> = points
+            .iter()
+            .filter(|p| (p.fraction - fraction).abs() < 1e-9)
+            .collect();
+        let mean_on = at.iter().map(|p| p.capture_on).sum::<f64>() / at.len().max(1) as f64;
+        let mean_off = at.iter().map(|p| p.capture_off).sum::<f64>() / at.len().max(1) as f64;
+        mean_on - mean_off
+    };
+    let margin = margin_at(0.2);
+    report.note(format!(
+        "defense margin (mean capture on − off) at fraction 0.2: {margin:+.4}; \
+         at 0.33: {:+.4}",
+        margin_at(0.33)
+    ));
+    report.check(
+        "defenses on beat defenses off on mean honest capture at fraction 0.2",
+        margin > 0.0,
+    );
+    // The Starver aims honest committees below N_min; on balance the
+    // defense must not starve *more* than no defense does. (Point-wise
+    // comparison is too brittle at Quick scale, where one false-positive
+    // flag flips a whole epoch.)
+    let mean_starve = |pick: fn(&AdvPoint) -> f64| {
+        points.iter().map(pick).sum::<f64>() / points.len().max(1) as f64
+    };
+    report.check(
+        "defense does not increase mean starvation across the sweep",
+        mean_starve(|p| p.starve_on) <= mean_starve(|p| p.starve_off) + 1e-9,
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_passes_shape_checks() {
+        let report = run(Scale::Quick).unwrap();
+        assert!(
+            report.summary.iter().all(|l| !l.contains("MISMATCH")),
+            "{:#?}",
+            report.summary
+        );
+        assert!(report
+            .files
+            .iter()
+            .any(|(path, _)| path == "fig_adv.events.jsonl"));
+    }
+}

@@ -9,6 +9,7 @@ pub mod fig14;
 pub mod fig2;
 pub mod fig8;
 pub mod fig9;
+pub mod fig_adv;
 
 use mvcom_types::{Error, Result};
 
@@ -28,6 +29,7 @@ pub const ALL: &[&str] = &[
     "fig14",
     "ablation-ddl",
     "ablation-dynamics",
+    "fig_adv",
 ];
 
 /// Runs one figure experiment by name.
@@ -74,6 +76,7 @@ fn dispatch(name: &str, scale: Scale) -> Result<FigureReport> {
         "fig14" => fig14::run(scale),
         "ablation-ddl" => ablations::ddl(scale),
         "ablation-dynamics" => ablations::dynamics(scale),
+        "fig_adv" => fig_adv::run(scale),
         other => Err(Error::invalid_config(
             "figure",
             format!("unknown figure `{other}`; expected one of {ALL:?}"),

@@ -384,6 +384,51 @@ pub fn render_all(dir: &Path) -> Result<Vec<PathBuf>> {
         )?;
     }
 
+    // fig_adv: honest-utility capture vs adversarial fraction, one line
+    // per strategy × defense arm.
+    let adv = dir.join("fig_adv.csv");
+    if adv.exists() {
+        let (header, rows) = read_csv(&adv)?;
+        let si = column(&header, "strategy")?;
+        let fi = column(&header, "fraction")?;
+        let di = column(&header, "defense")?;
+        for (col, name, ylabel) in [
+            (
+                "honest_capture",
+                "fig_adv_capture.svg",
+                "honest-utility capture (vs honest reference)",
+            ),
+            (
+                "starvation_rate",
+                "fig_adv_starvation.svg",
+                "starved epochs / total epochs",
+            ),
+        ] {
+            let yi = column(&header, col)?;
+            let data: Vec<(String, f64, f64)> = rows
+                .iter()
+                .map(|r| {
+                    (
+                        format!("{} (defense {})", r[si], r[di]),
+                        parse_f64(&r[fi]),
+                        parse_f64(&r[yi]),
+                    )
+                })
+                .collect();
+            let chart = Chart::new(
+                "Adversarial frontier — strategic coalitions vs the defense layer",
+                "adversarial fraction",
+                ylabel,
+            );
+            write_svg(
+                dir,
+                name,
+                chart.render_lines(&grouped_series(&data)),
+                &mut written,
+            )?;
+        }
+    }
+
     Ok(written)
 }
 

@@ -74,6 +74,7 @@
 // Unit tests may unwrap freely; library code goes through the P1 rule of
 // `mvcom-lint` and the workspace `clippy::unwrap_used` deny set instead.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
+pub mod defense;
 pub mod dynamics;
 pub mod epoch_chain;
 pub mod eval;
@@ -82,6 +83,9 @@ pub mod se;
 pub mod solution;
 pub mod theory;
 
+pub use defense::{
+    DefenseCheckpoint, DefenseConfig, DefenseEngine, DefenseObservation, ScreenedReport,
+};
 pub use eval::EvalCache;
 pub use problem::{DdlPolicy, Instance, InstanceBuilder};
 pub use se::{SeConfig, SeEngine, SeOutcome};

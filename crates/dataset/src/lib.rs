@@ -19,6 +19,9 @@
 //!   per-committee shards for one epoch, exactly as §VI-A describes.
 //! * [`epoch`] — [`epoch::EpochGenerator`]: attaches two-phase latencies to
 //!   sampled shards, producing ready-to-schedule `Vec<ShardInfo>`.
+//! * [`adversary`] — strategic committee behaviours (`Misreport`,
+//!   `Freerider`, `Starver`) and the stable-identity
+//!   [`adversary::StrategicPopulation`] the reputation defenses learn over.
 //!
 //! # Example
 //!
@@ -36,11 +39,16 @@
 // Unit tests may unwrap freely; library code goes through the P1 rule of
 // `mvcom-lint` and the workspace `clippy::unwrap_used` deny set instead.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
+pub mod adversary;
 pub mod block;
 pub mod epoch;
 pub mod sampler;
 pub mod trace;
 
+pub use adversary::{
+    build_adversary, Adversary, AdversaryConfig, CommitteeReport, Freerider, Misreport, Starver,
+    StrategicPopulation,
+};
 pub use block::TxBlock;
 pub use epoch::{EpochGenerator, LatencyConfig};
 pub use sampler::ShardSampler;

@@ -3,7 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use mvcom_dataset::{ShardSampler, Trace, TraceConfig};
+use mvcom_dataset::{Adversary, CommitteeReport, ShardSampler, Trace, TraceConfig};
 use mvcom_obs::{Obs, Value};
 use mvcom_pbft::runner::{PbftConfig, PbftRunner};
 use mvcom_pbft::ConsensusResult;
@@ -215,6 +215,16 @@ impl EpochReport {
     }
 }
 
+/// Reusable per-epoch buffers: digest construction and admission indexing
+/// allocate once per simulator instead of once per epoch/committee.
+#[derive(Debug, Default)]
+struct EpochScratch {
+    /// Byte buffer behind every `Hash32::digest` input of the epoch.
+    digest_bytes: Vec<u8>,
+    /// Indices into the epoch's shard vector that the selector admitted.
+    admitted: Vec<usize>,
+}
+
 /// The Elastico protocol simulator.
 ///
 /// Owns the epoch counter and the evolving epoch randomness; each
@@ -227,6 +237,7 @@ pub struct ElasticoSim {
     epoch: EpochId,
     randomness: Hash32,
     obs: Obs,
+    scratch: EpochScratch,
 }
 
 impl ElasticoSim {
@@ -248,6 +259,7 @@ impl ElasticoSim {
             epoch: EpochId::GENESIS,
             randomness: Hash32::digest(b"elastico-genesis-randomness"),
             obs: Obs::off(),
+            scratch: EpochScratch::default(),
         })
     }
 
@@ -296,6 +308,55 @@ impl ElasticoSim {
         let stages = self.run_stages()?;
         let included = selector.select(&stages.shards);
         self.finish_epoch(stages, included, None)
+    }
+
+    /// Runs one epoch under strategic committee behaviour: each committee
+    /// files a formation-time report (possibly a lie), the `selector`
+    /// schedules against the *reported* features, and stages 4–5 settle
+    /// against the *realized* ones (for a [`mvcom_dataset::Freerider`]
+    /// the realized latency itself is inflated — the lie is the delay).
+    ///
+    /// Emits one `adversary_act` event (epoch-index clock) per
+    /// adversarial committee and returns the per-committee reports so
+    /// callers can feed a `mvcom_core::DefenseEngine` with
+    /// observed-vs-reported evidence.
+    ///
+    /// The adversary draws from its own seed, never from the simulator's
+    /// RNG, so with an empty coalition (fraction 0) the epoch is
+    /// bit-identical to [`ElasticoSim::run_epoch_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ElasticoSim::run_epoch_with`].
+    pub fn run_epoch_adversarial<S: ShardSelector>(
+        &mut self,
+        selector: &mut S,
+        adversary: &dyn Adversary,
+    ) -> Result<(EpochReport, Vec<CommitteeReport>)> {
+        let epoch = self.epoch.value();
+        let mut stages = self.run_stages()?;
+        let reports = adversary.act(epoch, &stages.shards);
+        for r in &reports {
+            if r.adversarial {
+                self.obs.emit(
+                    "adversary_act",
+                    epoch as f64,
+                    &[
+                        ("committee", Value::U64(u64::from(r.committee().value()))),
+                        ("epoch", Value::U64(epoch)),
+                        ("strategy", Value::from(adversary.name())),
+                        ("ds", Value::F64(r.ds())),
+                        ("dl", Value::F64(r.dl())),
+                    ],
+                );
+            }
+        }
+        let reported: Vec<ShardInfo> = reports.iter().map(|r| r.reported).collect();
+        let included = selector.select(&reported);
+        // Settle the epoch on realized behaviour, not claims.
+        stages.shards = reports.iter().map(|r| r.truth).collect();
+        let report = self.finish_epoch(stages, included, None)?;
+        Ok((report, reports))
     }
 
     /// Stages 1–3 (lottery, formation, intra-committee consensus), shared
@@ -386,14 +447,17 @@ impl ElasticoSim {
         let mut consensus = Vec::with_capacity(formed.len());
         for (committee, txs) in formed.iter().zip(&tx_counts) {
             let n = committee.members.len() as u32;
-            let digest = Hash32::digest(
-                &[
-                    self.randomness.as_bytes().as_slice(),
-                    &committee.id.value().to_le_bytes(),
-                    &txs.to_le_bytes(),
-                ]
-                .concat(),
-            );
+            self.scratch.digest_bytes.clear();
+            self.scratch
+                .digest_bytes
+                .extend_from_slice(self.randomness.as_bytes());
+            self.scratch
+                .digest_bytes
+                .extend_from_slice(&committee.id.value().to_le_bytes());
+            self.scratch
+                .digest_bytes
+                .extend_from_slice(&txs.to_le_bytes());
+            let digest = Hash32::digest(&self.scratch.digest_bytes);
             let result = self.run_pbft(n, *txs, digest, &format!("pbft-{}", committee.id))?;
             self.obs.emit(
                 "committee_consensus",
@@ -440,19 +504,36 @@ impl ElasticoSim {
             shards,
             consensus,
         } = stages;
-        let admitted: Vec<&ShardInfo> = shards
+        self.scratch.admitted.clear();
+        self.scratch.admitted.extend(
+            shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| included.contains(&s.committee()))
+                .map(|(i, _)| i),
+        );
+        let total_txs: u64 = self
+            .scratch
+            .admitted
             .iter()
-            .filter(|s| included.contains(&s.committee()))
-            .collect();
-        let total_txs: u64 = admitted.iter().map(|s| s.tx_count()).sum();
+            .map(|&i| shards[i].tx_count())
+            .sum();
+        let admitted_count = self.scratch.admitted.len();
         let final_digest = {
-            let mut bytes = Vec::with_capacity(admitted.len() * 8 + 32);
-            bytes.extend_from_slice(self.randomness.as_bytes());
-            for s in &admitted {
-                bytes.extend_from_slice(&s.committee().value().to_le_bytes());
-                bytes.extend_from_slice(&s.tx_count().to_le_bytes());
+            self.scratch.digest_bytes.clear();
+            self.scratch
+                .digest_bytes
+                .extend_from_slice(self.randomness.as_bytes());
+            for &i in &self.scratch.admitted {
+                let s = &shards[i];
+                self.scratch
+                    .digest_bytes
+                    .extend_from_slice(&s.committee().value().to_le_bytes());
+                self.scratch
+                    .digest_bytes
+                    .extend_from_slice(&s.tx_count().to_le_bytes());
             }
-            Hash32::digest(&bytes)
+            Hash32::digest(&self.scratch.digest_bytes)
         };
         // lint: allow(P1, an empty formation already errored before this point)
         let final_committee_size = formed[0].members.len() as u32;
@@ -465,7 +546,7 @@ impl ElasticoSim {
             &[
                 ("epoch", Value::U64(epoch)),
                 ("committed", Value::Bool(final_result.committed)),
-                ("included", Value::U64(admitted.len() as u64)),
+                ("included", Value::U64(admitted_count as u64)),
                 ("total_txs", Value::U64(total_txs)),
                 ("latency", Value::F64(final_result.latency.as_secs())),
             ],
@@ -478,7 +559,7 @@ impl ElasticoSim {
             &[
                 ("epoch", Value::U64(epoch)),
                 ("shards", Value::U64(shards.len() as u64)),
-                ("admitted", Value::U64(admitted.len() as u64)),
+                ("admitted", Value::U64(admitted_count as u64)),
                 ("committed", Value::Bool(final_result.committed)),
             ],
         );
@@ -492,14 +573,19 @@ impl ElasticoSim {
         };
 
         // Stage 5: refresh the epoch randomness.
-        let next_randomness = Hash32::digest(
-            &[
-                self.randomness.as_bytes().as_slice(),
-                final_digest.as_bytes().as_slice(),
-                &self.epoch.value().to_le_bytes(),
-            ]
-            .concat(),
-        );
+        let next_randomness = {
+            self.scratch.digest_bytes.clear();
+            self.scratch
+                .digest_bytes
+                .extend_from_slice(self.randomness.as_bytes());
+            self.scratch
+                .digest_bytes
+                .extend_from_slice(final_digest.as_bytes());
+            self.scratch
+                .digest_bytes
+                .extend_from_slice(&self.epoch.value().to_le_bytes());
+            Hash32::digest(&self.scratch.digest_bytes)
+        };
         let report = EpochReport {
             epoch: self.epoch,
             formed,
@@ -688,6 +774,49 @@ mod tests {
         // Telemetry must not perturb the simulation itself.
         let mut silent = ElasticoSim::new(ElasticoConfig::small_test(), 11).unwrap();
         assert_eq!(silent.run_epoch().unwrap(), report_a);
+    }
+
+    #[test]
+    fn empty_coalition_is_bit_identical_to_the_vanilla_runner() {
+        use mvcom_dataset::{AdversaryConfig, Misreport};
+        let mut vanilla = ElasticoSim::new(ElasticoConfig::small_test(), 31).unwrap();
+        let baseline = vanilla.run_epoch_with(&mut WaitForAll).unwrap();
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 31).unwrap();
+        let adversary = Misreport::new(AdversaryConfig::new(0.0, 99).unwrap());
+        let (report, reports) = sim
+            .run_epoch_adversarial(&mut WaitForAll, &adversary)
+            .unwrap();
+        assert_eq!(report, baseline);
+        assert!(reports.iter().all(|r| !r.adversarial));
+        assert!(reports.iter().all(|r| r.reported == r.truth));
+    }
+
+    #[test]
+    fn adversarial_epoch_is_deterministic_and_settles_on_truth() {
+        use mvcom_dataset::{AdversaryConfig, Misreport};
+        let run = || {
+            let (obs, buf) = Obs::memory(mvcom_obs::ObsLevel::Events);
+            let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 32)
+                .unwrap()
+                .with_obs(obs);
+            let adversary = Misreport::new(AdversaryConfig::new(0.5, 7).unwrap());
+            let out = sim
+                .run_epoch_adversarial(&mut WaitForAll, &adversary)
+                .unwrap();
+            (out, buf.contents())
+        };
+        let ((report_a, reports_a), text_a) = run();
+        let ((report_b, reports_b), text_b) = run();
+        assert_eq!(report_a, report_b);
+        assert_eq!(reports_a, reports_b);
+        assert_eq!(text_a, text_b);
+        assert!(text_a.contains("\"kind\":\"adversary_act\""));
+        assert!(text_a.contains("\"strategy\":\"misreport\""));
+        // Stage 4 settles on realized transaction counts, not claims.
+        let true_total: u64 = reports_a.iter().map(|r| r.truth.tx_count()).sum();
+        let claimed_total: u64 = reports_a.iter().map(|r| r.reported.tx_count()).sum();
+        assert_eq!(report_a.final_block.total_txs, true_total);
+        assert!(claimed_total > true_total, "misreporters inflate claims");
     }
 
     #[test]

@@ -468,6 +468,67 @@ pub const KINDS: &[KindSpec] = &[
         ],
         open: false,
     },
+    // ---- adversarial economics (clock: epoch index) --------------------
+    KindSpec {
+        kind: "adversary_act",
+        level: ObsLevel::Events,
+        clock: "epoch index",
+        site: "mvcom-elastico::epoch / mvcom-bench::fig_adv",
+        fields: &[
+            req("committee", U64, "acting committee id"),
+            req("epoch", U64, "epoch index"),
+            req("strategy", Str, "misreport|freerider|starver"),
+            req("ds", F64, "relative size misreport (reported/true − 1)"),
+            req("dl", F64, "relative latency misreport (reported/true − 1)"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "flagged",
+        level: ObsLevel::Events,
+        clock: "epoch index",
+        site: "mvcom-core::defense",
+        fields: &[
+            req("committee", U64, "flagged committee id"),
+            req("epoch", U64, "epoch index"),
+            req(
+                "residual",
+                F64,
+                "median windowed residual that crossed the threshold",
+            ),
+            req("trust", F64, "trust weight after the flag discount"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "quarantine",
+        level: ObsLevel::Events,
+        clock: "epoch index",
+        site: "mvcom-core::defense",
+        fields: &[
+            req("committee", U64, "quarantined committee id"),
+            req("epoch", U64, "epoch index"),
+            req("until", U64, "first epoch eligible for readmission"),
+            req(
+                "offenses",
+                U64,
+                "lifetime quarantine count (drives the backoff)",
+            ),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "rehabilitated",
+        level: ObsLevel::Events,
+        clock: "epoch index",
+        site: "mvcom-core::defense",
+        fields: &[
+            req("committee", U64, "readmitted committee id"),
+            req("epoch", U64, "epoch index"),
+            req("trust", F64, "trust weight at readmission"),
+        ],
+        open: false,
+    },
     // ---- baselines (clock: iteration index) ---------------------------
     KindSpec {
         kind: "solver_point",

@@ -9,6 +9,8 @@
 //!                [--obs-out FILE] [--obs-level off|summary|events|trace]
 //! mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]
 //!                [--chaos-drop P] [--crash IDX@SECS[..SECS]] [--heartbeat SECS]
+//!                [--adv-fraction P] [--adv-strategy misreport|freerider|starver]
+//!                [--defense on|off]
 //!                [--obs-out FILE] [--obs-level off|summary|events|trace]
 //! ```
 //!
@@ -20,6 +22,16 @@
 //! member committees, and detected failures are trimmed out of the running
 //! schedule. `--crash` may be repeated; `IDX` addresses the IDX-th
 //! surviving shard's committee (see `submission_node`).
+//!
+//! `--adv-fraction` / `--adv-strategy` switch `simulate` to the
+//! *strategic* fault model instead: the given fraction of committees lies
+//! at formation time (see DESIGN.md §10). With `--defense on` (the
+//! default) the SE scheduler runs behind the reputation layer —
+//! median-of-window estimate correction, trust-weighted utility
+//! discounting and quarantine-with-backoff; `--defense off` schedules on
+//! the raw claims. Fractions (`--adv-fraction`, `--chaos-drop`) must lie
+//! in `[0, 1]`. Adversarial and fault-tolerant modes are mutually
+//! exclusive.
 //!
 //! `--obs-out FILE` streams the structured telemetry documented in
 //! OBSERVABILITY.md as JSON Lines; `--obs-level` picks the verbosity
@@ -67,6 +79,8 @@ fn print_usage() {
          [--obs-out FILE] [--obs-level off|summary|events|trace]\n  \
          mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]\n           \
          [--chaos-drop P] [--crash IDX@SECS[..SECS]] [--heartbeat SECS]\n           \
+         [--adv-fraction P] [--adv-strategy misreport|freerider|starver]\n           \
+         [--defense on|off]\n           \
          [--obs-out FILE] [--obs-level off|summary|events|trace]"
     );
 }
@@ -149,6 +163,20 @@ impl Flags {
                 Error::invalid_config("flags", format!("--{key} got a non-numeric value `{raw}`"))
             }),
         }
+    }
+
+    /// A probability/fraction-valued flag: parsed as `f64` and validated
+    /// to lie in `[0, 1]`, so a typo'd `--chaos-drop 20` fails here with a
+    /// clear message instead of producing nonsense downstream.
+    fn fraction(&self, key: &'static str, default: f64) -> Result<f64> {
+        let value: f64 = self.num(key, default)?;
+        if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+            return Err(Error::invalid_config(
+                key,
+                format!("--{key} must be a fraction in [0, 1], got `{value}`"),
+            ));
+        }
+        Ok(value)
     }
 }
 
@@ -374,7 +402,7 @@ fn simulate(args: &[String]) -> Result<()> {
     let epochs: usize = flags.num("epochs", 3usize)?;
     let seed: u64 = flags.num("seed", 0u64)?;
     let scheduler = flags.get("scheduler").unwrap_or("all");
-    let chaos_drop: f64 = flags.num("chaos-drop", 0.0f64)?;
+    let chaos_drop: f64 = flags.fraction("chaos-drop", 0.0)?;
     let crashes: Vec<CrashEvent> = flags.all("crash").map(parse_crash).collect::<Result<_>>()?;
     let fault_tolerant = flags.get("chaos-drop").is_some()
         || flags.get("heartbeat").is_some()
@@ -383,6 +411,25 @@ fn simulate(args: &[String]) -> Result<()> {
         return Err(Error::invalid_config(
             "scheduler",
             format!("unknown scheduler `{scheduler}` (use se|all)"),
+        ));
+    }
+    let adv_fraction: f64 = flags.fraction("adv-fraction", 0.0)?;
+    let adversarial = flags.get("adv-fraction").is_some() || flags.get("adv-strategy").is_some();
+    let defense_on = match flags.get("defense") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            return Err(Error::invalid_config(
+                "defense",
+                format!("unknown defense mode `{other}` (use on|off)"),
+            ))
+        }
+    };
+    if adversarial && fault_tolerant {
+        return Err(Error::invalid_config(
+            "adv-fraction",
+            "adversarial mode does not compose with --chaos-drop/--crash/--heartbeat; \
+             run the two fault models separately",
         ));
     }
 
@@ -402,17 +449,48 @@ fn simulate(args: &[String]) -> Result<()> {
             ..RecoveryConfig::paper()
         }
     };
+    // Adversarial mode keeps one adversary and one reputation engine alive
+    // across epochs — the defense's value is exactly its memory.
+    let adversary = if adversarial {
+        Some(build_adversary(
+            flags.get("adv-strategy").unwrap_or("misreport"),
+            AdversaryConfig::new(adv_fraction, seed)?,
+        )?)
+    } else {
+        None
+    };
+    let mut defended = DefendedSeSelector::new(
+        SeSelector::adaptive(seed, 0.6).with_obs(obs.clone()),
+        DefenseEngine::new(DefenseConfig::paper())?.with_obs(obs.clone()),
+    );
     let mut robustness_reports = Vec::new();
     for _ in 0..epochs {
-        let report = match (scheduler, fault_tolerant) {
-            ("se", false) => sim.run_epoch_with(&mut se_selector)?,
-            ("all", false) => sim.run_epoch_with(&mut WaitForAll)?,
-            ("se", true) => {
-                let mut selector = SeRecoverySelector::adaptive(seed, 0.6).with_obs(obs.clone());
-                sim.run_epoch_recovering(&mut selector, &recovery)?
+        let mut adversary_reports = Vec::new();
+        let report = match &adversary {
+            Some(adversary) => {
+                let (report, reports) = match (scheduler, defense_on) {
+                    ("se", true) => defended.run_epoch(&mut sim, adversary.as_ref())?,
+                    ("se", false) => {
+                        sim.run_epoch_adversarial(&mut se_selector, adversary.as_ref())?
+                    }
+                    _ => sim.run_epoch_adversarial(&mut WaitForAll, adversary.as_ref())?,
+                };
+                adversary_reports = reports;
+                report
             }
-            ("all", true) => sim.run_epoch_recovering(&mut SurvivorsOnly::default(), &recovery)?,
-            _ => unreachable!("scheduler validated above"),
+            None => match (scheduler, fault_tolerant) {
+                ("se", false) => sim.run_epoch_with(&mut se_selector)?,
+                ("all", false) => sim.run_epoch_with(&mut WaitForAll)?,
+                ("se", true) => {
+                    let mut selector =
+                        SeRecoverySelector::adaptive(seed, 0.6).with_obs(obs.clone());
+                    sim.run_epoch_recovering(&mut selector, &recovery)?
+                }
+                ("all", true) => {
+                    sim.run_epoch_recovering(&mut SurvivorsOnly::default(), &recovery)?
+                }
+                _ => unreachable!("scheduler validated above"),
+            },
         };
         let start = report
             .shards
@@ -431,6 +509,30 @@ fn simulate(args: &[String]) -> Result<()> {
             report.final_block.total_txs,
             if report.final_block.committed { "committed" } else { "FAILED" },
         );
+        if let Some(adversary) = &adversary {
+            let liars: Vec<_> = adversary_reports.iter().filter(|r| r.adversarial).collect();
+            let admitted_liars = liars
+                .iter()
+                .filter(|r| report.final_block.included.contains(&r.committee()))
+                .count();
+            let quarantined = adversary_reports
+                .iter()
+                .filter(|r| {
+                    defended
+                        .defense
+                        .is_quarantined(r.committee(), report.epoch.value())
+                })
+                .count();
+            println!(
+                "  adversary: {} × {} committee(s), {} admitted into the block, \
+                 defense {} ({} quarantined)",
+                liars.len(),
+                adversary.name(),
+                admitted_liars,
+                if defense_on { "on" } else { "off" },
+                quarantined,
+            );
+        }
         if obs.enabled(ObsLevel::Summary) {
             let mut table = mvcom::obs::Table::new(&[
                 "committee",

@@ -62,10 +62,12 @@ pub use mvcom_types as types;
 
 pub use mvcom_types::{Error, Result};
 
+use mvcom_core::defense::{DefenseConfig, DefenseEngine, DefenseObservation};
 use mvcom_core::dynamics::{DynamicsPolicy, EventRecord};
 use mvcom_core::problem::InstanceBuilder;
 use mvcom_core::se::{SeConfig, SeEngine};
-use mvcom_elastico::epoch::ShardSelector;
+use mvcom_dataset::{Adversary, CommitteeReport};
+use mvcom_elastico::epoch::{ElasticoSim, EpochReport, ShardSelector};
 use mvcom_elastico::recovery::RecoverySelector;
 use mvcom_types::{CommitteeId, Result as MvResult, ShardInfo};
 
@@ -75,6 +77,9 @@ pub mod prelude {
         BnbSolver, DpSolver, ExhaustiveSolver, GreedySolver, SaSolver, Solver, SolverOutcome,
         WoaSolver,
     };
+    pub use mvcom_core::defense::{
+        DefenseCheckpoint, DefenseConfig, DefenseEngine, DefenseObservation, ScreenedReport,
+    };
     pub use mvcom_core::dynamics::{run_online, DynamicsPolicy, EventKind, TimedEvent};
     pub use mvcom_core::epoch_chain::{EpochCapacity, EpochChain, EpochChainConfig, EpochOutcome};
     pub use mvcom_core::problem::InstanceBuilder;
@@ -82,7 +87,10 @@ pub mod prelude {
         ParallelRunner, ResetStats, SeCheckpoint, SeConfig, SeEngine, SeOutcome,
     };
     pub use mvcom_core::{DdlPolicy, Instance, Solution};
-    pub use mvcom_dataset::{EpochGenerator, LatencyConfig, Trace, TraceConfig};
+    pub use mvcom_dataset::{
+        build_adversary, Adversary, AdversaryConfig, CommitteeReport, EpochGenerator, Freerider,
+        LatencyConfig, Misreport, Starver, StrategicPopulation, Trace, TraceConfig,
+    };
     pub use mvcom_elastico::detector::{CommitteeHealth, HeartbeatConfig, HeartbeatMonitor};
     pub use mvcom_elastico::epoch::{ElasticoConfig, ElasticoSim, ShardSelector, WaitForAll};
     pub use mvcom_elastico::recovery::{
@@ -96,7 +104,7 @@ pub mod prelude {
     };
 
     pub use crate::metrics::{ChainMetrics, RobustnessMetrics, ScheduleMetrics};
-    pub use crate::{CapacityRule, SeRecoverySelector, SeSelector};
+    pub use crate::{CapacityRule, DefendedSeSelector, SeRecoverySelector, SeSelector};
 }
 
 /// An Elastico [`ShardSelector`] backed by the MVCom Stochastic-Exploration
@@ -244,6 +252,114 @@ impl ShardSelector for SeSelector {
             }
             Err(_) => fallback(),
         }
+    }
+}
+
+/// A defense-hardened [`SeSelector`]: screens every formation-time report
+/// through a [`DefenseEngine`] before the SE scheduler sees it, and feeds
+/// realized-vs-reported evidence back after each epoch settles.
+///
+/// This is the glue the adversarial evaluation (`fig_adv`, the
+/// `--adv-fraction` CLI path) runs: strategic committees lie at formation,
+/// the reputation layer corrects/discounts/quarantines, and the SE engine
+/// schedules over the screened estimates.
+///
+/// # Example
+///
+/// ```
+/// use mvcom::prelude::*;
+///
+/// # fn main() -> Result<(), mvcom::Error> {
+/// let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 13)?;
+/// let adversary = Misreport::new(AdversaryConfig::new(0.25, 13)?);
+/// let mut selector = DefendedSeSelector::paper(13)?;
+/// let (report, reports) = selector.run_epoch(&mut sim, &adversary)?;
+/// assert!(report.final_block.committed);
+/// assert!(reports.iter().any(|r| r.adversarial));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DefendedSeSelector {
+    /// The inner SE-backed selector (scheduling over screened reports).
+    pub selector: SeSelector,
+    /// The reputation layer: robust estimation, trust, quarantine.
+    pub defense: DefenseEngine,
+    epoch: u64,
+}
+
+impl DefendedSeSelector {
+    /// Paper-default SE selector plus paper-default defenses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DefenseConfig`] validation.
+    pub fn paper(seed: u64) -> Result<DefendedSeSelector> {
+        Ok(DefendedSeSelector {
+            selector: SeSelector::paper(seed),
+            defense: DefenseEngine::new(DefenseConfig::paper())?,
+            epoch: 0,
+        })
+    }
+
+    /// Wraps an existing selector/defense pair.
+    pub fn new(selector: SeSelector, defense: DefenseEngine) -> DefendedSeSelector {
+        DefendedSeSelector {
+            selector,
+            defense,
+            epoch: 0,
+        }
+    }
+
+    /// Attaches a telemetry handle to both layers: the SE engine's `se_*`
+    /// events plus the defense `flagged` / `quarantine` / `rehabilitated`
+    /// events.
+    #[must_use]
+    pub fn with_obs(mut self, obs: mvcom_obs::Obs) -> DefendedSeSelector {
+        self.selector = self.selector.with_obs(obs.clone());
+        self.defense = self.defense.with_obs(obs);
+        self
+    }
+
+    /// Runs one adversarial epoch end to end: strategic committees file
+    /// reports, the defense screens them, the SE engine schedules, stage 4
+    /// settles on realized behaviour, and the defense ingests the
+    /// observed-vs-reported evidence (true latency for every committee,
+    /// true size only for admitted shards).
+    ///
+    /// # Errors
+    ///
+    /// See [`ElasticoSim::run_epoch_with`].
+    pub fn run_epoch(
+        &mut self,
+        sim: &mut ElasticoSim,
+        adversary: &dyn Adversary,
+    ) -> Result<(EpochReport, Vec<CommitteeReport>)> {
+        self.epoch = sim.current_epoch().value();
+        let (report, reports) = sim.run_epoch_adversarial(self, adversary)?;
+        let included = &report.final_block.included;
+        let observations: Vec<DefenseObservation> = reports
+            .iter()
+            .map(|r| DefenseObservation {
+                committee: r.committee(),
+                reported_size: r.reported.tx_count(),
+                reported_latency: r.reported.two_phase_latency(),
+                observed_latency: r.truth.two_phase_latency(),
+                observed_size: included
+                    .contains(&r.committee())
+                    .then_some(r.truth.tx_count()),
+            })
+            .collect();
+        self.defense.end_epoch(self.epoch, &observations);
+        Ok((report, reports))
+    }
+}
+
+impl ShardSelector for DefendedSeSelector {
+    fn select(&mut self, shards: &[ShardInfo]) -> Vec<CommitteeId> {
+        let n_min = (shards.len() as f64 * self.selector.n_min_fraction).round() as usize;
+        let screened = self.defense.admissible(self.epoch, shards, n_min);
+        self.selector.select(&screened)
     }
 }
 
@@ -566,6 +682,53 @@ mod tests {
         degenerate.begin(&shards[..1]).unwrap();
         degenerate.advance(100);
         assert_eq!(degenerate.finish(), vec![CommitteeId(0)]);
+    }
+
+    #[test]
+    fn defended_selector_runs_epochs_and_learns_distrust() {
+        use mvcom_dataset::{AdversaryConfig, Misreport};
+        use mvcom_elastico::epoch::{ElasticoConfig, ElasticoSim};
+        let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 17).unwrap();
+        let adversary = Misreport::new(AdversaryConfig::new(0.5, 17).unwrap());
+        let mut selector = DefendedSeSelector::paper(17).unwrap();
+        let mut lied = std::collections::BTreeSet::new();
+        for _ in 0..4 {
+            let (report, reports) = selector.run_epoch(&mut sim, &adversary).unwrap();
+            assert!(report.final_block.committed);
+            lied.extend(
+                reports
+                    .iter()
+                    .filter(|r| r.adversarial)
+                    .map(|r| r.committee()),
+            );
+        }
+        assert!(!lied.is_empty());
+        // At least one persistent liar must have lost trust by now.
+        assert!(
+            lied.iter().any(|&c| selector.defense.trust(c) < 1.0),
+            "defense never discounted a liar"
+        );
+    }
+
+    #[test]
+    fn defended_selector_is_deterministic() {
+        use mvcom_dataset::{AdversaryConfig, Starver};
+        use mvcom_elastico::epoch::{ElasticoConfig, ElasticoSim};
+        let run = || {
+            let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 19).unwrap();
+            let adversary = Starver::new(AdversaryConfig::new(0.33, 19).unwrap());
+            let mut selector = DefendedSeSelector::paper(19).unwrap();
+            selector.selector.se = SeConfig::fast_test(19);
+            let mut reports = Vec::new();
+            for _ in 0..3 {
+                reports.push(selector.run_epoch(&mut sim, &adversary).unwrap());
+            }
+            (
+                reports,
+                serde_json::to_string(&selector.defense.checkpoint()).unwrap(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]
