@@ -129,47 +129,7 @@ impl Solver for DpSolver {
             }
         }
 
-        // N_min repair: the knapsack relaxation may under-select.
-        if solution.selected_count() < instance.n_min() {
-            let mut rest: Vec<usize> = (0..n).filter(|&i| !solution.contains(i)).collect();
-            mvcom_types::sort_by_f64_desc(&mut rest, |&i| values[i]);
-            for i in rest {
-                if solution.selected_count() >= instance.n_min() {
-                    break;
-                }
-                if solution.tx_total() + instance.shards()[i].tx_count() <= capacity {
-                    solution.insert(i, instance);
-                }
-            }
-        }
-        // The value-ordered repair can wedge: big high-value picks may fill
-        // the capacity before the count reaches N_min. Fall back to the
-        // guaranteed-feasible base — the N_min smallest shards — topped up
-        // greedily, and keep whichever feasible solution scores higher.
-        if !instance.is_feasible(&solution) {
-            let mut by_size: Vec<usize> = (0..n).collect();
-            by_size.sort_by_key(|&i| instance.shards()[i].tx_count());
-            let mut fallback = Solution::empty(n);
-            for &i in by_size.iter().take(instance.n_min()) {
-                fallback.insert(i, instance);
-            }
-            let mut rest: Vec<usize> = (0..n).filter(|&i| !fallback.contains(i)).collect();
-            mvcom_types::sort_by_f64_desc(&mut rest, |&i| values[i]);
-            for i in rest {
-                if values[i] <= 0.0 {
-                    break;
-                }
-                if fallback.tx_total() + instance.shards()[i].tx_count() <= capacity {
-                    fallback.insert(i, instance);
-                }
-            }
-            if !instance.is_feasible(&fallback) {
-                return Err(Error::infeasible(
-                    "DP repair could not satisfy N_min within the capacity",
-                ));
-            }
-            solution = fallback;
-        }
+        let solution = repair_n_min(instance, solution, &values)?;
         let best_utility = instance.utility(&solution);
         Ok(SolverOutcome {
             solver: self.name().to_string(),
@@ -178,6 +138,66 @@ impl Solver for DpSolver {
             trajectory: vec![(0, best_utility)],
         })
     }
+}
+
+/// `N_min` repair shared by the dense and sparse DP solvers — behavior
+/// (and therefore figure output) must stay identical between the two, so
+/// there is exactly one copy of it.
+///
+/// The knapsack relaxation may under-select: top up with the highest-value
+/// remaining shards that still fit. The value-ordered repair can wedge
+/// (big high-value picks may fill the capacity before the count reaches
+/// `N_min`); fall back to the guaranteed-feasible base — the `N_min`
+/// smallest shards — topped up greedily.
+///
+/// # Errors
+///
+/// [`Error::Infeasible`] when not even the fallback satisfies `N_min`
+/// within the capacity.
+pub(crate) fn repair_n_min(
+    instance: &Instance,
+    mut solution: Solution,
+    values: &[f64],
+) -> Result<Solution> {
+    let n = instance.len();
+    let capacity = instance.capacity();
+    if solution.selected_count() < instance.n_min() {
+        let mut rest: Vec<usize> = (0..n).filter(|&i| !solution.contains(i)).collect();
+        mvcom_types::sort_by_f64_desc(&mut rest, |&i| values[i]);
+        for i in rest {
+            if solution.selected_count() >= instance.n_min() {
+                break;
+            }
+            if solution.tx_total() + instance.shards()[i].tx_count() <= capacity {
+                solution.insert(i, instance);
+            }
+        }
+    }
+    if !instance.is_feasible(&solution) {
+        let mut by_size: Vec<usize> = (0..n).collect();
+        by_size.sort_by_key(|&i| instance.shards()[i].tx_count());
+        let mut fallback = Solution::empty(n);
+        for &i in by_size.iter().take(instance.n_min()) {
+            fallback.insert(i, instance);
+        }
+        let mut rest: Vec<usize> = (0..n).filter(|&i| !fallback.contains(i)).collect();
+        mvcom_types::sort_by_f64_desc(&mut rest, |&i| values[i]);
+        for i in rest {
+            if values[i] <= 0.0 {
+                break;
+            }
+            if fallback.tx_total() + instance.shards()[i].tx_count() <= capacity {
+                fallback.insert(i, instance);
+            }
+        }
+        if !instance.is_feasible(&fallback) {
+            return Err(Error::infeasible(
+                "DP repair could not satisfy N_min within the capacity",
+            ));
+        }
+        solution = fallback;
+    }
+    Ok(solution)
 }
 
 #[cfg(test)]

@@ -43,9 +43,8 @@ fn parse_args() -> Result<Args, String> {
                 let value = argv
                     .next()
                     .ok_or_else(|| "--threads needs a count".to_string())?;
-                let threads: usize = value
-                    .parse()
-                    .map_err(|_| format!("--threads needs a number, got `{value}`"))?;
+                let threads = mvcom_bench::harness::parse_threads(&value, "--threads")
+                    .map_err(|e| e.to_string())?;
                 mvcom_bench::harness::set_threads(threads);
             }
             "--out" => {
@@ -81,6 +80,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Surface a bad `MVCOM_THREADS` up front (with the offending value)
+    // instead of letting the first fan-out fail mid-run — or worse, the
+    // old behavior of silently running serial.
+    if let Err(e) = mvcom_bench::harness::threads() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     if args.list || args.figures.is_empty() {
         println!("available figures: {}", ALL.join(" "));
         println!("usage: repro <figure…|all> [--quick] [--out DIR]");

@@ -1,0 +1,190 @@
+//! fig-scale — the fig11-shaped sweep extended to the 10⁴–10⁵ committee
+//! regime (ROADMAP open item 2): SE against the sparse DP and greedy
+//! baselines over [`streamed_instance`]s.
+//!
+//! SA and WOA are deliberately absent: their per-iteration cost is
+//! `O(population·|I|)`, which at `|I| = 10⁵` is minutes per point without
+//! adding information — the near-exact one-shot baselines already anchor
+//! the achievable utility. The sparse DP runs with a wider bucket budget
+//! than the small-|I| figures (`max_buckets = 4096`): at `Ĉ = 1000·|I|`
+//! the paper's 512 buckets would quantize every ~1089-TX shard up to a
+//! full bucket, capping the pre-repair selection at 512 shards.
+
+use mvcom_baselines::dp::DpConfig;
+use mvcom_baselines::{GreedySolver, Solver, SparseDpSolver};
+use mvcom_core::se::{SeConfig, SeEngine};
+use mvcom_types::Result;
+
+use crate::harness::{
+    downsample, run_tasks, runs_as_events, streamed_instance, AlgoRun, FigureReport, Scale,
+};
+
+/// Sparse-DP bucket budget for the scale regime (see module docs).
+const SCALE_BUCKETS: usize = 4_096;
+
+/// One |I| point's products, merged into the report in sweep order.
+struct SizePoint {
+    rows: Vec<Vec<String>>,
+    events: Option<String>,
+    stats: (usize, f64, f64, f64, f64),
+    feasible: bool,
+    note: String,
+}
+
+/// Runs the scale sweep.
+pub fn run(scale: Scale) -> Result<FigureReport> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Full => vec![10_000, 50_000, 100_000],
+        Scale::Quick => vec![5_000, 20_000],
+    };
+    let iters = scale.iters(3_000);
+    // One task per |I|: seeds derive from the sweep index, so the
+    // parallel fan-out merges byte-identically to the serial loop.
+    let last = sizes.len() - 1;
+    let tasks: Vec<_> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            move || -> Result<SizePoint> {
+                let instance = streamed_instance(n, 1_000 * n as u64, 1.5, 21_000 + i as u64)?;
+                let mut runs = Vec::with_capacity(3);
+                // max_chains = 4: Algorithm 2's one-chain-per-cardinality
+                // family is O(|I|) wide here, and each chain carries an
+                // O(|I|) evaluation cache — four strided cardinalities per
+                // replica keep the family anchored at both feasibility
+                // endpoints within ~150 MB at |I| = 10⁵.
+                let se_config = SeConfig {
+                    gamma: 10,
+                    max_iterations: iters,
+                    convergence_window: 0,
+                    record_every: 1,
+                    max_chains: 4,
+                    ..SeConfig::paper(21_100 + i as u64)
+                };
+                let se = SeEngine::new(&instance, se_config)?.run();
+                let se_start = se
+                    .trajectory
+                    .points()
+                    .first()
+                    .map(|p| p.best_so_far)
+                    .unwrap_or(0.0);
+                runs.push(AlgoRun {
+                    name: "SE",
+                    utility: se.best_utility,
+                    solution: se.best_solution,
+                    trajectory: se
+                        .trajectory
+                        .points()
+                        .iter()
+                        .map(|p| (p.iteration, p.best_so_far))
+                        .collect(),
+                });
+                let sdp = SparseDpSolver::new(DpConfig {
+                    max_buckets: SCALE_BUCKETS,
+                })
+                .solve(&instance)?;
+                runs.push(AlgoRun {
+                    name: "SDP",
+                    utility: sdp.best_utility,
+                    solution: sdp.best_solution,
+                    trajectory: vec![(0, sdp.best_utility), (iters, sdp.best_utility)],
+                });
+                let greedy = GreedySolver::new().solve(&instance)?;
+                runs.push(AlgoRun {
+                    name: "Greedy",
+                    utility: greedy.best_utility,
+                    solution: greedy.best_solution,
+                    trajectory: vec![(0, greedy.best_utility), (iters, greedy.best_utility)],
+                });
+                let events = (i == last).then(|| runs_as_events(&runs, 150));
+                let mut rows = Vec::new();
+                for r in &runs {
+                    for &(iter, u) in downsample(&r.trajectory, 150).iter() {
+                        rows.push(vec![
+                            n.to_string(),
+                            r.name.to_string(),
+                            iter.to_string(),
+                            format!("{u:.2}"),
+                        ]);
+                    }
+                }
+                let se_u = runs[0].utility; // lint: allow(P1, runs is built above with exactly three entries)
+                let sdp_u = runs[1].utility; // lint: allow(P1, runs is built above with exactly three entries)
+                let greedy_u = runs[2].utility; // lint: allow(P1, runs is built above with exactly three entries)
+                let feasible = runs.iter().all(|r| instance.is_feasible(&r.solution));
+                Ok(SizePoint {
+                    rows,
+                    events,
+                    stats: (n, se_u, sdp_u, greedy_u, se_start),
+                    feasible,
+                    note: format!(
+                        "|I|={n}: SE {se_u:.1} (from {se_start:.1}), SDP {sdp_u:.1}, \
+                         Greedy {greedy_u:.1}"
+                    ),
+                })
+            }
+        })
+        .collect();
+    let points = run_tasks(tasks)?;
+
+    let mut report = FigureReport::new("fig_scale");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut stats = Vec::new();
+    let mut all_feasible = true;
+    for point in points {
+        if let Some(events) = point.events {
+            report
+                .files
+                .push(("fig_scale.events.jsonl".to_string(), events));
+        }
+        rows.extend(point.rows);
+        stats.push(point.stats);
+        all_feasible &= point.feasible;
+        report.note(point.note);
+    }
+    report.add_csv(
+        "fig_scale.csv",
+        &["committees", "algorithm", "iteration", "utility"],
+        rows,
+    );
+    // Shape checks, calibrated for the scale regime: with a fixed
+    // iteration budget SE is an anytime algorithm that cannot fully
+    // converge at |I| = 10⁵ (the paper stops at 10³), and the streamed
+    // trace's latency penalty dominates the raw utility (it goes
+    // negative — the *ordering* is what carries information). The robust
+    // claims are (a) every solver returns a capacity-feasible selection
+    // at every size, (b) SE improves on its initialization everywhere,
+    // and (c) the one-shot baselines scale: greedy — asymptotically
+    // optimal for this dense-small-items knapsack — never collapses
+    // below the bucket-quantized sparse DP.
+    report.check(
+        "every solver returns a capacity-feasible selection at every |I|",
+        all_feasible,
+    );
+    report.check(
+        "SE improves on its initialization at every |I|",
+        stats.iter().all(|&(_, se, _, _, start)| se > start),
+    );
+    report.check(
+        "greedy stays at or above the bucket-quantized sparse DP at scale",
+        stats
+            .iter()
+            .all(|&(_, _, sdp, greedy, _)| greedy >= sdp - 1e-9),
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_passes_shape_checks() {
+        let report = run(Scale::Quick).unwrap();
+        assert!(
+            report.summary.iter().all(|l| !l.contains("MISMATCH")),
+            "{:#?}",
+            report.summary
+        );
+    }
+}

@@ -10,6 +10,7 @@ pub mod fig2;
 pub mod fig8;
 pub mod fig9;
 pub mod fig_adv;
+pub mod fig_scale;
 
 use mvcom_types::{Error, Result};
 
@@ -30,6 +31,7 @@ pub const ALL: &[&str] = &[
     "ablation-ddl",
     "ablation-dynamics",
     "fig_adv",
+    "fig_scale",
 ];
 
 /// Runs one figure experiment by name.
@@ -77,6 +79,7 @@ fn dispatch(name: &str, scale: Scale) -> Result<FigureReport> {
         "ablation-ddl" => ablations::ddl(scale),
         "ablation-dynamics" => ablations::dynamics(scale),
         "fig_adv" => fig_adv::run(scale),
+        "fig_scale" => fig_scale::run(scale),
         other => Err(Error::invalid_config(
             "figure",
             format!("unknown figure `{other}`; expected one of {ALL:?}"),

@@ -12,7 +12,7 @@ use mvcom_baselines::{DpSolver, SaSolver, Solver, WoaSolver};
 use mvcom_core::problem::InstanceBuilder;
 use mvcom_core::se::{SeConfig, SeEngine};
 use mvcom_core::{Instance, Solution};
-use mvcom_dataset::{EpochGenerator, LatencyConfig, Trace, TraceConfig};
+use mvcom_dataset::{EpochGenerator, LatencyConfig, ShardStream, StreamConfig, Trace, TraceConfig};
 use mvcom_types::Result;
 
 /// How big to run an experiment.
@@ -54,24 +54,67 @@ impl Scale {
 /// the first read falls back to `MVCOM_THREADS` (then 1).
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// The number of worker threads figure experiments fan their independent
-/// points across. Defaults to the `MVCOM_THREADS` environment variable,
-/// or serial (1) when unset.
-pub fn threads() -> usize {
-    match THREADS.load(Ordering::Relaxed) {
-        0 => std::env::var("MVCOM_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&t| t >= 1)
-            .unwrap_or(1),
-        t => t,
+/// Parses a worker-thread count from `value` (a `--threads` argument or
+/// the `MVCOM_THREADS` environment variable, named by `origin`).
+///
+/// # Errors
+///
+/// [`mvcom_types::Error::InvalidConfig`] when `value` is not an integer
+/// or is zero — both used to be accepted and silently degenerate to a
+/// serial run; callers must surface this instead.
+pub fn parse_threads(value: &str, origin: &str) -> Result<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(t) if t >= 1 => Ok(t),
+        Ok(_) => Err(mvcom_types::Error::invalid_config(
+            "threads",
+            format!("{origin} must be >= 1, got `{value}` (use 1 for a serial run)"),
+        )),
+        Err(_) => Err(mvcom_types::Error::invalid_config(
+            "threads",
+            format!("{origin} must be an integer >= 1, got `{value}`"),
+        )),
     }
 }
 
+/// Resolution of the stored override + environment to a thread count;
+/// pure so the validation is unit-testable without touching the process
+/// environment.
+fn resolve_threads(stored: usize, env: Option<&str>) -> Result<usize> {
+    match stored {
+        0 => env.map_or(Ok(1), |v| parse_threads(v, "MVCOM_THREADS")),
+        t => Ok(t),
+    }
+}
+
+/// The number of worker threads figure experiments fan their independent
+/// points across. Defaults to the `MVCOM_THREADS` environment variable,
+/// or serial (1) when unset.
+///
+/// # Errors
+///
+/// [`mvcom_types::Error::InvalidConfig`] when `MVCOM_THREADS` is set but
+/// not an integer >= 1 (previously this silently fell back to a serial
+/// run, masking typos like `MVCOM_THREADS=four` or `=0`).
+pub fn threads() -> Result<usize> {
+    resolve_threads(
+        THREADS.load(Ordering::Relaxed),
+        std::env::var("MVCOM_THREADS").ok().as_deref(),
+    )
+}
+
 /// Overrides the worker-thread count (the bench bins' `--threads` knob).
-/// Values below 1 are clamped to 1.
+///
+/// # Panics
+///
+/// On `threads == 0`: a zero thread count has no meaning here (serial
+/// is `1`) and used to be clamped silently; bins validate their flag
+/// with [`parse_threads`] before calling this.
 pub fn set_threads(threads: usize) {
-    THREADS.store(threads.max(1), Ordering::Relaxed);
+    assert!(
+        threads >= 1,
+        "set_threads precondition: thread count must be >= 1 (got 0); use 1 for a serial run"
+    );
+    THREADS.store(threads, Ordering::Relaxed);
 }
 
 /// Runs independent closures across [`threads`] worker threads and
@@ -97,7 +140,7 @@ where
     T: Send,
     F: FnOnce() -> Result<T> + Send,
 {
-    let workers = threads().min(tasks.len());
+    let workers = threads()?.min(tasks.len());
     if workers <= 1 {
         return tasks.into_iter().map(|task| task()).collect();
     }
@@ -209,6 +252,42 @@ pub fn paper_instance(n: usize, capacity: u64, alpha: f64, seed: u64) -> Result<
     let trace = Trace::generate(TraceConfig::jan_2016(), seed);
     let mut epochs = EpochGenerator::new(&trace, LatencyConfig::paper(), seed);
     let shards = epochs.next_epoch_with_replacement(n, 1)?;
+    InstanceBuilder::new()
+        .alpha(alpha)
+        .capacity(capacity)
+        .n_min(n / 2)
+        .shards(shards)
+        .build()
+}
+
+/// Builds a scale-regime instance (`|I| = 10⁴–10⁵`) through the chunked
+/// [`ShardStream`] builder: shards are generated 4096 at a time off the
+/// Jan-2016-like trace, so the only `O(|I|)` allocation is the instance
+/// itself — no materialized tx-count/latency intermediates (DESIGN.md
+/// §11). Same parameter conventions as [`paper_instance`]
+/// (`N_min = 50%·|I|`) but a distinct generator: the stream draws
+/// per-shard, leaving the legacy epoch path — and the byte-frozen
+/// small-|I| figure outputs built on it — untouched.
+///
+/// # Errors
+///
+/// Propagates stream and builder validation.
+pub fn streamed_instance(n: usize, capacity: u64, alpha: f64, seed: u64) -> Result<Instance> {
+    let trace = Trace::generate(TraceConfig::jan_2016(), seed);
+    let mut stream = ShardStream::new(
+        &trace,
+        LatencyConfig::paper(),
+        seed,
+        StreamConfig {
+            shards: n,
+            blocks_per_shard: 1,
+        },
+    )?;
+    let mut shards = Vec::with_capacity(n);
+    let mut chunk = Vec::new();
+    while stream.next_chunk(&mut chunk, 4096) > 0 {
+        shards.append(&mut chunk);
+    }
     InstanceBuilder::new()
         .alpha(alpha)
         .capacity(capacity)
@@ -331,6 +410,12 @@ pub const MAX_EVENT_LINES: usize = 5_000;
 /// remaining budget evenly and are stride-sampled per kind via
 /// [`downsample`], so the sampled stream keeps full time coverage of
 /// every series rather than truncating the tail.
+///
+/// Every kind's **final** event is always retained, in both the per-kind
+/// and the degenerate uniform-sampling paths, so no series ends
+/// mid-epoch after downsampling. (If a stream somehow had more distinct
+/// kinds than `max_lines`, keeping each series' last would exceed the
+/// cap; real streams have a few dozen kinds.)
 pub fn downsample_events_jsonl(events: &str, max_lines: usize) -> String {
     let lines: Vec<&str> = events.lines().collect();
     if lines.len() <= max_lines {
@@ -360,9 +445,17 @@ pub fn downsample_events_jsonl(events: &str, max_lines: usize) -> String {
         kinds.iter().filter(|(_, idx)| idx.len() > 200).collect();
     let mut keep = vec![false; lines.len()];
     if rare_total >= max_lines || heavy.is_empty() {
-        // Degenerate distribution: sample uniformly across everything.
+        // Degenerate distribution: sample uniformly across everything,
+        // reserving one slot per kind so each series still ends on its
+        // own final event (uniform sampling alone only guarantees the
+        // *global* last line survives, leaving other series truncated
+        // mid-epoch).
         let all: Vec<usize> = (0..lines.len()).collect();
-        for i in downsample(&all, max_lines.saturating_sub(2).max(2)) {
+        let budget = max_lines
+            .saturating_sub(2 + kinds.len())
+            .max(2)
+            .min(max_lines.saturating_sub(2).max(2));
+        for i in downsample(&all, budget) {
             keep[i] = true;
         }
     } else {
@@ -380,6 +473,15 @@ pub fn downsample_events_jsonl(events: &str, max_lines: usize) -> String {
             for &i in &downsample(indices, share) {
                 keep[i] = true;
             }
+        }
+    }
+    // Invariant (both branches): every series retains its final event, so
+    // a downsampled stream never ends mid-epoch for any kind. The heavy
+    // branch already gets this from `downsample` keeping each series'
+    // last point; the degenerate branch relies on the reserved slots.
+    for (_, indices) in &kinds {
+        if let Some(&last) = indices.last() {
+            keep[last] = true;
         }
     }
     let mut out = String::new();
@@ -526,6 +628,88 @@ mod tests {
         // Small streams pass through untouched.
         let small = "{\"kind\":\"a\"}\n{\"kind\":\"b\"}\n";
         assert_eq!(downsample_events_jsonl(small, 5_000), small);
+    }
+
+    #[test]
+    fn downsample_events_degenerate_branch_keeps_each_series_last_event() {
+        // Synthetic over-limit stream that forces the degenerate uniform
+        // branch: no kind exceeds 200 lines (so `heavy` is empty), yet
+        // the total is far over the cap. Before the fix, uniform
+        // sampling only guaranteed the *global* last line survived, so
+        // every other series could lose its final event and the
+        // downsampled JSONL ended mid-epoch for those kinds.
+        let mut events = String::new();
+        for series in 0..60 {
+            for i in 0..200 {
+                events.push_str(&format!("{{\"kind\":\"epoch_{series}\",\"t\":{i}}}\n"));
+            }
+        }
+        assert_eq!(events.lines().count(), 12_000);
+        let trimmed = downsample_events_jsonl(&events, 5_000);
+        let n_lines = trimmed.lines().count();
+        assert!(n_lines <= 5_000, "still {n_lines} lines");
+        for series in 0..60 {
+            let last = format!("{{\"kind\":\"epoch_{series}\",\"t\":199}}");
+            assert!(
+                trimmed.contains(&last),
+                "series epoch_{series} lost its final event"
+            );
+        }
+        // Order preserved: the stream still ends on the global last line.
+        assert_eq!(
+            trimmed.lines().last().unwrap(),
+            "{\"kind\":\"epoch_59\",\"t\":199}"
+        );
+
+        // Heavy branch: an interleaved tail must also survive for every
+        // heavy series, not only the one that happens to own the global
+        // last line.
+        let mut events = String::new();
+        for i in 0..9_000 {
+            events.push_str(&format!("{{\"kind\":\"heavy_a\",\"t\":{i}}}\n"));
+        }
+        for i in 0..9_000 {
+            events.push_str(&format!("{{\"kind\":\"heavy_b\",\"t\":{i}}}\n"));
+        }
+        events.push_str("{\"kind\":\"epoch_end\",\"t\":1}\n");
+        let trimmed = downsample_events_jsonl(&events, 5_000);
+        assert!(trimmed.lines().count() <= 5_000);
+        assert!(trimmed.contains("{\"kind\":\"heavy_a\",\"t\":8999}"));
+        assert!(trimmed.contains("{\"kind\":\"heavy_b\",\"t\":8999}"));
+        assert!(trimmed.contains("epoch_end"));
+    }
+
+    #[test]
+    fn parse_threads_validates() {
+        assert_eq!(parse_threads("4", "--threads").unwrap(), 4);
+        assert_eq!(parse_threads(" 1 ", "--threads").unwrap(), 1);
+        let zero = parse_threads("0", "--threads").unwrap_err();
+        assert!(zero.to_string().contains(">= 1"), "{zero}");
+        assert!(zero.to_string().contains("--threads"), "{zero}");
+        let word = parse_threads("four", "MVCOM_THREADS").unwrap_err();
+        assert!(word.to_string().contains("integer"), "{word}");
+        assert!(word.to_string().contains("MVCOM_THREADS"), "{word}");
+        assert!(parse_threads("", "--threads").is_err());
+        assert!(parse_threads("-2", "--threads").is_err());
+        assert!(parse_threads("1.5", "--threads").is_err());
+    }
+
+    #[test]
+    fn resolve_threads_surfaces_invalid_env_instead_of_defaulting() {
+        // Explicit override wins without consulting the environment.
+        assert_eq!(resolve_threads(3, Some("garbage")).unwrap(), 3);
+        // Unset env defaults to serial.
+        assert_eq!(resolve_threads(0, None).unwrap(), 1);
+        assert_eq!(resolve_threads(0, Some("8")).unwrap(), 8);
+        // `MVCOM_THREADS=0` / non-numeric used to silently mean 1.
+        assert!(resolve_threads(0, Some("0")).is_err());
+        assert!(resolve_threads(0, Some("four")).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "set_threads precondition")]
+    fn set_threads_rejects_zero() {
+        set_threads(0);
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!               where t' = max(l_i, max_{sel∖o} l)
 //! ```
 //!
-//! with no allocation and no pass over the selection. Per-op complexity:
+//! with no allocation and no pass over the selection. The per-shard
+//! inputs (`l_i`, `s_i`, and the MaxArrival marginals) are held as dense
+//! struct-of-arrays columns copied bit-for-bit out of the instance at
+//! construction, so at 10⁴–10⁵ committees the delta loop walks 8-byte
+//! strides instead of cache-missing across interleaved `ShardInfo`
+//! records. Per-op complexity:
 //!
 //! | operation                       | naive            | cached      |
 //! |---------------------------------|------------------|-------------|
@@ -88,6 +93,18 @@ pub struct EvalCache {
     rank: Vec<u32>,
     /// Rank → latency in seconds (ascending).
     lat_by_rank: Vec<f64>,
+    /// Struct-of-arrays projections of the instance's shard records, by
+    /// shard index. The AoS `ShardInfo` layout interleaves the committee
+    /// id and both latency phases with the two fields the delta loops
+    /// touch, so at 10⁴–10⁵ committees every delta paid a cache miss per
+    /// shard lookup; these dense columns keep the hot loop on 8-byte
+    /// strides. Values are copied bit-for-bit from the instance (`lat` is
+    /// `two_phase_latency().as_secs()`, `tx` is `tx_count() as f64`,
+    /// `marginal` is `Instance::marginal_utility(i)`), so every delta
+    /// below computes the *same float expression* as before, bit for bit.
+    lat: Vec<f64>,
+    tx: Vec<f64>,
+    marginal: Vec<f64>,
     /// Fenwick tree (1-based) over ranks; counts selected shards.
     tree: Vec<u32>,
     /// Mirror of the selected count, for O(1) sync checks.
@@ -124,9 +141,23 @@ impl EvalCache {
             .iter()
             .map(|&i| instance.shards()[i as usize].two_phase_latency().as_secs())
             .collect();
+        let lat: Vec<f64> = instance
+            .shards()
+            .iter()
+            .map(|s| s.two_phase_latency().as_secs())
+            .collect();
+        let tx: Vec<f64> = instance
+            .shards()
+            .iter()
+            .map(|s| s.tx_count() as f64)
+            .collect();
+        let marginal: Vec<f64> = (0..n).map(|i| instance.marginal_utility(i)).collect();
         let mut cache = EvalCache {
             rank,
             lat_by_rank,
+            lat,
+            tx,
+            marginal,
             tree: vec![0u32; n + 1],
             selected: 0,
             ddl: 0.0,
@@ -232,21 +263,13 @@ impl EvalCache {
             "swap_delta precondition: out={out} must be selected, inc={inc} unselected"
         );
         match instance.ddl_policy() {
-            DdlPolicy::MaxArrival => {
-                instance.marginal_utility(inc) - instance.marginal_utility(out)
-            }
+            DdlPolicy::MaxArrival => self.marginal[inc] - self.marginal[out],
             DdlPolicy::MaxSelected => {
-                let shards = instance.shards();
-                let (l_out, l_inc) = (
-                    shards[out].two_phase_latency().as_secs(),
-                    shards[inc].two_phase_latency().as_secs(),
-                );
+                let (l_out, l_inc) = (self.lat[out], self.lat[inc]);
                 let t = self.selected_ddl();
                 let t_new = self.max_excluding(out).max(l_inc);
                 let k = self.selected as f64;
-                instance.alpha() * (shards[inc].tx_count() as f64 - shards[out].tx_count() as f64)
-                    + (l_inc - l_out)
-                    - k * (t_new - t)
+                instance.alpha() * (self.tx[inc] - self.tx[out]) + (l_inc - l_out) - k * (t_new - t)
             }
         }
     }
@@ -265,15 +288,14 @@ impl EvalCache {
             "insert_delta precondition: shard {i} is already selected"
         );
         match instance.ddl_policy() {
-            DdlPolicy::MaxArrival => instance.marginal_utility(i),
+            DdlPolicy::MaxArrival => self.marginal[i],
             DdlPolicy::MaxSelected => {
-                let shards = instance.shards();
-                let l_i = shards[i].two_phase_latency().as_secs();
+                let l_i = self.lat[i];
                 let t = self.selected_ddl();
                 let t_new = t.max(l_i);
                 let k = self.selected as f64;
                 // U' − U = α·s_i + l_i − (k+1)·t' + k·t.
-                instance.alpha() * shards[i].tx_count() as f64 + l_i - (k + 1.0) * t_new + k * t
+                instance.alpha() * self.tx[i] + l_i - (k + 1.0) * t_new + k * t
             }
         }
     }
@@ -292,15 +314,14 @@ impl EvalCache {
             "remove_delta precondition: shard {i} is not selected"
         );
         match instance.ddl_policy() {
-            DdlPolicy::MaxArrival => -instance.marginal_utility(i),
+            DdlPolicy::MaxArrival => -self.marginal[i],
             DdlPolicy::MaxSelected => {
-                let shards = instance.shards();
-                let l_i = shards[i].two_phase_latency().as_secs();
+                let l_i = self.lat[i];
                 let t = self.selected_ddl();
                 let t_new = self.max_excluding(i);
                 let k = self.selected as f64;
                 // U' − U = −α·s_i − l_i − (k−1)·t' + k·t.
-                -instance.alpha() * shards[i].tx_count() as f64 - l_i - (k - 1.0) * t_new + k * t
+                -instance.alpha() * self.tx[i] - l_i - (k - 1.0) * t_new + k * t
             }
         }
     }
@@ -605,6 +626,37 @@ mod tests {
                 "precondition violation did not panic"
             );
         }
+    }
+
+    #[test]
+    fn soa_columns_are_bitwise_copies_of_the_instance() {
+        // The struct-of-arrays projection must not change a single bit of
+        // any delta: the scale sweep's small-|I| outputs are pinned
+        // byte-identical to the AoS implementation. MaxArrival deltas are
+        // exactly the memoized marginals; for MaxSelected we check the
+        // full expression recomputed straight off the shard records.
+        let inst = instance(64, DdlPolicy::MaxArrival);
+        let sol = Solution::from_indices(64, (0..64).step_by(2), &inst);
+        let cache = EvalCache::new(&inst, &sol);
+        for i in (1..64).step_by(2) {
+            assert_eq!(cache.insert_delta(&inst, &sol, i), inst.marginal_utility(i));
+        }
+        assert_eq!(
+            cache.swap_delta(&inst, &sol, 4, 9),
+            inst.marginal_utility(9) - inst.marginal_utility(4)
+        );
+
+        let inst = instance(64, DdlPolicy::MaxSelected);
+        let sol = Solution::from_indices(64, (0..64).step_by(2), &inst);
+        let cache = EvalCache::new(&inst, &sol);
+        let lat = |i: usize| inst.shards()[i].two_phase_latency().as_secs();
+        let tx = |i: usize| inst.shards()[i].tx_count() as f64;
+        let (out, inc) = (6, 11);
+        let t = cache.selected_ddl();
+        let t_new = cache.max_excluding(out).max(lat(inc));
+        let k = sol.selected_count() as f64;
+        let aos = inst.alpha() * (tx(inc) - tx(out)) + (lat(inc) - lat(out)) - k * (t_new - t);
+        assert_eq!(cache.swap_delta(&inst, &sol, out, inc), aos);
     }
 
     #[test]

@@ -150,10 +150,24 @@ impl Instance {
     ///
     /// # Panics
     ///
-    /// Panics — in release builds too — when `out` is not selected or `inc`
-    /// is selected: a silent garbage delta would corrupt every downstream
+    /// Panics — in release builds too — when `solution` was built for a
+    /// different shard count, when `out` or `inc` is out of range for
+    /// this instance, when `out` is not selected, or when `inc` is
+    /// selected: a silent garbage delta would corrupt every downstream
     /// solver state.
     pub fn swap_delta(&self, solution: &Solution, out: usize, inc: usize) -> f64 {
+        assert!(
+            solution.len() == self.len(),
+            "swap_delta precondition: solution over {} shards does not belong to this \
+             {}-shard instance",
+            solution.len(),
+            self.len()
+        );
+        assert!(
+            out < self.len() && inc < self.len(),
+            "swap_delta precondition: committee ids out={out}, inc={inc} must be < {}",
+            self.len()
+        );
         assert!(
             solution.contains(out) && !solution.contains(inc),
             "swap_delta precondition: out={out} must be selected, inc={inc} unselected"
@@ -175,8 +189,22 @@ impl Instance {
     ///
     /// # Panics
     ///
-    /// Panics — in release builds too — when `i` is already selected.
+    /// Panics — in release builds too — when `solution` was built for a
+    /// different shard count, when `i` is out of range for this
+    /// instance, or when `i` is already selected.
     pub fn insert_delta(&self, solution: &Solution, i: usize) -> f64 {
+        assert!(
+            solution.len() == self.len(),
+            "insert_delta precondition: solution over {} shards does not belong to this \
+             {}-shard instance",
+            solution.len(),
+            self.len()
+        );
+        assert!(
+            i < self.len(),
+            "insert_delta precondition: committee id {i} must be < {}",
+            self.len()
+        );
         assert!(
             !solution.contains(i),
             "insert_delta precondition: shard {i} is already selected"
@@ -197,8 +225,22 @@ impl Instance {
     ///
     /// # Panics
     ///
-    /// Panics — in release builds too — when `i` is not selected.
+    /// Panics — in release builds too — when `solution` was built for a
+    /// different shard count, when `i` is out of range for this
+    /// instance, or when `i` is not selected.
     pub fn remove_delta(&self, solution: &Solution, i: usize) -> f64 {
+        assert!(
+            solution.len() == self.len(),
+            "remove_delta precondition: solution over {} shards does not belong to this \
+             {}-shard instance",
+            solution.len(),
+            self.len()
+        );
+        assert!(
+            i < self.len(),
+            "remove_delta precondition: committee id {i} must be < {}",
+            self.len()
+        );
         assert!(
             solution.contains(i),
             "remove_delta precondition: shard {i} is not selected"
@@ -869,6 +911,33 @@ mod tests {
         let inst = example();
         let sol = Solution::from_indices(inst.len(), [0, 1], &inst);
         let _ = inst.remove_delta(&sol, 3); // not selected
+    }
+
+    #[test]
+    #[should_panic(expected = "swap_delta precondition")]
+    fn swap_delta_rejects_out_of_range_committee_id() {
+        let inst = example();
+        let sol = Solution::from_indices(inst.len(), [0, 1], &inst);
+        let _ = inst.swap_delta(&sol, 0, inst.len()); // `inc` out of range
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_delta precondition")]
+    fn insert_delta_rejects_out_of_range_committee_id() {
+        let inst = example();
+        let sol = Solution::from_indices(inst.len(), [0, 1], &inst);
+        let _ = inst.insert_delta(&sol, inst.len() + 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "remove_delta precondition")]
+    fn remove_delta_rejects_foreign_solution() {
+        let inst = example();
+        // A solution built for a *different* (larger) shard set used to
+        // slip past the membership check and feed garbage latencies into
+        // the O(n) recompute path.
+        let sol = Solution::from_indices(inst.len() + 3, [0, 1], &inst);
+        let _ = inst.remove_delta(&sol, 0);
     }
 
     #[test]

@@ -43,10 +43,25 @@ pub struct SeConfig {
     /// Whether the full selection `f_{|I_j|}` joins the candidate set at
     /// convergence when it satisfies the capacity (Alg. 1 line 25).
     pub include_full_solution: bool,
+    /// Upper bound on the chains per replica. Algorithm 2 spawns one
+    /// chain per feasible cardinality; at `|I| = 10⁴–10⁵` that range is
+    /// `O(|I|)` wide and every chain carries an `O(|I|)` evaluation
+    /// cache, so the scale regime strides the range down to at most this
+    /// many evenly spaced cardinalities (endpoints always kept).
+    /// `usize::MAX` — the default and the paper setting — keeps every
+    /// cardinality. Absent from pre-scale checkpoints, so it
+    /// deserializes to the default.
+    #[serde(default = "default_max_chains")]
+    pub max_chains: usize,
     /// Record a trajectory point every this many iterations (≥ 1).
     pub record_every: u64,
     /// Master seed for all of the engine's randomness.
     pub seed: u64,
+}
+
+/// Serde default for [`SeConfig::max_chains`] (the paper setting).
+fn default_max_chains() -> usize {
+    usize::MAX
 }
 
 impl SeConfig {
@@ -63,6 +78,7 @@ impl SeConfig {
             proposal_fanout: 16,
             init_attempts: 64,
             include_full_solution: true,
+            max_chains: default_max_chains(),
             record_every: 1,
             seed,
         }
@@ -134,6 +150,12 @@ impl SeConfig {
         }
         if self.init_attempts == 0 {
             return Err(Error::invalid_config("init_attempts", "must be positive"));
+        }
+        if self.max_chains == 0 {
+            return Err(Error::invalid_config(
+                "max_chains",
+                "need at least one chain per replica",
+            ));
         }
         if self.record_every == 0 {
             return Err(Error::invalid_config("record_every", "must be positive"));
@@ -208,6 +230,10 @@ mod tests {
                 ..base
             },
             SeConfig {
+                max_chains: 0,
+                ..base
+            },
+            SeConfig {
                 record_every: 0,
                 ..base
             },
@@ -223,5 +249,15 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: SeConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn pre_scale_checkpoints_deserialize_with_default_max_chains() {
+        let json = serde_json::to_string(&SeConfig::paper(3)).unwrap();
+        let needle = format!("\"max_chains\":{},", usize::MAX);
+        let legacy = json.replace(&needle, "");
+        assert_ne!(legacy, json, "expected {needle} in {json}");
+        let back: SeConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.max_chains, usize::MAX);
     }
 }

@@ -564,7 +564,7 @@ impl SeEngine {
     }
 
     fn build_replicas(&mut self, warm: Option<Vec<Solution>>) -> Result<SeReplicaStats> {
-        let range = self.cardinality_range();
+        let cards = stride_cardinalities(self.cardinality_range(), self.config.max_chains);
         let mut master = mvcom_simnet::rng::master(self.config.seed ^ self.iteration);
         let mut replicas = Vec::with_capacity(self.config.gamma);
         let warm_pool = warm.unwrap_or_default();
@@ -572,7 +572,7 @@ impl SeEngine {
         for g in 0..self.config.gamma {
             let mut rng = mvcom_simnet::rng::fork(&mut master, &format!("replica-{g}"));
             let mut chains = Vec::new();
-            for n in range.clone() {
+            for n in cards.iter().copied() {
                 // Prefer a warm solution with this cardinality if one exists.
                 let warm_match = warm_pool
                     .iter()
@@ -697,6 +697,33 @@ struct SeReplicaStats {
     skipped: usize,
 }
 
+/// The chain cardinalities for one replica: the whole feasible range when
+/// it fits within `max_chains`, otherwise at most `max_chains` evenly
+/// spaced cardinalities with both endpoints kept (the `N_min` floor and
+/// the capacity ceiling anchor the solution family — see
+/// [`SeConfig::max_chains`]). At the `usize::MAX` default this is exactly
+/// the full range, so pre-scale behavior is unchanged.
+fn stride_cardinalities(range: std::ops::RangeInclusive<usize>, max_chains: usize) -> Vec<usize> {
+    let (lo, hi) = (*range.start(), *range.end());
+    if lo > hi {
+        return Vec::new();
+    }
+    let width = hi - lo + 1;
+    if width <= max_chains {
+        return range.collect();
+    }
+    if max_chains == 1 {
+        return vec![lo];
+    }
+    let mut cards: Vec<usize> = (0..max_chains)
+        .map(|i| lo + i * (width - 1) / (max_chains - 1))
+        .collect();
+    // width > max_chains makes the index map strictly increasing, but
+    // dedup is cheap insurance against rounding collisions.
+    cards.dedup();
+    cards
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -783,6 +810,64 @@ mod tests {
         let b = SeEngine::new(&inst, SeConfig::fast_test(11)).unwrap().run();
         // Final utilities may tie, but the trajectories must differ.
         assert_ne!(a.trajectory, b.trajectory);
+    }
+
+    #[test]
+    fn stride_keeps_full_range_within_budget() {
+        assert_eq!(stride_cardinalities(3..=7, usize::MAX), vec![3, 4, 5, 6, 7]);
+        assert_eq!(stride_cardinalities(3..=7, 5), vec![3, 4, 5, 6, 7]);
+        assert_eq!(stride_cardinalities(4..=4, 1), vec![4]);
+        let empty = std::ops::RangeInclusive::new(5, 4);
+        assert!(stride_cardinalities(empty, 8).is_empty());
+    }
+
+    #[test]
+    fn stride_bounds_and_keeps_endpoints() {
+        for (lo, hi, k) in [(1usize, 100usize, 4usize), (10, 9_999, 7), (2, 11, 3)] {
+            let cards = stride_cardinalities(lo..=hi, k);
+            assert!(cards.len() <= k, "{lo}..={hi} @ {k}: {cards:?}");
+            assert_eq!(cards.first(), Some(&lo));
+            assert_eq!(cards.last(), Some(&hi));
+            assert!(cards.windows(2).all(|w| w[0] < w[1]), "{cards:?}");
+        }
+        assert_eq!(stride_cardinalities(5..=50, 1), vec![5]);
+    }
+
+    #[test]
+    fn max_chains_bounds_chains_per_replica() {
+        let inst = instance(40);
+        let budget = 3;
+        let engine = SeEngine::new(
+            &inst,
+            SeConfig {
+                max_chains: budget,
+                ..SeConfig::fast_test(12)
+            },
+        )
+        .unwrap();
+        for replica in &engine.replicas {
+            assert!(replica.chains.len() <= budget);
+        }
+        let outcome = engine.run();
+        assert!(inst.is_feasible(&outcome.best_solution));
+        assert!(outcome.best_utility > 0.0);
+    }
+
+    #[test]
+    fn generous_max_chains_matches_default_behavior() {
+        let inst = instance(25);
+        let a = SeEngine::new(&inst, SeConfig::fast_test(9)).unwrap().run();
+        let b = SeEngine::new(
+            &inst,
+            SeConfig {
+                max_chains: 1_000,
+                ..SeConfig::fast_test(9)
+            },
+        )
+        .unwrap()
+        .run();
+        assert_eq!(a.best_solution, b.best_solution);
+        assert_eq!(a.trajectory, b.trajectory);
     }
 
     #[test]

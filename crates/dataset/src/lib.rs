@@ -19,6 +19,9 @@
 //!   per-committee shards for one epoch, exactly as §VI-A describes.
 //! * [`epoch`] — [`epoch::EpochGenerator`]: attaches two-phase latencies to
 //!   sampled shards, producing ready-to-schedule `Vec<ShardInfo>`.
+//! * [`stream`] — [`stream::ShardStream`]: chunked `O(chunk)`-memory shard
+//!   generation for `|I| = 10⁴–10⁵` instances (chunk-size-invariant,
+//!   deterministic per seed).
 //! * [`adversary`] — strategic committee behaviours (`Misreport`,
 //!   `Freerider`, `Starver`) and the stable-identity
 //!   [`adversary::StrategicPopulation`] the reputation defenses learn over.
@@ -43,6 +46,7 @@ pub mod adversary;
 pub mod block;
 pub mod epoch;
 pub mod sampler;
+pub mod stream;
 pub mod trace;
 
 pub use adversary::{
@@ -52,4 +56,5 @@ pub use adversary::{
 pub use block::TxBlock;
 pub use epoch::{EpochGenerator, LatencyConfig};
 pub use sampler::ShardSampler;
+pub use stream::{ShardStream, StreamConfig};
 pub use trace::{Trace, TraceConfig};

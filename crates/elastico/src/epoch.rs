@@ -1,10 +1,13 @@
 //! The five-stage Elastico epoch runner.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use mvcom_dataset::{Adversary, CommitteeReport, ShardSampler, Trace, TraceConfig};
-use mvcom_obs::{Obs, Value};
+use mvcom_obs::{Event, Obs, Value};
 use mvcom_pbft::runner::{PbftConfig, PbftRunner};
 use mvcom_pbft::ConsensusResult;
 use mvcom_simnet::{rng, LatencyModel, Network, NetworkConfig, SimRng};
@@ -237,7 +240,93 @@ pub struct ElasticoSim {
     epoch: EpochId,
     randomness: Hash32,
     obs: Obs,
+    threads: usize,
     scratch: EpochScratch,
+}
+
+/// One committee's stage-3 consensus inputs, with both RNG streams
+/// pre-forked in committee order — the serial draw-order contract that
+/// makes the parallel fan-out byte-identical to a serial run.
+struct PbftTask {
+    n: u32,
+    txs: u64,
+    digest: Hash32,
+    label: String,
+    net_rng: SimRng,
+    run_rng: SimRng,
+}
+
+/// One committee's stage-3 products: the consensus result (or the error a
+/// serial run would have stopped at) plus the telemetry it emitted,
+/// deferred for index-order replay.
+type PbftOutcome = (Result<ConsensusResult>, Vec<Event>);
+
+/// Executes one PBFT run from pre-forked RNG streams.
+fn execute_pbft(config: &ElasticoConfig, task: PbftTask, obs: Obs) -> Result<ConsensusResult> {
+    let mut pbft = PbftConfig::new(task.n.max(4))?;
+    pbft.block_bytes = (task.txs as usize).saturating_mul(config.bytes_per_tx);
+    pbft.verify_delay = config.consensus_verify;
+    pbft.view_timeout = config.view_timeout;
+    pbft.deadline = config.consensus_deadline;
+    let net_nodes = task.n.max(4).max(config.net.nodes);
+    let net_config = NetworkConfig {
+        nodes: net_nodes,
+        ..config.net
+    };
+    let network = Network::new(net_config, task.net_rng)?;
+    PbftRunner::new(pbft, network, task.run_rng)
+        .with_obs(obs, &task.label)
+        .run(task.digest)
+}
+
+/// Runs stage-3 tasks across up to `threads` workers (inline when 1),
+/// each on a deferred telemetry handle; returns the outcomes in task
+/// order. A worker panic is resumed on the caller's thread, matching the
+/// serial loop's behaviour.
+fn run_pbft_pool(
+    config: &ElasticoConfig,
+    obs: &Obs,
+    tasks: Vec<PbftTask>,
+    threads: usize,
+) -> Vec<PbftOutcome> {
+    let run_one = |task: PbftTask| -> PbftOutcome {
+        let (worker_obs, capture) = obs.deferred();
+        let result = execute_pbft(config, task, worker_obs);
+        (result, capture.take())
+    };
+    let workers = threads.min(tasks.len());
+    if workers <= 1 {
+        return tasks.into_iter().map(run_one).collect();
+    }
+    let queue: Vec<Mutex<Option<PbftTask>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<PbftOutcome>>> = queue.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let joined = crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queue.len() {
+                    break;
+                }
+                let Some(task) = queue[i].lock().take() else {
+                    break;
+                };
+                *slots[i].lock() = Some(run_one(task));
+            });
+        }
+    });
+    if let Err(payload) = joined {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                // lint: allow(P1, every slot is filled once the scope joins without a panic)
+                .expect("joined stage-3 worker filled its slot")
+        })
+        .collect()
 }
 
 impl ElasticoSim {
@@ -259,8 +348,43 @@ impl ElasticoSim {
             epoch: EpochId::GENESIS,
             randomness: Hash32::digest(b"elastico-genesis-randomness"),
             obs: Obs::off(),
+            threads: 1,
             scratch: EpochScratch::default(),
         })
+    }
+
+    /// Sets the stage-3 worker-thread count: intra-committee PBFT runs
+    /// fan out across `threads` workers between the formation barrier
+    /// and the final consensus. Per-committee RNG streams are pre-forked
+    /// in committee order and telemetry is replayed in committee index
+    /// order after the join, so the epoch — report, RNG evolution and
+    /// event bytes — is identical at any thread count (pinned by tests).
+    ///
+    /// # Panics
+    ///
+    /// When `threads` is 0; pass 1 for a serial run.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> ElasticoSim {
+        self.set_threads(threads);
+        self
+    }
+
+    /// See [`ElasticoSim::with_threads`].
+    ///
+    /// # Panics
+    ///
+    /// When `threads` is 0; pass 1 for a serial run.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(
+            threads >= 1,
+            "set_threads precondition: threads must be >= 1, got 0 (use 1 for a serial run)"
+        );
+        self.threads = threads;
+    }
+
+    /// The stage-3 worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Attaches a telemetry handle: every subsequent epoch emits the
@@ -442,11 +566,16 @@ impl ElasticoSim {
         let mut sample_rng = rng::fork(&mut self.rng, "shards");
         let tx_counts = sampler.sample_tx_counts(formed.len(), &mut sample_rng)?;
 
-        // Stage 3: intra-committee PBFT per committee.
-        let mut shards = Vec::with_capacity(formed.len());
-        let mut consensus = Vec::with_capacity(formed.len());
+        // Stage 3: intra-committee PBFT per committee. Committees are
+        // independent between the formation barrier and the final
+        // consensus, so they fan out across `self.threads` workers. The
+        // determinism contract: per-committee RNG pairs are forked here,
+        // serially, in committee order — exactly the draw order of the
+        // serial loop — and each worker's telemetry lands on a deferred
+        // handle replayed in committee index order after the join, so the
+        // epoch is byte-identical at any thread count.
+        let mut tasks = Vec::with_capacity(formed.len());
         for (committee, txs) in formed.iter().zip(&tx_counts) {
-            let n = committee.members.len() as u32;
             self.scratch.digest_bytes.clear();
             self.scratch
                 .digest_bytes
@@ -458,7 +587,27 @@ impl ElasticoSim {
                 .digest_bytes
                 .extend_from_slice(&txs.to_le_bytes());
             let digest = Hash32::digest(&self.scratch.digest_bytes);
-            let result = self.run_pbft(n, *txs, digest, &format!("pbft-{}", committee.id))?;
+            let label = format!("pbft-{}", committee.id);
+            let net_rng = rng::fork(&mut self.rng, &format!("{label}-net"));
+            let run_rng = rng::fork(&mut self.rng, &label);
+            tasks.push(PbftTask {
+                n: committee.members.len() as u32,
+                txs: *txs,
+                digest,
+                label,
+                net_rng,
+                run_rng,
+            });
+        }
+        let outcomes = run_pbft_pool(&self.config, &self.obs, tasks, self.threads);
+        let mut shards = Vec::with_capacity(formed.len());
+        let mut consensus = Vec::with_capacity(formed.len());
+        for ((committee, txs), (result, events)) in formed.iter().zip(&tx_counts).zip(outcomes) {
+            // Replay before inspecting the result: on an error, the
+            // events a serial run emitted before failing are already in
+            // the deferred buffer.
+            self.obs.replay(events);
+            let result = result?;
             self.obs.emit(
                 "committee_consensus",
                 (committee.formation_latency + result.latency).as_secs(),
@@ -613,23 +762,20 @@ impl ElasticoSim {
         digest: Hash32,
         label: &str,
     ) -> Result<ConsensusResult> {
-        let mut config = PbftConfig::new(n.max(4))?;
-        config.block_bytes = (txs as usize).saturating_mul(self.config.bytes_per_tx);
-        config.verify_delay = self.config.consensus_verify;
-        config.view_timeout = self.config.view_timeout;
-        config.deadline = self.config.consensus_deadline;
-        let net_nodes = n.max(4).max(self.config.net.nodes);
-        let net_config = NetworkConfig {
-            nodes: net_nodes,
-            ..self.config.net
-        };
-        let network = Network::new(
-            net_config,
-            rng::fork(&mut self.rng, &format!("{label}-net")),
-        )?;
-        PbftRunner::new(config, network, rng::fork(&mut self.rng, label))
-            .with_obs(self.obs.clone(), label)
-            .run(digest)
+        let net_rng = rng::fork(&mut self.rng, &format!("{label}-net"));
+        let run_rng = rng::fork(&mut self.rng, label);
+        execute_pbft(
+            &self.config,
+            PbftTask {
+                n,
+                txs,
+                digest,
+                label: label.to_string(),
+                net_rng,
+                run_rng,
+            },
+            self.obs.clone(),
+        )
     }
 }
 
@@ -817,6 +963,48 @@ mod tests {
         let claimed_total: u64 = reports_a.iter().map(|r| r.reported.tx_count()).sum();
         assert_eq!(report_a.final_block.total_txs, true_total);
         assert!(claimed_total > true_total, "misreporters inflate claims");
+    }
+
+    #[test]
+    fn epoch_is_byte_identical_at_any_thread_count() {
+        let run = |threads: usize| {
+            let (obs, buf) = Obs::memory(mvcom_obs::ObsLevel::Trace);
+            let mut sim = ElasticoSim::new(ElasticoConfig::small_test(), 17)
+                .unwrap()
+                .with_obs(obs.clone())
+                .with_threads(threads);
+            let reports: Vec<EpochReport> = (0..2).map(|_| sim.run_epoch().unwrap()).collect();
+            assert_eq!(obs.invalid_dropped(), 0);
+            let committed = obs
+                .metrics()
+                .map(|m| m.counter("pbft.committed"))
+                .unwrap_or(0);
+            (reports, buf.contents(), committed)
+        };
+        let baseline = run(1);
+        for threads in [2, 3, 4, 16] {
+            let parallel = run(threads);
+            assert_eq!(
+                baseline.0, parallel.0,
+                "reports differ at {threads} threads"
+            );
+            assert_eq!(
+                baseline.1, parallel.1,
+                "event bytes differ at {threads} threads"
+            );
+            assert_eq!(
+                baseline.2, parallel.2,
+                "counters differ at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "set_threads precondition")]
+    fn with_threads_rejects_zero() {
+        let _ = ElasticoSim::new(ElasticoConfig::small_test(), 1)
+            .unwrap()
+            .with_threads(0);
     }
 
     #[test]

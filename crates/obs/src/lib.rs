@@ -122,7 +122,47 @@ struct ObsInner {
     level: ObsLevel,
     span_ids: AtomicU64,
     sink: Mutex<Sinked>,
-    metrics: MetricsRegistry,
+    /// When set, emitted events are buffered here instead of being
+    /// sequenced and written — see [`Obs::deferred`].
+    capture: Option<CaptureBuffer>,
+    /// Shared (`Arc`) so a deferred handle can update the *parent's*
+    /// counters directly: counter additions commute, so fan-out workers
+    /// reproduce the serial totals regardless of interleaving.
+    metrics: Arc<MetricsRegistry>,
+}
+
+/// Events captured by a deferred handle (see [`Obs::deferred`]), in
+/// emission order, before `seq` assignment and schema validation.
+///
+/// Cloning shares the buffer; [`CaptureBuffer::take`] drains it.
+#[derive(Debug, Clone, Default)]
+pub struct CaptureBuffer {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl CaptureBuffer {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        self.events.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn push(&self, event: Event) {
+        self.lock().push(event);
+    }
+
+    /// Drains the captured events, oldest first.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
 }
 
 impl std::fmt::Debug for Sinked {
@@ -165,8 +205,56 @@ impl Obs {
                     dropped: 0,
                     out,
                 }),
-                metrics: MetricsRegistry::new(),
+                capture: None,
+                metrics: Arc::new(MetricsRegistry::new()),
             })),
+        }
+    }
+
+    /// A deferred handle derived from `self`, for fan-out sections whose
+    /// event lines must not interleave: events emitted on the returned
+    /// handle are buffered (in emission order, unsequenced) in the
+    /// returned [`CaptureBuffer`] instead of being written, while metric
+    /// updates land directly in `self`'s shared registry (counter
+    /// additions commute, so parallel workers reproduce serial totals).
+    /// [`Obs::replay`]ing the buffer on `self` afterwards produces
+    /// exactly the lines — and schema-drop counts — that emitting the
+    /// same events on `self` directly would have: level filtering,
+    /// validation and `seq` assignment all happen at replay time.
+    ///
+    /// Spans opened on a deferred handle draw ids from that handle's own
+    /// counter, so fan-out sections needing byte-stable span ids must
+    /// keep spans on the parent handle (the epoch runner's stage 3 emits
+    /// plain events only).
+    ///
+    /// A disabled handle returns a disabled handle (its buffer stays
+    /// empty, and replaying is a no-op).
+    pub fn deferred(&self) -> (Obs, CaptureBuffer) {
+        let buffer = CaptureBuffer::default();
+        let Some(inner) = &self.inner else {
+            return (Obs::off(), buffer);
+        };
+        let deferred = Obs {
+            inner: Some(Arc::new(ObsInner {
+                level: inner.level,
+                span_ids: AtomicU64::new(1),
+                sink: Mutex::new(Sinked {
+                    seq: 0,
+                    dropped: 0,
+                    out: Box::new(std::io::sink()),
+                }),
+                capture: Some(buffer.clone()),
+                metrics: Arc::clone(&inner.metrics),
+            })),
+        };
+        (deferred, buffer)
+    }
+
+    /// Re-emits `events` on this handle in order — the second half of the
+    /// [`Obs::deferred`] protocol.
+    pub fn replay(&self, events: Vec<Event>) {
+        for event in events {
+            self.emit(event.kind, event.t, &event.fields);
         }
     }
 
@@ -203,6 +291,17 @@ impl Obs {
     /// [`Obs::invalid_dropped`]) and dropped rather than panicking.
     pub fn emit(&self, kind: &'static str, t: f64, fields: &[(&'static str, Value)]) {
         let Some(inner) = &self.inner else { return };
+        if let Some(buffer) = &inner.capture {
+            // Deferred mode: buffer anything that would reach the sink
+            // *or* the dropped counter (unknown kinds, invalid payloads);
+            // replay reproduces both. Level-filtered events are skipped
+            // here exactly as the direct path skips them — silently.
+            match schema::spec(kind) {
+                Some(spec) if inner.level < spec.level => {}
+                _ => buffer.push(Event::new(kind, t, fields)),
+            }
+            return;
+        }
         let Some(spec) = schema::spec(kind) else {
             inner.lock_sink().dropped += 1;
             return;
@@ -291,7 +390,7 @@ impl Obs {
 
     /// The shared registry, when the handle is enabled.
     pub fn metrics(&self) -> Option<&MetricsRegistry> {
-        self.inner.as_deref().map(|i| &i.metrics)
+        self.inner.as_deref().map(|i| i.metrics.as_ref())
     }
 
     /// Emits the registry as `metric`/`metric_hist` events stamped `t`
@@ -442,6 +541,76 @@ mod tests {
             assert_eq!(ObsLevel::parse(level.as_str()), Some(level));
         }
         assert_eq!(ObsLevel::parse("verbose"), None);
+    }
+
+    #[test]
+    fn deferred_replay_is_byte_identical_to_direct_emission() {
+        let emit_all = |obs: &Obs| {
+            obs_event!(obs, "se_improve", 0.0, "iter" => 0u64, "utility" => 1.5);
+            obs_event!(obs, "se_point", 1.0,
+                "iter" => 1u64, "current_best" => 2.0, "best_so_far" => 2.0);
+            obs.emit("no_such_kind", 2.0, &[]); // dropped either way
+            obs.emit("se_improve", 3.0, &[("iter", Value::U64(3))]); // invalid
+        };
+        let (direct, direct_buf) = Obs::memory(ObsLevel::Events);
+        obs_event!(direct, "epoch_start", 0.0, "epoch" => 0u64, "nodes" => 8u64);
+        emit_all(&direct);
+
+        let (parent, parent_buf) = Obs::memory(ObsLevel::Events);
+        obs_event!(parent, "epoch_start", 0.0, "epoch" => 0u64, "nodes" => 8u64);
+        let (child, capture) = parent.deferred();
+        emit_all(&child);
+        // Nothing reaches the parent sink until replay.
+        assert_eq!(parent_buf.lines().len(), 1);
+        parent.replay(capture.take());
+
+        assert_eq!(parent_buf.contents(), direct_buf.contents());
+        assert_eq!(parent.invalid_dropped(), direct.invalid_dropped());
+        assert_eq!(parent.invalid_dropped(), 2);
+        assert!(capture.is_empty(), "take drains the buffer");
+    }
+
+    #[test]
+    fn deferred_level_filters_like_the_parent() {
+        let (parent, buf) = Obs::memory(ObsLevel::Summary);
+        let (child, capture) = parent.deferred();
+        // se_point is Events-level: filtered on a Summary handle, so it
+        // must not be captured either.
+        obs_event!(child, "se_point", 0.0,
+            "iter" => 0u64, "current_best" => 0.0, "best_so_far" => 0.0);
+        obs_event!(child, "epoch_start", 0.0, "epoch" => 0u64, "nodes" => 8u64);
+        assert_eq!(capture.len(), 1);
+        parent.replay(capture.take());
+        assert_eq!(buf.lines().len(), 1);
+        assert!(buf.contents().contains("\"kind\":\"epoch_start\""));
+    }
+
+    #[test]
+    fn deferred_metrics_land_in_the_parent_registry() {
+        let (parent, _buf) = Obs::memory(ObsLevel::Events);
+        let (child, _capture) = parent.deferred();
+        child.incr("pbft.committed");
+        child.add("pbft.committed", 2);
+        child.observe("pbft.latency_s", 1.0);
+        assert_eq!(
+            parent.metrics().map(|m| m.counter("pbft.committed")),
+            Some(3)
+        );
+        assert_eq!(
+            parent
+                .metrics()
+                .and_then(|m| m.histogram("pbft.latency_s"))
+                .map(|h| h.count()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn deferred_on_a_disabled_handle_is_inert() {
+        let (child, capture) = Obs::off().deferred();
+        obs_event!(child, "epoch_start", 0.0, "epoch" => 0u64, "nodes" => 8u64);
+        assert!(capture.is_empty());
+        Obs::off().replay(capture.take());
     }
 
     #[test]

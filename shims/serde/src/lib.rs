@@ -100,6 +100,14 @@ pub fn get_field<'a>(fields: &'a [(String, Value)], name: &str) -> &'a Value {
         .unwrap_or(&NULL)
 }
 
+/// Field lookup that distinguishes a missing field (`None`) from an
+/// explicit `null`; the derive routes `#[serde(default)]` fields here so
+/// absent keys fall back to the default instead of failing on `Null`.
+#[doc(hidden)]
+pub fn find_field<'a>(fields: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
 #[doc(hidden)]
 pub fn expect_object<'a>(value: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
     match value {

@@ -10,10 +10,13 @@
 //! Supported shapes (everything the workspace derives): unit structs,
 //! tuple structs, named-field structs, and enums whose variants are
 //! unit, tuple, or named-field. Generic items are rejected with a
-//! compile error. `#[serde(...)]` attributes are accepted and ignored;
-//! the only one the workspace uses is `#[serde(transparent)]` on newtype
-//! structs, and newtype structs already serialize transparently (as
-//! their inner value, matching upstream serde's newtype behaviour).
+//! compile error. Of the `#[serde(...)]` attributes, field-level
+//! `default` / `default = "path"` are honoured (a missing key falls back
+//! to `Default::default()` or `path()`, matching upstream); the rest are
+//! accepted and ignored — the only other one the workspace uses is
+//! `#[serde(transparent)]` on newtype structs, and newtype structs
+//! already serialize transparently (as their inner value, matching
+//! upstream serde's newtype behaviour).
 
 use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 use std::iter::Peekable;
@@ -42,8 +45,15 @@ struct Item {
 enum Kind {
     UnitStruct,
     TupleStruct { arity: usize },
-    NamedStruct { fields: Vec<String> },
+    NamedStruct { fields: Vec<Field> },
     Enum { variants: Vec<Variant> },
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` → `Some(None)`; `#[serde(default = "path")]`
+    /// → `Some(Some(path))`; no default attribute → `None`.
+    default: Option<Option<String>>,
 }
 
 struct Variant {
@@ -54,7 +64,7 @@ struct Variant {
 enum Shape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 fn expand(input: TokenStream, which: Which) -> TokenStream {
@@ -78,14 +88,20 @@ fn expand(input: TokenStream, which: Which) -> TokenStream {
 type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
 
 /// Skips outer attributes (`#[...]`, including expanded doc comments) and
-/// a visibility qualifier (`pub`, `pub(crate)`, ...).
-fn skip_attrs_and_vis(tokens: &mut Tokens) {
+/// a visibility qualifier (`pub`, `pub(crate)`, ...). Returns the field
+/// default captured from a `#[serde(default)]` attribute, if any.
+fn skip_attrs_and_vis(tokens: &mut Tokens) -> Option<Option<String>> {
+    let mut default = None;
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
                 // The attribute body `[...]`.
-                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    if let Some(d) = serde_default_attr(&g) {
+                        default = Some(d);
+                    }
+                }
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                 tokens.next();
@@ -95,9 +111,42 @@ fn skip_attrs_and_vis(tokens: &mut Tokens) {
                     }
                 }
             }
-            _ => return,
+            _ => return default,
         }
     }
+}
+
+/// Recognizes `serde(default)` / `serde(default = "path")` inside an
+/// attribute body, returning `None` for any other attribute.
+fn serde_default_attr(attr: &Group) -> Option<Option<String>> {
+    let mut tokens = attr.stream().into_iter().peekable();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let args = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let mut inner = args.stream().into_iter().peekable();
+    while let Some(tok) = inner.next() {
+        let TokenTree::Ident(id) = &tok else { continue };
+        if id.to_string() != "default" {
+            continue;
+        }
+        match inner.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                inner.next();
+                if let Some(TokenTree::Literal(lit)) = inner.next() {
+                    let path = lit.to_string();
+                    return Some(Some(path.trim_matches('"').to_string()));
+                }
+                return None;
+            }
+            _ => return Some(None),
+        }
+    }
+    None
 }
 
 fn next_ident(tokens: &mut Tokens, what: &str) -> Result<String, String> {
@@ -111,7 +160,7 @@ fn next_ident(tokens: &mut Tokens, what: &str) -> Result<String, String> {
 
 fn parse_item(input: TokenStream) -> Result<Item, String> {
     let mut tokens = input.into_iter().peekable();
-    skip_attrs_and_vis(&mut tokens);
+    let _ = skip_attrs_and_vis(&mut tokens);
     let keyword = next_ident(&mut tokens, "`struct` or `enum`")?;
     let name = next_ident(&mut tokens, "item name")?;
     if let Some(TokenTree::Punct(p)) = tokens.peek() {
@@ -143,13 +192,14 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     Ok(Item { name, kind })
 }
 
-/// Extracts field names from a `{ ... }` group, skipping each field's
-/// type tokens (balanced over `<`/`>`) up to the next top-level comma.
-fn parse_named_fields(group: &Group) -> Result<Vec<String>, String> {
+/// Extracts field names (and any `#[serde(default)]` markers) from a
+/// `{ ... }` group, skipping each field's type tokens (balanced over
+/// `<`/`>`) up to the next top-level comma.
+fn parse_named_fields(group: &Group) -> Result<Vec<Field>, String> {
     let mut tokens = group.stream().into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        skip_attrs_and_vis(&mut tokens);
+        let default = skip_attrs_and_vis(&mut tokens);
         let name = match tokens.next() {
             None => break,
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -160,7 +210,7 @@ fn parse_named_fields(group: &Group) -> Result<Vec<String>, String> {
             other => return Err(format!("serde shim derive: expected `:`, got {other:?}")),
         }
         skip_type(&mut tokens);
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
 }
@@ -214,7 +264,7 @@ fn parse_variants(group: &Group) -> Result<Vec<Variant>, String> {
     let mut tokens = group.stream().into_iter().peekable();
     let mut variants = Vec::new();
     loop {
-        skip_attrs_and_vis(&mut tokens);
+        let _ = skip_attrs_and_vis(&mut tokens);
         let name = match tokens.next() {
             None => break,
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -290,7 +340,10 @@ fn gen_serialize(item: &Item) -> String {
         Kind::NamedStruct { fields } => {
             let pairs: Vec<String> = fields
                 .iter()
-                .map(|f| format!("({}, {S}(&self.{f}))", string_lit(f)))
+                .map(|f| {
+                    let name = &f.name;
+                    format!("({}, {S}(&self.{name}))", string_lit(name))
+                })
                 .collect();
             format!("::serde::Value::Object({})", vec_expr(&pairs))
         }
@@ -321,13 +374,14 @@ fn gen_serialize(item: &Item) -> String {
                         )
                     }
                     Shape::Named(fields) => {
-                        let pairs: Vec<String> = fields
+                        let names: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pairs: Vec<String> = names
                             .iter()
                             .map(|f| format!("({}, {S}({f}))", string_lit(f)))
                             .collect();
                         format!(
                             "{name}::{vname} {{ {} }} => ::serde::Value::Object({}),",
-                            fields.join(", "),
+                            names.join(", "),
                             vec_expr(&[format!(
                                 "({tag}, ::serde::Value::Object({}))",
                                 vec_expr(&pairs)
@@ -367,10 +421,7 @@ fn gen_deserialize(item: &Item) -> String {
             )
         }
         Kind::NamedStruct { fields } => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: {D}(::serde::get_field(__fields, \"{f}\"))?,"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(field_init).collect();
             format!(
                 "let __fields = ::serde::expect_object(__v, \"{name}\")?;\n\
                  ::std::result::Result::Ok({name} {{ {} }})",
@@ -386,6 +437,29 @@ fn gen_deserialize(item: &Item) -> String {
          }}\n\
          }}"
     )
+}
+
+/// One `field: <expr>,` initializer for a named field. Fields without a
+/// default go through `get_field` (missing → `Null`, so `Option` fields
+/// still read as `None`); `#[serde(default)]` fields distinguish a
+/// missing key and fall back to `Default::default()` or the named path.
+fn field_init(f: &Field) -> String {
+    let name = &f.name;
+    match &f.default {
+        None => format!("{name}: {D}(::serde::get_field(__fields, \"{name}\"))?,"),
+        Some(default) => {
+            let fallback = match default {
+                None => "::std::default::Default::default()".to_string(),
+                Some(path) => format!("{path}()"),
+            };
+            format!(
+                "{name}: match ::serde::find_field(__fields, \"{name}\") {{\n\
+                 ::std::option::Option::Some(__dv) => {D}(__dv)?,\n\
+                 ::std::option::Option::None => {fallback},\n\
+                 }},"
+            )
+        }
+    }
 }
 
 fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
@@ -415,10 +489,7 @@ fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
                 )
             }
             Shape::Named(fields) => {
-                let inits: Vec<String> = fields
-                    .iter()
-                    .map(|f| format!("{f}: {D}(::serde::get_field(__fields, \"{f}\"))?,"))
-                    .collect();
+                let inits: Vec<String> = fields.iter().map(field_init).collect();
                 format!(
                     "\"{vname}\" => {{\n\
                      let __fields = ::serde::expect_object(__inner, \"{name}::{vname}\")?;\n\

@@ -8,6 +8,7 @@
 //!                [--seed S] [--trace FILE]
 //!                [--obs-out FILE] [--obs-level off|summary|events|trace]
 //! mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]
+//!                [--threads T]
 //!                [--chaos-drop P] [--crash IDX@SECS[..SECS]] [--heartbeat SECS]
 //!                [--adv-fraction P] [--adv-strategy misreport|freerider|starver]
 //!                [--defense on|off]
@@ -78,6 +79,7 @@ fn print_usage() {
          [--solver se|par-se|sa|dp|woa|greedy|bnb] [--seed S] [--trace FILE]\n           \
          [--obs-out FILE] [--obs-level off|summary|events|trace]\n  \
          mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]\n           \
+         [--threads T]\n           \
          [--chaos-drop P] [--crash IDX@SECS[..SECS]] [--heartbeat SECS]\n           \
          [--adv-fraction P] [--adv-strategy misreport|freerider|starver]\n           \
          [--defense on|off]\n           \
@@ -433,9 +435,19 @@ fn simulate(args: &[String]) -> Result<()> {
         ));
     }
 
+    // Committee-parallel stage 3 (DESIGN.md §11): byte-identical to the
+    // serial run at any count, so 0 is a hard error, not "auto".
+    let threads: usize = flags.num("threads", 1usize)?;
+    if threads == 0 {
+        return Err(Error::invalid_config(
+            "threads",
+            "--threads must be >= 1 (use 1 for a serial run), got `0`",
+        ));
+    }
     let obs = obs_from_flags(&flags, "mvcom simulate", seed)?;
-    let mut sim =
-        ElasticoSim::new(ElasticoConfig::with_nodes(nodes, 12), seed)?.with_obs(obs.clone());
+    let mut sim = ElasticoSim::new(ElasticoConfig::with_nodes(nodes, 12), seed)?
+        .with_obs(obs.clone())
+        .with_threads(threads);
     let mut se_selector = SeSelector::adaptive(seed, 0.6).with_obs(obs.clone());
     let recovery = {
         let mut chaos = ChaosConfig::lossy(chaos_drop);
