@@ -22,7 +22,7 @@
 //! Capacity bucketing is identical to the dense solver (weights rounded
 //! **up** at granularity `⌈Ĉ/max_buckets⌉`, so DP-feasible ⇒ feasible),
 //! and the `N_min` repair pass is literally shared code
-//! ([`crate::dp::repair_n_min`]). The two solvers therefore find the same
+//! (`crate::dp::repair_n_min`). The two solvers therefore find the same
 //! optimal *value* on every instance; they may reconstruct different
 //! equal-value selections when ties exist, which is why the differential
 //! tests compare utilities and feasibility rather than bitsets.

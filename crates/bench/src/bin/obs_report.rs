@@ -20,6 +20,7 @@
 //!
 //! Sections with no matching events are omitted.
 
+#![forbid(unsafe_code)]
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 

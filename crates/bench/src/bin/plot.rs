@@ -4,6 +4,7 @@
 //! plot [DIR]      # default DIR = results/
 //! ```
 
+#![forbid(unsafe_code)]
 use std::path::PathBuf;
 use std::process::ExitCode;
 

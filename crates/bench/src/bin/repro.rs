@@ -13,6 +13,7 @@
 //! sweep points across worker threads — outputs are byte-identical to the
 //! serial run at any thread count, only wall-clock changes.
 
+#![forbid(unsafe_code)]
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -288,7 +288,7 @@ impl DefenseEngine {
         reports
             .iter()
             .map(|report| {
-                // lint: allow(P1, entry inserted for every report above)
+                // Entry inserted for every report in the loop above.
                 let record = &self.records[&report.committee()];
                 let size_corr = median(&record.size_ratios, 1.0).clamp(0.1, 10.0);
                 let lat_corr = median(&record.latency_ratios, 1.0).clamp(0.1, 10.0);

@@ -55,6 +55,7 @@ impl SharedBest {
         let mut slot = self.slot.lock();
         if slot.as_ref().is_none_or(|(u, _)| utility > *u) {
             *slot = Some((utility, solution.clone()));
+            // lint: allow(C3, telemetry-only counter mutated under the slot lock; it orders after the publish it counts)
             self.improvements.fetch_add(1, Ordering::Relaxed);
             true
         } else {
@@ -104,14 +105,18 @@ impl ResetBus {
         match self.version.compare_exchange(
             observed,
             observed + 1,
+            // lint: allow(C3, AcqRel on the winning CAS publishes the reset and is the sole synchronization point of the bus — `mvcom-lint model` proves the protocol at these orderings)
             Ordering::AcqRel,
+            // lint: allow(C3, a failed CAS only learns the newer version; Acquire pairs with the winner's release half)
             Ordering::Acquire,
         ) {
             Ok(_) => {
+                // lint: allow(C3, telemetry-only counter; the version CAS above already ordered the broadcast)
                 self.broadcast.fetch_add(1, Ordering::Relaxed);
                 true
             }
             Err(_) => {
+                // lint: allow(C3, telemetry-only counter for dropped stale signals; no data is published on this path)
                 self.ignored_stale.fetch_add(1, Ordering::Relaxed);
                 false
             }
@@ -121,9 +126,11 @@ impl ResetBus {
     /// Polls for a new version; updates `last_seen` and returns `true` when
     /// a RESET should be applied.
     fn poll(&self, last_seen: &mut u64) -> bool {
+        // lint: allow(C3, Acquire pairs with the broadcaster's AcqRel CAS; a reset is applied at most once per version so a late read only delays delivery)
         let current = self.version.load(Ordering::Acquire);
         if current != *last_seen {
             *last_seen = current;
+            // lint: allow(C3, telemetry-only counter; the Acquire load above already ordered the application)
             self.applied.fetch_add(1, Ordering::Relaxed);
             true
         } else {
@@ -549,6 +556,7 @@ fn run_replica(
 
     let mut since_improvement = 0u64;
     for _ in 0..config.max_iterations {
+        // lint: allow(C3, the stop flag is a shutdown hint — a replica that misses it runs extra rounds whose results lose to the published best, never changing the output)
         if stop.load(Ordering::Relaxed) {
             break;
         }
@@ -581,6 +589,7 @@ fn run_replica(
             since_improvement += 1;
         }
         if config.convergence_window > 0 && since_improvement >= config.convergence_window {
+            // lint: allow(C3, shutdown hint only — see the paired load at the top of the loop)
             stop.store(true, Ordering::Relaxed);
             break;
         }

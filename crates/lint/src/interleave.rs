@@ -21,19 +21,18 @@
 //!
 //! This module *proves* those properties for a bounded instance (default:
 //! 3 replica threads × 2 broadcast rounds, every broadcast optionally
-//! skipped) by loom-style depth-first enumeration of every thread
-//! interleaving of the modeled atomic steps. Distinct states are memoized
-//! (the invariants are per-transition or state-local, so a state's
-//! subtree never needs re-exploration), which closes the space in
-//! milliseconds.
+//! skipped). It is the original PR 4 checker ported — invariants and
+//! program structure unchanged — onto the [`crate::model`] DSL, and doubles
+//! as that DSL's worked example (see DESIGN.md §12).
 //!
 //! To show the checker has teeth, [`BusModel::SplitRmw`] models the
 //! classic bug the CAS prevents — a broadcast implemented as a separate
 //! load and store — and the DFS produces a concrete lost-reset schedule
 //! for it.
 
-use std::collections::BTreeSet;
-use std::fmt;
+use crate::model::{self, InvariantError, Model};
+
+pub use crate::model::Violation;
 
 /// Which RESET-bus implementation to explore.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,12 +46,11 @@ pub enum BusModel {
     SplitRmw,
 }
 
-/// Bounds of the exploration. Kept small enough that every packed state
-/// component fits a nibble (see `State::key`): at most 4 threads and a
-/// program short enough that the version counter stays below 16.
+/// Bounds of the exploration.
 #[derive(Debug, Clone, Copy)]
 pub struct InterleaveConfig {
-    /// Modeled replica threads (max 4).
+    /// Modeled replica threads (max 4 — beyond that the space explodes
+    /// without telling us anything new).
     pub threads: usize,
     /// Broadcast rounds per thread (each round: poll, broadcast, poll).
     pub rounds: usize,
@@ -86,26 +84,6 @@ enum Op {
     RmwStore,
 }
 
-/// A violation found by the DFS: which invariant broke and the schedule
-/// (thread id per step) that reaches it.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Violation {
-    pub invariant: &'static str,
-    pub detail: String,
-    /// Thread index executing each step, in order.
-    pub schedule: Vec<usize>,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}: {} (schedule: {:?})",
-            self.invariant, self.detail, self.schedule
-        )
-    }
-}
-
 /// Outcome of an exhaustive exploration.
 #[derive(Debug, Clone)]
 pub struct InterleaveReport {
@@ -123,262 +101,194 @@ impl InterleaveReport {
     }
 }
 
-const MAX_THREADS: usize = 4;
-
-/// Immutable per-run model description.
-struct Model {
-    /// Program of every thread (identical programs, adversarial schedule).
-    program: Vec<Op>,
-    threads: usize,
-}
-
 /// Exploration state: the shared version counter, the global count of
-/// *successful* broadcasts, and each thread's program counter, freshest
-/// observed version, and pending (buggy) RMW load.
-#[derive(Clone, Copy, PartialEq, Eq)]
-struct State {
+/// *successful* broadcasts, and each thread's freshest observed version
+/// and pending (buggy) RMW load. Program counters live in the DSL.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct BusState {
     version: u8,
     broadcasts: u8,
-    pc: [u8; MAX_THREADS],
-    last_seen: [u8; MAX_THREADS],
-    rmw_loaded: [u8; MAX_THREADS],
+    last_seen: Vec<u8>,
+    rmw_loaded: Vec<u8>,
 }
 
-impl State {
-    /// Packs the state into a memoization key: every component is bounded
-    /// by the version counter, which the config bounds below 16.
-    fn key(&self) -> u64 {
-        let mut k = u64::from(self.version) | (u64::from(self.broadcasts) << 4);
-        for t in 0..MAX_THREADS {
-            let per = u64::from(self.pc[t])
-                | (u64::from(self.last_seen[t]) << 4)
-                | (u64::from(self.rmw_loaded[t]) << 8);
-            k |= per << (8 + 12 * t);
+/// Poll semantics shared by the program step and the terminal
+/// quiescent-delivery check. I4 (at-most-once, forward-only application)
+/// is checked here, at the only point a replica's view can move.
+fn poll(s: &mut BusState, tid: usize) -> Result<(), InvariantError> {
+    let current = s.version;
+    if current != s.last_seen[tid] {
+        // Applying a RESET: the adopted version must be *newer* —
+        // adopting an older one would mean re-applying a version this
+        // replica already consumed.
+        if current < s.last_seen[tid] {
+            return Err((
+                "at-most-once",
+                format!(
+                    "thread {tid} would re-apply: view {} but bus at {current}",
+                    s.last_seen[tid]
+                ),
+            ));
         }
-        k
+        s.last_seen[tid] = current;
     }
+    Ok(())
 }
 
 /// Exhaustively explores every interleaving of the modeled RESET bus.
 ///
 /// # Panics
 ///
-/// When the bounds overflow the packed state (more than 4 threads, or a
-/// program long enough to push the version counter past 15).
+/// When the bounds leave the supported range (threads outside 1..=4, or
+/// a program long enough to overflow the `u8` version counter).
 pub fn explore(config: &InterleaveConfig) -> InterleaveReport {
     assert!(
-        (1..=MAX_THREADS).contains(&config.threads),
+        (1..=4).contains(&config.threads),
         "threads must be in 1..=4"
     );
-    let mut program = Vec::new();
-    for _ in 0..config.rounds {
-        program.push(Op::Poll);
-        match config.model {
-            BusModel::VersionCas => program.push(Op::Broadcast),
-            BusModel::SplitRmw => {
-                program.push(Op::RmwLoad);
-                program.push(Op::RmwStore);
-            }
-        }
-        program.push(Op::Poll);
-    }
     assert!(
-        config.threads * config.rounds < 15 && program.len() < 16,
-        "bounded model must keep version and pc within a nibble"
+        config.threads * config.rounds < 250,
+        "bounded model must keep the version counter within a u8"
     );
-    let model = Model {
-        program,
-        threads: config.threads,
+    let threads = config.threads;
+    let bus = config.model;
+    // Per-round program, identical for every thread.
+    let round: &[Op] = match bus {
+        BusModel::VersionCas => &[Op::Poll, Op::Broadcast, Op::Poll],
+        BusModel::SplitRmw => &[Op::Poll, Op::RmwLoad, Op::RmwStore, Op::Poll],
     };
-    let state = State {
-        version: 0,
-        broadcasts: 0,
-        pc: [0; MAX_THREADS],
-        last_seen: [0; MAX_THREADS],
-        rmw_loaded: [0; MAX_THREADS],
-    };
-    let mut seen: BTreeSet<u64> = BTreeSet::new();
-    let mut states = 0u64;
-    let mut schedule = Vec::new();
-    let violation = dfs(&model, state, &mut seen, &mut states, &mut schedule).err();
-    InterleaveReport {
-        config_threads: config.threads,
-        config_rounds: config.rounds,
-        states_explored: states,
-        violation,
-    }
-}
-
-fn dfs(
-    model: &Model,
-    state: State,
-    seen: &mut BTreeSet<u64>,
-    states: &mut u64,
-    schedule: &mut Vec<usize>,
-) -> Result<(), Violation> {
-    if !seen.insert(state.key()) {
-        return Ok(());
-    }
-    *states += 1;
-
-    let mut terminal = true;
-    for tid in 0..model.threads {
-        let pc = state.pc[tid] as usize;
-        if pc >= model.program.len() {
-            continue;
-        }
-        terminal = false;
-        let op = model.program[pc];
-        // A broadcast step is explored both ways: the replica improved the
-        // shared best (execute), or it did not (skip). Every subset of
-        // improvement patterns is thereby covered.
-        let executions: &[bool] = match op {
-            Op::Broadcast | Op::RmwLoad => &[true, false],
-            _ => &[true],
-        };
-        for &execute in executions {
-            let mut next = state;
-            next.pc[tid] = (pc + 1) as u8;
-            schedule.push(tid);
-            if execute {
-                step(op, tid, &mut next).map_err(|(inv, detail)| Violation {
-                    invariant: inv,
-                    detail,
-                    schedule: schedule.clone(),
-                })?;
-            } else if op == Op::RmwLoad {
-                // Skipping a split broadcast skips both halves.
-                next.pc[tid] = (pc + 2) as u8;
+    let program: Vec<Op> = round
+        .iter()
+        .copied()
+        .cycle()
+        .take(round.len() * config.rounds)
+        .collect();
+    let program_len = program.len();
+    let dsl: Model<BusState> = Model {
+        name: match bus {
+            BusModel::VersionCas => "reset-bus",
+            BusModel::SplitRmw => "reset-bus(split-rmw twin)",
+        },
+        threads,
+        program_len,
+        initial: BusState {
+            version: 0,
+            broadcasts: 0,
+            last_seen: vec![0; threads],
+            rmw_loaded: vec![0; threads],
+        },
+        step: Box::new(move |s: &BusState, tid, pc| {
+            let op = program[pc];
+            match op {
+                Op::Poll => {
+                    let mut n = s.clone();
+                    poll(&mut n, tid)?;
+                    Ok(vec![(n, pc + 1)])
+                }
+                // A broadcast step is explored both ways: the replica
+                // improved the shared best (execute), or it did not
+                // (skip). Every subset of improvement patterns is thereby
+                // covered.
+                Op::Broadcast => {
+                    // CAS(observed, observed + 1) against the freshest view.
+                    let mut exec = s.clone();
+                    let observed = exec.last_seen[tid];
+                    if exec.version == observed {
+                        exec.version = observed + 1;
+                        exec.broadcasts += 1;
+                    }
+                    // Else: dropped as stale — the transition invariant
+                    // verifies a stale stamp can never have advanced the
+                    // version.
+                    Ok(vec![(exec, pc + 1), (s.clone(), pc + 1)])
+                }
+                Op::RmwLoad => {
+                    let mut exec = s.clone();
+                    exec.rmw_loaded[tid] = s.version;
+                    // Skipping a split broadcast skips both halves.
+                    Ok(vec![(exec, pc + 1), (s.clone(), pc + 2)])
+                }
+                Op::RmwStore => {
+                    // The bug under test: blind store, no stamp comparison.
+                    let mut n = s.clone();
+                    n.version = n.rmw_loaded[tid] + 1;
+                    n.broadcasts += 1;
+                    Ok(vec![(n, pc + 1)])
+                }
             }
-            check_transition(&state, &next).map_err(|(inv, detail)| Violation {
-                invariant: inv,
-                detail,
-                schedule: schedule.clone(),
-            })?;
-            let r = dfs(model, next, seen, states, schedule);
-            schedule.pop();
-            r?;
-        }
-    }
-
-    if terminal {
-        check_terminal(model, &state).map_err(|(inv, detail)| Violation {
-            invariant: inv,
-            detail,
-            schedule: schedule.clone(),
-        })?;
-    }
-    Ok(())
-}
-
-/// Executes one atomic step. I4 (at-most-once, forward-only application)
-/// is checked here, at the only point a replica's view can move.
-fn step(op: Op, tid: usize, s: &mut State) -> Result<(), (&'static str, String)> {
-    match op {
-        Op::Poll => {
-            let current = s.version;
-            if current != s.last_seen[tid] {
-                // Applying a RESET: the adopted version must be *newer* —
-                // adopting an older one would mean re-applying a version
-                // this replica already consumed.
-                if current < s.last_seen[tid] {
+        }),
+        transition: Box::new(|before: &BusState, after: &BusState| {
+            // I2 / no-stale-wins: the bus version never moves backwards; a
+            // broadcast stamped with a superseded version must not undo a
+            // newer reset.
+            if after.version < before.version {
+                return Err((
+                    "monotone-version",
+                    format!(
+                        "bus version regressed {} -> {} (a stale broadcast overwrote \
+                         a newer reset)",
+                        before.version, after.version
+                    ),
+                ));
+            }
+            // I1 (stepwise): version and successful-broadcast count advance
+            // in lockstep; a broadcast that "succeeds" without advancing the
+            // version is a lost reset.
+            if after.broadcasts - before.broadcasts != after.version - before.version {
+                return Err((
+                    "no-lost-reset",
+                    format!(
+                        "{} broadcast(s) succeeded but the version advanced by {} \
+                         (version {} -> {})",
+                        after.broadcasts - before.broadcasts,
+                        after.version - before.version,
+                        before.version,
+                        after.version
+                    ),
+                ));
+            }
+            Ok(())
+        }),
+        terminal: Box::new(move |s: &BusState| {
+            // I1 (terminal): every reset that was ever successfully
+            // broadcast is accounted for in the final version — none lost.
+            if s.broadcasts != s.version {
+                return Err((
+                    "no-lost-reset",
+                    format!(
+                        "{} successful broadcast(s) but final version {}",
+                        s.broadcasts, s.version
+                    ),
+                ));
+            }
+            // I5: quiescent delivery — after broadcasts stop, a single poll
+            // brings every replica to the final version (each program ends
+            // with a poll, and `run_replica` keeps polling until the global
+            // stop flag).
+            let mut quiesced = s.clone();
+            for tid in 0..threads {
+                poll(&mut quiesced, tid)?;
+                if quiesced.last_seen[tid] != quiesced.version {
                     return Err((
-                        "at-most-once",
+                        "quiescent-delivery",
                         format!(
-                            "thread {tid} would re-apply: view {} but bus at {current}",
-                            s.last_seen[tid]
+                            "thread {tid} stuck at version {} after quiescent poll; \
+                             bus at {}",
+                            quiesced.last_seen[tid], quiesced.version
                         ),
                     ));
                 }
-                s.last_seen[tid] = current;
             }
-        }
-        Op::Broadcast => {
-            // CAS(observed, observed + 1) against the thread's freshest view.
-            let observed = s.last_seen[tid];
-            if s.version == observed {
-                s.version = observed + 1;
-                s.broadcasts += 1;
-            }
-            // Else: dropped as stale — check_transition verifies a stale
-            // stamp can never have advanced the version.
-        }
-        Op::RmwLoad => {
-            s.rmw_loaded[tid] = s.version;
-        }
-        Op::RmwStore => {
-            // The bug under test: blind store, no stamp comparison.
-            s.version = s.rmw_loaded[tid] + 1;
-            s.broadcasts += 1;
-        }
+            Ok(())
+        }),
+    };
+    let result = model::explore(&dsl);
+    InterleaveReport {
+        config_threads: config.threads,
+        config_rounds: config.rounds,
+        states_explored: result.states_explored,
+        violation: result.violation,
     }
-    Ok(())
-}
-
-/// Invariants that must hold across every single transition.
-fn check_transition(before: &State, after: &State) -> Result<(), (&'static str, String)> {
-    // I2 / no-stale-wins: the bus version never moves backwards; a
-    // broadcast stamped with a superseded version must not undo a newer
-    // reset.
-    if after.version < before.version {
-        return Err((
-            "monotone-version",
-            format!(
-                "bus version regressed {} -> {} (a stale broadcast overwrote \
-                 a newer reset)",
-                before.version, after.version
-            ),
-        ));
-    }
-    // I1 (stepwise): version and successful-broadcast count advance in
-    // lockstep; a broadcast that "succeeds" without advancing the version
-    // is a lost reset.
-    if after.broadcasts - before.broadcasts != after.version - before.version {
-        return Err((
-            "no-lost-reset",
-            format!(
-                "{} broadcast(s) succeeded but the version advanced by {} \
-                 (version {} -> {})",
-                after.broadcasts - before.broadcasts,
-                after.version - before.version,
-                before.version,
-                after.version
-            ),
-        ));
-    }
-    Ok(())
-}
-
-/// Invariants checked once every thread has run to completion.
-fn check_terminal(model: &Model, s: &State) -> Result<(), (&'static str, String)> {
-    // I1 (terminal): every reset that was ever successfully broadcast is
-    // accounted for in the final version — none were lost.
-    if s.broadcasts != s.version {
-        return Err((
-            "no-lost-reset",
-            format!(
-                "{} successful broadcast(s) but final version {}",
-                s.broadcasts, s.version
-            ),
-        ));
-    }
-    // I5: quiescent delivery — after broadcasts stop, a single poll brings
-    // every replica to the final version (each program ends with a poll,
-    // and `run_replica` keeps polling until the global stop flag).
-    let mut quiesced = *s;
-    for tid in 0..model.threads {
-        step(Op::Poll, tid, &mut quiesced)?;
-        if quiesced.last_seen[tid] != quiesced.version {
-            return Err((
-                "quiescent-delivery",
-                format!(
-                    "thread {tid} stuck at version {} after quiescent poll; bus at {}",
-                    quiesced.last_seen[tid], quiesced.version
-                ),
-            ));
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -162,7 +162,16 @@ impl<'a> Lexer<'a> {
         self.pos += 1;
         while self.pos < self.src.len() {
             match self.src[self.pos] {
-                b'\\' => self.pos += 2,
+                // Clamp: an escape as the very last byte (`"…\`) must not
+                // push the cursor past end-of-input. An escaped newline
+                // (string continuation) still ends a source line; count it
+                // or every later token's line drifts.
+                b'\\' => {
+                    if self.src.get(self.pos + 1) == Some(&b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos = (self.pos + 2).min(self.src.len());
+                }
                 b'"' => {
                     self.pos += 1;
                     break;
@@ -196,7 +205,8 @@ impl<'a> Lexer<'a> {
             self.pos += 1;
             while self.pos < self.src.len() {
                 match self.src[self.pos] {
-                    b'\\' => self.pos += 2,
+                    // Same end-of-input clamp as in `string_lit`.
+                    b'\\' => self.pos = (self.pos + 2).min(self.src.len()),
                     b'\'' => {
                         self.pos += 1;
                         break;
@@ -449,6 +459,29 @@ mod tests {
             texts("a == b != c .. d ..= e :: f -> g"),
             ["a", "==", "b", "!=", "c", "..", "d", "..=", "e", "::", "f", "->", "g"]
         );
+    }
+
+    #[test]
+    fn trailing_escape_does_not_overrun() {
+        // A backslash as the final byte of the input used to push the
+        // cursor past end-of-input and panic in `take_str`.
+        for src in ["\"\\", "'\\", "b\"\\", "b'\\", "let s = \"abc\\"] {
+            let out = lex(src);
+            assert!(!out.tokens.is_empty(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn string_continuation_counts_its_newline() {
+        // `"a \` + newline + `b"` spans two lines via an escaped newline;
+        // the token after the string must sit on line 2, not line 1.
+        let out = lex("\"a \\\nb\"\nafter");
+        let after = out
+            .tokens
+            .iter()
+            .find(|t| t.text == "after")
+            .expect("ident after the string");
+        assert_eq!(after.line, 3);
     }
 
     #[test]

@@ -9,13 +9,21 @@
 //! `syn`-based or registry lint frameworks.
 //!
 //! * [`lexer`] — a small self-contained Rust lexer (tokens + comments);
-//! * [`rules`] — the D1/P1/F1/T1 rule engine and the
-//!   `// lint: allow(P1, reason)` annotation grammar;
-//! * [`interleave`] — an exhaustive interleaving checker proving the
-//!   version-stamped RESET bus of `mvcom_core::se::ParallelRunner` loses
-//!   no reset under any schedule (bounded model);
+//! * [`callgraph`] — a per-crate fn→fn call graph over the token stream
+//!   that marks the *parallel region* (everything reachable from closures
+//!   handed to `spawn`/`run_tasks`);
+//! * [`rules`] — the D1/P1/F1/T1 token rules, the region-scoped C1–C4
+//!   concurrency rules, W1 stale-allow / U1 forbid-unsafe hygiene, and
+//!   the `// lint: allow(P1, reason)` annotation grammar;
+//! * [`model`] — a reusable interleaving-model DSL (states, atomic steps,
+//!   memoized exhaustive exploration, invariant closures) with three
+//!   models: the RESET bus, the `run_tasks` partition/merge protocol, and
+//!   the `Obs` deferred replay buffer;
+//! * [`interleave`] — the original RESET-bus checker API, now a port
+//!   onto [`model`];
 //! * [`lint_workspace`] — walks every `.rs` file under `crates/`, `src/`,
-//!   `tests/`, and `examples/` and applies the rules.
+//!   `tests/`, and `examples/`, groups them per crate, and applies the
+//!   rules.
 //!
 //! Run it as `cargo run -p mvcom-lint -- check`.
 
@@ -23,16 +31,20 @@
 // Unit tests may unwrap freely; library code goes through the P1 rule of
 // `mvcom-lint` and the workspace `clippy::unwrap_used` deny set instead.
 #![cfg_attr(test, allow(clippy::unwrap_used))]
+pub mod callgraph;
 pub mod interleave;
 pub mod lexer;
+pub mod model;
 pub mod rules;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 pub use interleave::{explore, BusModel, InterleaveConfig, InterleaveReport};
-pub use rules::{lint_source, Finding, Rule};
+pub use model::{Exploration, Violation};
+pub use rules::{lint_crate, lint_source, Finding, Rule, RuleSelection};
 
 /// Result of linting a whole workspace.
 #[derive(Debug, Default)]
@@ -58,8 +70,9 @@ const SKIP_SEGMENTS: [&str; 2] = ["fixtures", "target"];
 
 /// Lints every first-party `.rs` file under `root` (the workspace root).
 ///
-/// Files are visited in sorted path order so output and exit codes are
-/// reproducible.
+/// Files are grouped per crate (so the C-rules' call graph resolves
+/// across a crate's modules) and visited in sorted path order so output
+/// and exit codes are reproducible.
 ///
 /// # Errors
 ///
@@ -75,6 +88,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
     files.sort();
 
     let mut report = WorkspaceReport::default();
+    let mut by_crate: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
     for file in files {
         let source = fs::read_to_string(&file)?;
         let rel = file
@@ -82,8 +96,20 @@ pub fn lint_workspace(root: &Path) -> io::Result<WorkspaceReport> {
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        report.findings.extend(rules::lint_source(&rel, &source));
+        let krate = rel
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("mvcom")
+            .to_string();
+        by_crate.entry(krate).or_default().push((rel, source));
         report.files_scanned += 1;
+    }
+    for group in by_crate.values() {
+        let refs: Vec<(&str, &str)> = group
+            .iter()
+            .map(|(rel, src)| (rel.as_str(), src.as_str()))
+            .collect();
+        report.findings.extend(rules::lint_crate(&refs));
     }
     report
         .findings

@@ -1,34 +1,64 @@
 //! The `mvcom-lint` binary.
 //!
 //! ```text
-//! mvcom-lint check [--root PATH]   # lints + RESET-bus interleaving proof
-//! mvcom-lint lint  [--root PATH]   # lexical lints only
-//! mvcom-lint interleave            # interleaving proof only
+//! mvcom-lint check [--root PATH] [--rules LIST] [--model NAME]
+//!                                  # lints + interleaving proofs
+//! mvcom-lint lint  [--root PATH] [--rules LIST]
+//!                                  # lexical + region lints only
+//! mvcom-lint model [--model NAME]  # interleaving proofs only
+//! mvcom-lint interleave            # RESET-bus proof only (alias)
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings or a disproved schedule, `2` usage
-//! or I/O error — CI treats anything non-zero as blocking.
+//! `--rules` takes `all` or a comma list (`C1,C3,W1`); `--model` takes
+//! `all`, `none`, or one of `reset-bus`, `merge`, `deferred`. Every model
+//! run also explores its deliberately broken twin and fails if the twin
+//! is *not* caught — a proof is only trusted while the prover still has
+//! teeth.
+//!
+//! Exit codes: `0` clean, `1` findings, a disproved schedule, or an
+//! uncaught twin, `2` usage or I/O error — CI treats anything non-zero
+//! as blocking.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mvcom_lint::{explore, lint_workspace, InterleaveConfig};
+use mvcom_lint::model::{deferred, merge};
+use mvcom_lint::{explore, lint_workspace, InterleaveConfig, RuleSelection};
+
+/// The shipped interleaving models, as `--model` understands them.
+const MODEL_NAMES: [&str; 3] = ["reset-bus", "merge", "deferred"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
     let mut root = None;
+    let mut rules = RuleSelection::all();
+    let mut models: Option<Vec<&str>> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "check" | "lint" | "interleave" if command.is_none() => {
+            "check" | "lint" | "model" | "interleave" if command.is_none() => {
                 command = Some(arg.clone());
             }
             "--root" => match iter.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage("--root needs a path"),
+            },
+            "--rules" => match iter.next() {
+                Some(list) => match RuleSelection::parse(list) {
+                    Ok(sel) => rules = sel,
+                    Err(err) => return usage(&err),
+                },
+                None => return usage("--rules needs `all` or a comma-separated rule list"),
+            },
+            "--model" => match iter.next() {
+                Some(name) => match parse_models(name) {
+                    Ok(list) => models = Some(list),
+                    Err(err) => return usage(&err),
+                },
+                None => return usage("--model needs `all`, `none`, or a model name"),
             },
             "--help" | "-h" => {
                 print!("{HELP}");
@@ -45,7 +75,8 @@ fn main() -> ExitCode {
     let mut failed = false;
     if command == "check" || command == "lint" {
         match lint_workspace(&root) {
-            Ok(report) => {
+            Ok(mut report) => {
+                report.findings.retain(|f| rules.contains(f.rule));
                 for finding in &report.findings {
                     println!("{finding}");
                 }
@@ -62,25 +93,121 @@ fn main() -> ExitCode {
             }
         }
     }
-    if command == "check" || command == "interleave" {
-        let config = InterleaveConfig::default();
-        let report = explore(&config);
-        match &report.violation {
-            None => println!(
-                "mvcom-lint: RESET-bus interleavings proven safe \
-                 ({} threads x {} resets, {} states)",
-                report.config_threads, report.config_rounds, report.states_explored
-            ),
-            Some(violation) => {
-                println!("mvcom-lint: RESET-bus violation: {violation}");
-                failed = true;
-            }
-        }
+    let run_models: &[&str] = match command.as_str() {
+        "interleave" => &["reset-bus"],
+        "check" | "model" => match &models {
+            Some(list) => list,
+            None => &MODEL_NAMES,
+        },
+        _ => &[],
+    };
+    for name in run_models {
+        failed |= !run_model(name);
     }
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn parse_models(name: &str) -> Result<Vec<&'static str>, String> {
+    match name {
+        "all" => Ok(MODEL_NAMES.to_vec()),
+        "none" => Ok(Vec::new()),
+        other => MODEL_NAMES
+            .iter()
+            .find(|m| **m == other)
+            .map(|m| vec![*m])
+            .ok_or_else(|| {
+                format!(
+                    "unknown model `{other}` (expected all, none, {})",
+                    MODEL_NAMES.join(", ")
+                )
+            }),
+    }
+}
+
+/// Explores one shipped model at its default bounds, then its broken
+/// twin. Prints one summary line per model; returns `false` when the
+/// shipped protocol has a bad schedule *or* the twin goes uncaught.
+fn run_model(name: &str) -> bool {
+    match name {
+        "reset-bus" => {
+            let config = InterleaveConfig::default();
+            let report = explore(&config);
+            if let Some(violation) = &report.violation {
+                println!("mvcom-lint: RESET-bus violation: {violation}");
+                return false;
+            }
+            println!(
+                "mvcom-lint: model reset-bus proven safe \
+                 ({} threads x {} resets, {} states)",
+                report.config_threads, report.config_rounds, report.states_explored
+            );
+            let twin = explore(&InterleaveConfig {
+                model: mvcom_lint::BusModel::SplitRmw,
+                ..config
+            });
+            twin_caught("reset-bus", "split-rmw", twin.violation.as_ref())
+        }
+        "merge" => {
+            let config = merge::MergeConfig::default();
+            let result = merge::explore(&config);
+            if let Some(violation) = &result.violation {
+                println!("mvcom-lint: run_tasks merge violation: {violation}");
+                return false;
+            }
+            println!(
+                "mvcom-lint: model merge proven safe \
+                 ({} workers x {} tasks, {} states)",
+                config.workers, config.tasks, result.states_explored
+            );
+            let twin = merge::explore(&merge::MergeConfig {
+                model: merge::MergeModel::PushOrder,
+                ..config
+            });
+            twin_caught("merge", "push-order", twin.violation.as_ref())
+        }
+        "deferred" => {
+            let config = deferred::ObsConfig::default();
+            let result = deferred::explore(&config);
+            if let Some(violation) = &result.violation {
+                println!("mvcom-lint: Obs deferred-replay violation: {violation}");
+                return false;
+            }
+            println!(
+                "mvcom-lint: model deferred proven safe \
+                 ({} workers x {} tasks x {} events, {} states)",
+                config.workers, config.tasks, config.events, result.states_explored
+            );
+            let twin = deferred::explore(&deferred::ObsConfig {
+                model: deferred::ObsModel::DirectEmit,
+                ..config
+            });
+            twin_caught("deferred", "direct-emit", twin.violation.as_ref())
+        }
+        _ => unreachable!("parse_models only yields MODEL_NAMES"),
+    }
+}
+
+fn twin_caught(model: &str, twin: &str, violation: Option<&mvcom_lint::Violation>) -> bool {
+    match violation {
+        Some(v) => {
+            println!(
+                "mvcom-lint: model {model}: {twin} twin caught ({}, schedule of {} steps)",
+                v.invariant,
+                v.schedule.len()
+            );
+            true
+        }
+        None => {
+            println!(
+                "mvcom-lint: model {model}: {twin} twin was NOT caught — \
+                 the checker has lost its teeth"
+            );
+            false
+        }
     }
 }
 
@@ -106,14 +233,17 @@ const HELP: &str = "\
 mvcom-lint: workspace-native static analysis for MVCom
 
 USAGE:
-    mvcom-lint <check|lint|interleave> [--root PATH]
+    mvcom-lint <check|lint|model|interleave> [OPTIONS]
 
 SUBCOMMANDS:
-    check       lexical lints (D1/P1/F1/T1) + RESET-bus interleaving proof
-    lint        lexical lints only
-    interleave  exhaustive RESET-bus interleaving proof only
+    check       lints (token + parallel-region rules) + interleaving proofs
+    lint        lints only
+    model       interleaving proofs only (each model + its broken twin)
+    interleave  RESET-bus proof only (back-compat alias for --model reset-bus)
 
 OPTIONS:
-    --root PATH workspace root to scan (default: the enclosing checkout)
-    -h, --help  this help
+    --root PATH   workspace root to scan (default: the enclosing checkout)
+    --rules LIST  `all` (default) or comma list, e.g. C1,C2,C3,C4,W1,U1
+    --model NAME  `all` (default), `none`, reset-bus, merge, or deferred
+    -h, --help    this help
 ";

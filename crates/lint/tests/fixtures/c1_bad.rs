@@ -1,0 +1,11 @@
+//! Fixture: direct `Obs` emission from inside the parallel region.
+
+pub fn worker_body(obs: &Obs) {
+    obs.emit("se.round", 1.0, &[]);
+}
+
+pub fn fan_out(obs: &Obs) {
+    crossbeam::scope(|s| {
+        s.spawn(|_| worker_body(obs));
+    });
+}

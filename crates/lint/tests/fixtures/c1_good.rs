@@ -1,0 +1,11 @@
+//! Fixture: a body that builds its own handle owns its event ordering.
+
+pub fn fan_out(obs: &Obs) {
+    crossbeam::scope(|s| {
+        s.spawn(|_| {
+            let (worker, capture) = obs.deferred();
+            worker.emit("se.round", 1.0, &[]);
+            capture
+        });
+    });
+}

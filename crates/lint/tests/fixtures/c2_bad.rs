@@ -1,0 +1,12 @@
+//! Fixture: shared mutable state inside a spawned closure — interior
+//! mutability and mutation of a captured variable.
+
+pub fn fan_out() {
+    let mut merged = 0u64;
+    crossbeam::scope(|s| {
+        s.spawn(move |_| {
+            let scratch = RefCell::new(0u64);
+            merged += scratch.into_inner();
+        });
+    });
+}

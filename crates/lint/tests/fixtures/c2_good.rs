@@ -1,0 +1,12 @@
+//! Fixture: task-local state flows out through the task's return value.
+
+pub fn fan_out() -> u64 {
+    crossbeam::scope(|s| {
+        let handle = s.spawn(|_| {
+            let mut local = 0u64;
+            local += 1;
+            local
+        });
+        handle.join()
+    })
+}

@@ -1,0 +1,12 @@
+//! Fixture: a sub-`SeqCst` ordering with no written argument, and locks
+//! on two receivers with no canonical order the analyzer can see.
+
+pub fn fan_out(stop: &AtomicBool, queue: &Mutex<u64>, slots: &Mutex<u64>) {
+    crossbeam::scope(|s| {
+        s.spawn(|_| {
+            stop.store(true, Ordering::Relaxed);
+            let task = queue.lock();
+            let out = slots.lock();
+        });
+    });
+}

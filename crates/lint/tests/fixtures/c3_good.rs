@@ -1,0 +1,13 @@
+//! Fixture: a justified relaxation rides an annotation; a single lock
+//! receiver needs no documented order.
+
+pub fn fan_out(stop: &AtomicBool, slots: &Mutex<u64>) {
+    crossbeam::scope(|s| {
+        s.spawn(|_| {
+            // lint: allow(C3, shutdown hint only; a missed flag costs one extra round)
+            stop.store(true, Ordering::Relaxed);
+            let guard = slots.lock();
+            drop(guard);
+        });
+    });
+}

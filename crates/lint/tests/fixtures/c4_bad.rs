@@ -1,0 +1,16 @@
+//! Fixture: worker code branching on the worker count. The partitioner's
+//! own `workers <= 1` fast path sits outside the region and passes.
+
+pub fn fan_out(workers: usize) {
+    if workers <= 1 {
+        return;
+    }
+    crossbeam::scope(|s| {
+        s.spawn(move |_| {
+            if workers > 2 {
+                wide_path();
+            }
+            let lanes = threads();
+        });
+    });
+}

@@ -1,0 +1,16 @@
+//! Fixture: only the partitioner consults the worker count; each task
+//! sees just its own slice.
+
+pub fn fan_out(items: &[u64], workers: usize) {
+    let stride = items.len().div_ceil(workers.max(1)).max(1);
+    crossbeam::scope(|s| {
+        for chunk in items.chunks(stride) {
+            s.spawn(move |_| {
+                let mut sum = 0u64;
+                for v in chunk {
+                    sum += *v;
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root carrying the forbid attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//! Fixture: an allow that absorbs a finding is used, not stale.
+
+pub fn head(xs: &[u64]) -> u64 {
+    // lint: allow(P1, callers guarantee at least one element)
+    xs[0]
+}

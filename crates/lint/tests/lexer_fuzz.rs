@@ -1,0 +1,55 @@
+//! Property tests: the lexer and the full rule engine are total — no
+//! input, however mangled, may panic or mis-count lines.
+//!
+//! Two past bugs give these teeth: the escape branch of string literals
+//! once skipped `\` + newline without bumping the line counter (every
+//! later finding drifted upward), and an escape at end-of-input could
+//! overshoot the buffer. Both classes are exactly what arbitrary byte
+//! soup and delimiter soup reach.
+
+use mvcom_lint::lexer::lex;
+use mvcom_lint::lint_source;
+use proptest::prelude::*;
+
+/// Bytes biased toward lexer edge paths: string/char delimiters,
+/// escapes, comment openers, raw-string guts, and newlines.
+const DELIMITER_SOUP: [u8; 16] = [
+    b'"', b'\\', b'\n', b'/', b'*', b'\'', b'r', b'#', b'b', b' ', b'(', b')', b'0', b'.', b'=',
+    b'!',
+];
+
+/// Line numbers must start at 1 and never decrease along the token
+/// stream, and every comment must know where it ends.
+fn lexes_coherently(src: &str) {
+    let out = lex(src);
+    let mut last = 1u32;
+    for t in &out.tokens {
+        assert!(t.line >= last, "token line went backwards in {src:?}");
+        last = t.line;
+    }
+    for c in &out.comments {
+        assert!(c.end_line >= c.line, "comment ends before it starts");
+    }
+}
+
+proptest! {
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        lexes_coherently(&src);
+        // The full engine (lexer + call graph + every rule) is equally
+        // total; findings on garbage are fine, panics are not.
+        let _ = lint_source("crates/core/src/fuzz.rs", &src);
+    }
+
+    #[test]
+    fn lexer_is_total_on_delimiter_soup(picks in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let bytes: Vec<u8> = picks
+            .iter()
+            .map(|b| DELIMITER_SOUP[usize::from(*b) % DELIMITER_SOUP.len()])
+            .collect();
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        lexes_coherently(&src);
+        let _ = lint_source("crates/core/src/fuzz.rs", &src);
+    }
+}

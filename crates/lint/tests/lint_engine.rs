@@ -34,8 +34,9 @@ fn d1_fixture_flags_every_hazard_and_only_those() {
             (Rule::D1, 8),  // Instant::now
             (Rule::D1, 9),  // thread_rng
             (Rule::D1, 13), // HashSet return type
-            (Rule::D1, 14), // HashMap type ascription
-            (Rule::D1, 14), // HashMap::new
+            // Line 14 names `HashMap` twice (ascription + `::new`); the
+            // identical diagnostics collapse to one finding.
+            (Rule::D1, 14),
         ],
         "{findings:#?}"
     );
@@ -153,6 +154,133 @@ fn a0_malformed_annotation_is_reported_and_silences_nothing() {
         vec![(Rule::A0, 3), (Rule::P1, 5)],
         "{findings:#?}"
     );
+}
+
+#[test]
+fn c1_fixture_flags_emission_reached_through_the_call_graph() {
+    // `worker_body` never spawns anything itself; it is in the parallel
+    // region only because the spawned closure calls it.
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/c1_bad.rs"),
+    );
+    assert_eq!(shape(&findings), vec![(Rule::C1, 4)], "{findings:#?}");
+}
+
+#[test]
+fn c1_good_twin_builds_its_own_handle_and_is_silent() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/c1_good.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn c2_fixture_flags_interior_mutability_and_captured_mutation() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/c2_bad.rs"),
+    );
+    assert_eq!(
+        shape(&findings),
+        vec![(Rule::C2, 8), (Rule::C2, 9)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn c2_good_twin_keeps_state_task_local_and_is_silent() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/c2_good.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn c3_fixture_flags_weak_ordering_and_unordered_lock_pair() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/c3_bad.rs"),
+    );
+    assert_eq!(
+        shape(&findings),
+        vec![(Rule::C3, 7), (Rule::C3, 9)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn c3_good_twin_justifies_its_relaxation_and_is_silent() {
+    // The annotated `Ordering::Relaxed` is absorbed by the allow (which
+    // is therefore used, so no W1 either); the single lock receiver
+    // needs no documented order.
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/c3_good.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn c4_fixture_flags_worker_count_branching_but_not_the_partitioner() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/c4_bad.rs"),
+    );
+    // Line 5's `workers <= 1` fast path is the partitioner's own and
+    // sits outside the region; only the in-closure comparison (10) and
+    // the global `threads()` read (13) fire.
+    assert_eq!(
+        shape(&findings),
+        vec![(Rule::C4, 10), (Rule::C4, 13)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn c4_good_twin_partitions_outside_the_region_and_is_silent() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/c4_good.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn w1_fixture_flags_the_stale_allow() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/w1_bad.rs"),
+    );
+    assert_eq!(shape(&findings), vec![(Rule::W1, 3)], "{findings:#?}");
+}
+
+#[test]
+fn w1_good_twin_allow_absorbs_a_finding_and_is_silent() {
+    let findings = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/w1_good.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn u1_fixture_flags_crate_roots_only() {
+    let bad = include_str!("fixtures/u1_bad.rs");
+    let findings = lint_source("crates/foo/src/lib.rs", bad);
+    assert_eq!(shape(&findings), vec![(Rule::U1, 1)], "{findings:#?}");
+    // The same file is fine as a plain module…
+    assert!(lint_source("crates/foo/src/util.rs", bad).is_empty());
+    // …and as a test target (no unsafe surface of its own).
+    assert!(lint_source("crates/foo/tests/util.rs", bad).is_empty());
+}
+
+#[test]
+fn u1_good_twin_carries_the_forbid_and_is_silent() {
+    let findings = lint_source("crates/foo/src/lib.rs", include_str!("fixtures/u1_good.rs"));
+    assert!(findings.is_empty(), "{findings:#?}");
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! The per-node PBFT state machine.
 //!
 //! Quorum votes are tracked in fixed-width bitmask voter sets
-//! ([`VoterMask`]) instead of hash maps: a committee of `n ≤ 128` fits in
+//! (`VoterMask`) instead of hash maps: a committee of `n ≤ 128` fits in
 //! one `u128`, so recording a vote is one OR and a quorum check is one
 //! popcount — no hashing, no heap traffic — which matters because the
 //! simulation layer delivers O(n²) votes per consensus instance. Larger
@@ -127,7 +127,7 @@ fn mark_sent(watermark: &mut Option<u64>, view: u64) -> bool {
 ///   from distinct replicas;
 /// * *committed* after `2f+1` matching commits from distinct replicas.
 ///
-/// Votes are tallied in [`VoterMask`]s for the *current* view only —
+/// Votes are tallied in `VoterMask`s for the *current* view only —
 /// stale-view messages are dropped before tallying and views are
 /// monotone, so per-view state can be cleared on view entry. Messages
 /// whose `from` is outside `0..n` are dropped outright (the reference

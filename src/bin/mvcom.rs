@@ -40,6 +40,7 @@
 //! deterministic lockstep emulation of the parallel runner, so the event
 //! file is byte-identical across same-seed runs.
 
+#![forbid(unsafe_code)]
 use std::process::ExitCode;
 
 use mvcom::obs::Value;
