@@ -1,0 +1,247 @@
+//! Threshold alerts over per-epoch scheduling outcomes.
+//!
+//! An operator arms thresholds at startup (`--alert-*` flags); after
+//! every epoch closes, the [`AlertEngine`] compares the epoch's
+//! [`EpochSummary`] against them. Each
+//! breach fires every registered hook (the CLI prints to stderr; tests
+//! capture into a buffer), is emitted as `alert_fired` telemetry by the
+//! daemon loop, and is persisted in the epoch's history record — so an
+//! alert survives the process that raised it.
+//!
+//! Alerts are level-triggered per epoch: an epoch below a threshold
+//! fires once, and the next epoch below it fires again. There is no
+//! latching or deduplication — the history log is the place to analyze
+//! streaks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::history::EpochSummary;
+
+/// The alert conditions the daemon can arm. Disarmed thresholds (`None`)
+/// never fire.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AlertConfig {
+    /// Fire when an epoch's utility falls below this value.
+    pub min_utility: Option<f64>,
+    /// Fire when an epoch admits fewer committees than this.
+    pub min_admitted: Option<u64>,
+    /// Fire when the defense screens out more reports than this.
+    pub max_quarantined: Option<u64>,
+}
+
+/// The alert conditions, as stable wire/CLI names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Epoch utility below `min_utility`.
+    LowUtility,
+    /// Admitted committees below `min_admitted`.
+    LowAdmission,
+    /// Quarantined reports above `max_quarantined`.
+    HighQuarantine,
+}
+
+impl AlertKind {
+    /// Every kind, in documentation order (OPERATIONS.md doc-sync).
+    pub const ALL: [AlertKind; 3] = [
+        AlertKind::LowUtility,
+        AlertKind::LowAdmission,
+        AlertKind::HighQuarantine,
+    ];
+
+    /// The kind's wire name, as written to history and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertKind::LowUtility => "low_utility",
+            AlertKind::LowAdmission => "low_admission",
+            AlertKind::HighQuarantine => "high_quarantine",
+        }
+    }
+}
+
+/// One fired alert, as passed to hooks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alert {
+    /// The epoch whose summary breached the threshold.
+    pub epoch: u64,
+    /// Which condition fired.
+    pub kind: AlertKind,
+    /// The armed threshold.
+    pub threshold: f64,
+    /// The observed value that breached it.
+    pub observed: f64,
+}
+
+/// One fired alert, as persisted in the epoch's history record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertRecord {
+    /// [`AlertKind::name`] of the condition.
+    pub kind: String,
+    /// The armed threshold.
+    pub threshold: f64,
+    /// The observed value that breached it.
+    pub observed: f64,
+}
+
+/// A registered alert callback.
+pub type AlertHook = Box<dyn FnMut(&Alert) + Send>;
+
+/// Evaluates epoch summaries against the armed thresholds and dispatches
+/// to hooks.
+pub struct AlertEngine {
+    config: AlertConfig,
+    hooks: Vec<AlertHook>,
+}
+
+impl std::fmt::Debug for AlertEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlertEngine")
+            .field("config", &self.config)
+            .field("hooks", &self.hooks.len())
+            .finish()
+    }
+}
+
+impl AlertEngine {
+    /// An engine with the given thresholds and no hooks.
+    pub fn new(config: AlertConfig) -> AlertEngine {
+        AlertEngine {
+            config,
+            hooks: Vec::new(),
+        }
+    }
+
+    /// The armed thresholds.
+    pub fn config(&self) -> &AlertConfig {
+        &self.config
+    }
+
+    /// Registers a hook invoked once per fired alert, in registration
+    /// order.
+    pub fn on_alert(&mut self, hook: impl FnMut(&Alert) + Send + 'static) {
+        self.hooks.push(Box::new(hook));
+    }
+
+    /// Evaluates one epoch summary: fires hooks for each breach and
+    /// returns the records to persist (deterministic order: utility,
+    /// admission, quarantine).
+    pub fn evaluate(&mut self, summary: &EpochSummary) -> Vec<AlertRecord> {
+        let mut fired = Vec::new();
+        if let Some(min) = self.config.min_utility {
+            if summary.utility < min {
+                fired.push(Alert {
+                    epoch: summary.epoch,
+                    kind: AlertKind::LowUtility,
+                    threshold: min,
+                    observed: summary.utility,
+                });
+            }
+        }
+        if let Some(min) = self.config.min_admitted {
+            if summary.admitted < min {
+                fired.push(Alert {
+                    epoch: summary.epoch,
+                    kind: AlertKind::LowAdmission,
+                    threshold: min as f64,
+                    observed: summary.admitted as f64,
+                });
+            }
+        }
+        if let Some(max) = self.config.max_quarantined {
+            if summary.quarantined > max {
+                fired.push(Alert {
+                    epoch: summary.epoch,
+                    kind: AlertKind::HighQuarantine,
+                    threshold: max as f64,
+                    observed: summary.quarantined as f64,
+                });
+            }
+        }
+        for alert in &fired {
+            for hook in &mut self.hooks {
+                hook(alert);
+            }
+        }
+        fired
+            .iter()
+            .map(|a| AlertRecord {
+                kind: a.kind.name().to_string(),
+                threshold: a.threshold,
+                observed: a.observed,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn summary(utility: f64, admitted: u64, quarantined: u64) -> EpochSummary {
+        EpochSummary {
+            epoch: 3,
+            t_open: 0.0,
+            t_close: 4.0,
+            reports: 32,
+            offered_txs: 1_000,
+            quarantined,
+            adversarial: 0,
+            admitted,
+            admitted_txs: 700,
+            utility,
+            ddl_s: 900.0,
+            capacity: 32_000,
+            n_min: 16,
+            schedule_crc: 0,
+        }
+    }
+
+    #[test]
+    fn disarmed_thresholds_never_fire() {
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        assert!(engine.evaluate(&summary(-1e9, 0, 999)).is_empty());
+    }
+
+    #[test]
+    fn each_condition_fires_with_its_wire_name() {
+        let mut engine = AlertEngine::new(AlertConfig {
+            min_utility: Some(100.0),
+            min_admitted: Some(20),
+            max_quarantined: Some(2),
+        });
+        let records = engine.evaluate(&summary(50.0, 10, 5));
+        let kinds: Vec<&str> = records.iter().map(|r| r.kind.as_str()).collect();
+        assert_eq!(kinds, ["low_utility", "low_admission", "high_quarantine"]);
+        assert_eq!(records[0].threshold, 100.0);
+        assert_eq!(records[0].observed, 50.0);
+        // A healthy epoch fires nothing.
+        assert!(engine.evaluate(&summary(200.0, 25, 0)).is_empty());
+    }
+
+    #[test]
+    fn hooks_see_every_fired_alert() {
+        let seen: Arc<Mutex<Vec<(u64, &'static str)>>> = Arc::default();
+        let sink = Arc::clone(&seen);
+        let mut engine = AlertEngine::new(AlertConfig {
+            min_utility: Some(100.0),
+            min_admitted: Some(20),
+            max_quarantined: None,
+        });
+        engine.on_alert(move |a| {
+            sink.lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push((a.epoch, a.kind.name()));
+        });
+        engine.evaluate(&summary(50.0, 10, 0));
+        let seen = seen.lock().unwrap_or_else(|p| p.into_inner());
+        assert_eq!(*seen, [(3, "low_utility"), (3, "low_admission")]);
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let mut names: Vec<&str> = AlertKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), AlertKind::ALL.len());
+    }
+}

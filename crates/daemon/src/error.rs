@@ -1,0 +1,102 @@
+//! The daemon's error type.
+//!
+//! The workspace-wide [`mvcom_types::Error`] is `Clone + PartialEq` and
+//! has no I/O variant — the right shape for pure scheduling code, the
+//! wrong one for a process that owns files and sockets. The daemon wraps
+//! it instead of extending it.
+
+use std::fmt;
+
+/// Convenience alias for daemon-facing results.
+pub type Result<T, E = DaemonError> = std::result::Result<T, E>;
+
+/// Errors produced by the daemon layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DaemonError {
+    /// A scheduling/defense/dataset layer error.
+    Core(mvcom_types::Error),
+    /// An operating-system I/O failure (history file, socket).
+    Io(std::io::Error),
+    /// The history log failed verification (corruption, config mismatch,
+    /// serialization failure).
+    History(String),
+    /// An ingest line or stream failed to parse.
+    Ingest(String),
+    /// A daemon configuration parameter is out of its documented domain.
+    Config {
+        /// The offending parameter name.
+        parameter: &'static str,
+        /// Why the value is rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Core(e) => write!(f, "{e}"),
+            DaemonError::Io(e) => write!(f, "i/o error: {e}"),
+            DaemonError::History(reason) => write!(f, "history log error: {reason}"),
+            DaemonError::Ingest(reason) => write!(f, "ingest error: {reason}"),
+            DaemonError::Config { parameter, reason } => {
+                write!(f, "invalid daemon configuration `{parameter}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DaemonError::Core(e) => Some(e),
+            DaemonError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mvcom_types::Error> for DaemonError {
+    fn from(e: mvcom_types::Error) -> DaemonError {
+        DaemonError::Core(e)
+    }
+}
+
+impl DaemonError {
+    /// Shorthand constructor for [`DaemonError::Io`].
+    pub fn io(e: std::io::Error) -> DaemonError {
+        DaemonError::Io(e)
+    }
+
+    /// Shorthand constructor for [`DaemonError::History`].
+    pub fn history(reason: impl Into<String>) -> DaemonError {
+        DaemonError::History(reason.into())
+    }
+
+    /// Shorthand constructor for [`DaemonError::Ingest`].
+    pub fn ingest(reason: impl Into<String>) -> DaemonError {
+        DaemonError::Ingest(reason.into())
+    }
+
+    /// Shorthand constructor for [`DaemonError::Config`].
+    pub fn config(parameter: &'static str, reason: impl Into<String>) -> DaemonError {
+        DaemonError::Config {
+            parameter,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_layer() {
+        assert!(format!("{}", DaemonError::history("bad crc")).contains("history"));
+        assert!(format!("{}", DaemonError::ingest("bad line")).contains("ingest"));
+        assert!(format!("{}", DaemonError::config("seed", "nope")).contains("`seed`"));
+        let core: DaemonError = mvcom_types::Error::invalid_instance("x").into();
+        assert!(format!("{core}").contains("invalid problem instance"));
+    }
+}

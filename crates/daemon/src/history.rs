@@ -1,0 +1,551 @@
+//! The append-only epoch-history log: length-prefixed, CRC-framed JSONL.
+//!
+//! Every record is framed as
+//!
+//! ```text
+//! [len: u32 LE] [crc: u32 LE] [payload: `len` bytes]
+//! ```
+//!
+//! where `payload` is one line of deterministic JSON (the serde encoding
+//! of a [`HistoryRecord`], newline-terminated) and `crc` is the CRC-32
+//! (IEEE 802.3) of the payload bytes. The JSON stays `grep`/`jq`-able by
+//! skipping 8 bytes per record; the frame makes torn tails detectable.
+//!
+//! Crash semantics (the whole point of the format): a `kill -9` can only
+//! ever leave a *prefix* of an in-flight append on disk — the OS never
+//! reorders bytes within a single `write`. [`read_history`] therefore
+//! treats an incomplete final frame as a torn append and drops it
+//! ([`LoadedHistory::dropped_bytes`]), while a CRC or structural mismatch
+//! on a *complete* frame can only mean real corruption and is a hard
+//! error. The daemon re-derives the dropped epoch deterministically from
+//! the last intact checkpoint, so recovery reproduces the exact bytes an
+//! uninterrupted run would have written.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use mvcom_core::defense::DefenseCheckpoint;
+use mvcom_core::se::SeCheckpoint;
+
+use crate::alerts::AlertRecord;
+use crate::epoch_clock::EpochClock;
+use crate::error::{DaemonError, Result};
+
+/// Version stamp carried by the [`RunHeader`]; bump on any incompatible
+/// change to the framing or a record's JSON shape.
+pub const HISTORY_VERSION: u32 = 1;
+
+/// Upper bound on a single record's payload length. A complete frame
+/// header announcing more than this is treated as corruption, not as a
+/// record to allocate for.
+pub const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// The wire tags of every history-record kind, in file order. The
+/// OPERATIONS.md doc-sync test asserts each one is documented.
+pub const RECORD_KINDS: &[&str] = &["Header", "Epoch"];
+
+// ---- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) -------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3) of `bytes` — the checksum used by the frame.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- records ------------------------------------------------------------
+
+/// First record of every history file: the determinism-relevant slice of
+/// the daemon configuration. Runtime knobs that do not influence the
+/// produced bytes (`--epochs`, `--throttle-ms`, `--http`, obs settings)
+/// are deliberately absent, so histories from differently-paced runs of
+/// the same logical configuration compare byte-equal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunHeader {
+    /// [`HISTORY_VERSION`] at write time.
+    pub version: u32,
+    /// Master seed of the seeded source, the SE engine, and the adversary.
+    pub seed: u64,
+    /// Committee population of the seeded source (0 for stdin sources).
+    pub population: u32,
+    /// Reports requested per ingest batch.
+    pub batch_size: u32,
+    /// Reports that fill (and close) one epoch.
+    pub reports_per_epoch: u32,
+    /// Logical seconds one ingest batch advances the clock by.
+    pub batch_interval_s: f64,
+    /// Throughput weight `α` of the per-epoch instance.
+    pub alpha: f64,
+    /// Final-block capacity per arrived committee (`Ĉ = c·|I|`).
+    pub capacity_per_committee: u64,
+    /// `N_min` as a fraction of the screened shard count.
+    pub n_min_fraction: f64,
+    /// Whether the defense layer screens reports.
+    pub defense: bool,
+    /// Fraction of committees the adversary controls (0 = honest run).
+    pub adv_fraction: f64,
+    /// Adversary strategy name ("" = honest run).
+    pub adv_strategy: String,
+    /// SE iteration budget override (0 = `SeConfig::paper` default).
+    pub se_iterations: u64,
+}
+
+/// Everything the daemon needs to resume after the epoch this checkpoint
+/// is embedded in: the source cursor, the logical clock, the defense
+/// state, lifetime totals, and the final SE solver state of the epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaemonCheckpoint {
+    /// Reports consumed from the source up to and including this epoch.
+    pub cursor: u64,
+    /// The logical clock *after* closing this epoch.
+    pub clock: EpochClock,
+    /// Defense state after `end_epoch`, when `--defense on`.
+    pub defense: Option<DefenseCheckpoint>,
+    /// Epochs closed so far (including this one).
+    pub total_epochs: u64,
+    /// Reports ingested so far.
+    pub total_reports: u64,
+    /// Truth transactions admitted so far.
+    pub total_admitted_txs: u64,
+    /// The SE engine's state at the end of this epoch's solve (absent for
+    /// degenerate epochs solved without SE). Recovery does not need it —
+    /// epochs re-solve deterministically — but it lets an operator rebuild
+    /// the solver via `SeEngine::from_checkpoint` for inspection.
+    pub se: Option<SeCheckpoint>,
+}
+
+/// The per-epoch scheduling outcome, as written to history and rendered
+/// by `epoch_close` telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochSummary {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Logical clock when the epoch opened, s.
+    pub t_open: f64,
+    /// Logical clock when the epoch closed, s.
+    pub t_close: f64,
+    /// Reports ingested into the epoch.
+    pub reports: u64,
+    /// Truth transactions offered by those reports.
+    pub offered_txs: u64,
+    /// Reports the defense screened out before scheduling.
+    pub quarantined: u64,
+    /// Reports carrying adversarial (perturbed) claims.
+    pub adversarial: u64,
+    /// Committees the SE schedule admitted.
+    pub admitted: u64,
+    /// Truth transactions of the admitted committees.
+    pub admitted_txs: u64,
+    /// Objective value `U(f)` of the schedule over reported features.
+    pub utility: f64,
+    /// Epoch deadline `t_j` of the scheduled instance, s.
+    pub ddl_s: f64,
+    /// Final-block capacity `Ĉ` of the scheduled instance.
+    pub capacity: u64,
+    /// `N_min` of the scheduled instance.
+    pub n_min: u64,
+    /// CRC-32 over the admitted committee ids (sorted, u32 LE) — a compact
+    /// fingerprint for diffing schedules across runs.
+    pub schedule_crc: u32,
+}
+
+/// One closed epoch: the outcome, the alerts it fired, and the embedded
+/// recovery checkpoint. A single record per epoch means an append is the
+/// epoch's atom — there is no cross-record state to tear.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// The scheduling outcome.
+    pub summary: EpochSummary,
+    /// Alerts fired by this epoch (empty when all thresholds held).
+    pub alerts: Vec<AlertRecord>,
+    /// Resume-from-here state.
+    pub checkpoint: DaemonCheckpoint,
+}
+
+/// One record of the history log. Serialized with the externally-tagged
+/// enum encoding, so the payload reads `{"Header":{…}}` / `{"Epoch":{…}}`
+/// — the tag is the record kind (see [`RECORD_KINDS`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HistoryRecord {
+    /// Run configuration; always the first record.
+    Header(RunHeader),
+    /// One closed epoch; every subsequent record. Boxed: an epoch record
+    /// embeds a full [`DaemonCheckpoint`], far larger than a header.
+    Epoch(Box<EpochRecord>),
+}
+
+impl HistoryRecord {
+    /// The record's wire tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HistoryRecord::Header(_) => "Header",
+            HistoryRecord::Epoch(_) => "Epoch",
+        }
+    }
+}
+
+/// Encodes one record as its complete frame (header + JSON payload).
+///
+/// # Errors
+///
+/// [`DaemonError::History`] if the record fails to serialize (cannot
+/// happen for records the daemon builds; kept as an error rather than a
+/// panic because the payload crosses a process boundary).
+pub fn encode_record(record: &HistoryRecord) -> Result<Vec<u8>> {
+    let mut payload = serde_json::to_string(record)
+        .map_err(|e| DaemonError::history(format!("serialize record: {e:?}")))?;
+    payload.push('\n');
+    let bytes = payload.into_bytes();
+    let len = u32::try_from(bytes.len())
+        .ok()
+        .filter(|&l| l <= MAX_RECORD_LEN)
+        .ok_or_else(|| DaemonError::history("record exceeds MAX_RECORD_LEN"))?;
+    let mut frame = Vec::with_capacity(8 + bytes.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&crc32(&bytes).to_le_bytes());
+    frame.extend_from_slice(&bytes);
+    Ok(frame)
+}
+
+// ---- writer -------------------------------------------------------------
+
+/// Appends framed records to a history file, one `write` per record.
+#[derive(Debug)]
+pub struct HistoryWriter {
+    file: File,
+    bytes: u64,
+}
+
+impl HistoryWriter {
+    /// Creates (truncating) a fresh history file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error as [`DaemonError::Io`].
+    pub fn create(path: &Path) -> Result<HistoryWriter> {
+        let file = File::create(path).map_err(DaemonError::io)?;
+        Ok(HistoryWriter { file, bytes: 0 })
+    }
+
+    /// Opens an existing history for appending, first truncating it to
+    /// `valid_bytes` (dropping any torn tail found by [`read_history`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error as [`DaemonError::Io`].
+    pub fn append_existing(path: &Path, valid_bytes: u64) -> Result<HistoryWriter> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(DaemonError::io)?;
+        file.set_len(valid_bytes).map_err(DaemonError::io)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0)).map_err(DaemonError::io)?;
+        Ok(HistoryWriter {
+            file,
+            bytes: valid_bytes,
+        })
+    }
+
+    /// Appends one record as a single `write` and flushes; returns the
+    /// frame size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failures ([`DaemonError::History`]) and I/O errors.
+    pub fn append(&mut self, record: &HistoryRecord) -> Result<u64> {
+        let frame = encode_record(record)?;
+        self.file.write_all(&frame).map_err(DaemonError::io)?;
+        self.file.flush().map_err(DaemonError::io)?;
+        self.bytes += frame.len() as u64;
+        Ok(frame.len() as u64)
+    }
+
+    /// Bytes written to the file so far (equals the file length).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+// ---- reader -------------------------------------------------------------
+
+/// The result of replaying a history file.
+#[derive(Debug)]
+pub struct LoadedHistory {
+    /// Every intact record, in file order.
+    pub records: Vec<HistoryRecord>,
+    /// Length of the intact prefix — pass to
+    /// [`HistoryWriter::append_existing`] to resume.
+    pub valid_bytes: u64,
+    /// Bytes of a torn final append that were dropped (0 for a clean
+    /// shutdown).
+    pub dropped_bytes: u64,
+}
+
+/// Reads and verifies a history file.
+///
+/// An incomplete final frame (fewer bytes than its header announces, or a
+/// partial header) is a torn `kill -9` append: it is dropped and reported
+/// via [`LoadedHistory::dropped_bytes`]. Anything else that fails to
+/// verify — CRC mismatch, implausible length, payload not newline-
+/// terminated, unparseable JSON — is corruption and returns an error:
+/// a torn write cannot produce those states, so the file must not be
+/// trusted for resumption.
+///
+/// # Errors
+///
+/// [`DaemonError::Io`] on read failures; [`DaemonError::History`] on
+/// corruption.
+pub fn read_history(path: &Path) -> Result<LoadedHistory> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .map_err(DaemonError::io)?
+        .read_to_end(&mut bytes)
+        .map_err(DaemonError::io)?;
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let rest = bytes.len() - offset;
+        if rest == 0 {
+            return Ok(LoadedHistory {
+                records,
+                valid_bytes: offset as u64,
+                dropped_bytes: 0,
+            });
+        }
+        if rest < 8 {
+            // Torn mid-header: drop the partial frame.
+            return Ok(LoadedHistory {
+                records,
+                valid_bytes: offset as u64,
+                dropped_bytes: rest as u64,
+            });
+        }
+        let len = u32::from_le_bytes([
+            bytes[offset],
+            bytes[offset + 1],
+            bytes[offset + 2],
+            bytes[offset + 3],
+        ]);
+        let crc = u32::from_le_bytes([
+            bytes[offset + 4],
+            bytes[offset + 5],
+            bytes[offset + 6],
+            bytes[offset + 7],
+        ]);
+        if len == 0 || len > MAX_RECORD_LEN {
+            return Err(DaemonError::history(format!(
+                "record at byte {offset} announces implausible length {len}"
+            )));
+        }
+        if rest - 8 < len as usize {
+            // Torn mid-payload: drop the partial frame.
+            return Ok(LoadedHistory {
+                records,
+                valid_bytes: offset as u64,
+                dropped_bytes: rest as u64,
+            });
+        }
+        let payload = &bytes[offset + 8..offset + 8 + len as usize];
+        if crc32(payload) != crc {
+            return Err(DaemonError::history(format!(
+                "CRC mismatch on the record at byte {offset}: the log is corrupt"
+            )));
+        }
+        if payload.last() != Some(&b'\n') {
+            return Err(DaemonError::history(format!(
+                "record at byte {offset} is not newline-terminated"
+            )));
+        }
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| DaemonError::history(format!("record at byte {offset} is not UTF-8")))?;
+        let record: HistoryRecord = serde_json::from_str(text).map_err(|e| {
+            DaemonError::history(format!("record at byte {offset} fails to parse: {e:?}"))
+        })?;
+        records.push(record);
+        offset += 8 + len as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> RunHeader {
+        RunHeader {
+            version: HISTORY_VERSION,
+            seed: 7,
+            population: 64,
+            batch_size: 8,
+            reports_per_epoch: 32,
+            batch_interval_s: 1.0,
+            alpha: 1.5,
+            capacity_per_committee: 1_000,
+            n_min_fraction: 0.5,
+            defense: false,
+            adv_fraction: 0.0,
+            adv_strategy: String::new(),
+            se_iterations: 0,
+        }
+    }
+
+    fn epoch(i: u64) -> EpochRecord {
+        EpochRecord {
+            summary: EpochSummary {
+                epoch: i,
+                t_open: i as f64 * 4.0,
+                t_close: i as f64 * 4.0 + 4.0,
+                reports: 32,
+                offered_txs: 1_000 + i,
+                quarantined: 0,
+                adversarial: 0,
+                admitted: 16,
+                admitted_txs: 600 + i,
+                utility: 123.5,
+                ddl_s: 900.0,
+                capacity: 32_000,
+                n_min: 16,
+                schedule_crc: 0xDEAD_BEEF,
+            },
+            alerts: Vec::new(),
+            checkpoint: DaemonCheckpoint {
+                cursor: 32 * (i + 1),
+                clock: crate::epoch_clock::EpochClock::new(32, 1.0).unwrap(),
+                defense: None,
+                total_epochs: i + 1,
+                total_reports: 32 * (i + 1),
+                total_admitted_txs: 600 * (i + 1),
+                se: None,
+            },
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip_through_the_frame() {
+        let dir = std::env::temp_dir().join("mvcom-daemon-history-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.log");
+        let mut w = HistoryWriter::create(&path).unwrap();
+        w.append(&HistoryRecord::Header(header())).unwrap();
+        w.append(&HistoryRecord::Epoch(Box::new(epoch(0)))).unwrap();
+        w.append(&HistoryRecord::Epoch(Box::new(epoch(1)))).unwrap();
+        let loaded = read_history(&path).unwrap();
+        assert_eq!(loaded.dropped_bytes, 0);
+        assert_eq!(loaded.valid_bytes, w.bytes());
+        assert_eq!(loaded.records.len(), 3);
+        assert_eq!(loaded.records[0], HistoryRecord::Header(header()));
+        assert_eq!(loaded.records[2], HistoryRecord::Epoch(Box::new(epoch(1))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = std::env::temp_dir().join("mvcom-daemon-history-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.log");
+        let mut w = HistoryWriter::create(&path).unwrap();
+        w.append(&HistoryRecord::Header(header())).unwrap();
+        let intact = w.bytes();
+        w.append(&HistoryRecord::Epoch(Box::new(epoch(0)))).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Cut at every prefix length inside the second frame: all of them
+        // must be recognized as a torn append of exactly that frame.
+        for cut in intact as usize..full.len() - 1 {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let loaded = read_history(&path).unwrap();
+            assert_eq!(loaded.records.len(), 1, "cut={cut}");
+            assert_eq!(loaded.valid_bytes, intact, "cut={cut}");
+            assert_eq!(loaded.dropped_bytes, cut as u64 - intact, "cut={cut}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_hard_error() {
+        let dir = std::env::temp_dir().join("mvcom-daemon-history-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.log");
+        let mut w = HistoryWriter::create(&path).unwrap();
+        w.append(&HistoryRecord::Header(header())).unwrap();
+        w.append(&HistoryRecord::Epoch(Box::new(epoch(0)))).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() - 20; // inside the second record's payload
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_history(&path).unwrap_err();
+        assert!(format!("{err}").contains("CRC mismatch"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn implausible_length_is_a_hard_error() {
+        let dir = std::env::temp_dir().join("mvcom-daemon-history-len");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.log");
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(MAX_RECORD_LEN + 1).to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &frame).unwrap();
+        assert!(read_history(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_existing_truncates_the_torn_tail() {
+        let dir = std::env::temp_dir().join("mvcom-daemon-history-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.log");
+        let mut w = HistoryWriter::create(&path).unwrap();
+        w.append(&HistoryRecord::Header(header())).unwrap();
+        let intact = w.bytes();
+        // Simulate a torn append: half a frame of garbage-prefix bytes.
+        let frame = encode_record(&HistoryRecord::Epoch(Box::new(epoch(0)))).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&frame[..frame.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = read_history(&path).unwrap();
+        assert!(loaded.dropped_bytes > 0);
+        let mut w = HistoryWriter::append_existing(&path, loaded.valid_bytes).unwrap();
+        w.append(&HistoryRecord::Epoch(Box::new(epoch(0)))).unwrap();
+        let reloaded = read_history(&path).unwrap();
+        assert_eq!(reloaded.records.len(), 2);
+        assert_eq!(reloaded.dropped_bytes, 0);
+        assert_eq!(intact + frame.len() as u64, reloaded.valid_bytes);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

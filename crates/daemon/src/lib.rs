@@ -1,0 +1,252 @@
+//! `mvcom-daemon` — MVCom scheduling as a long-running service.
+//!
+//! The library behind the `mvcom daemon` subcommand: a persistent
+//! process that ingests a continuous stream of committee reports, closes
+//! epochs on a logical clock, schedules each epoch with the SE engine
+//! (optionally screening reports through the reputation defense), and
+//! exposes live state to operators.
+//!
+//! The moving parts, one module each:
+//!
+//! * [`ingest`] — where reports come from: a seed-deterministic
+//!   generator ([`SeededSource`]) or a JSONL feed ([`JsonlSource`]).
+//! * [`epoch_clock`] — the logical clock ([`EpochClock`]): batches in,
+//!   epochs out, no wall time anywhere.
+//! * [`daemon`] — the loop itself ([`Daemon`]): ingest → schedule →
+//!   defend → alert → persist.
+//! * [`history`] — the crash-safe, append-only epoch log
+//!   (length-prefixed, CRC-framed JSONL) and the checkpoint types that
+//!   make `kill -9` recoverable with byte-identical subsequent history.
+//! * [`http`] — the zero-dependency metrics snapshot endpoint
+//!   ([`MetricsServer`]).
+//! * [`alerts`] — operator-armed threshold alerts ([`AlertEngine`]).
+//!
+//! The operator-facing contract — flags, the epoch lifecycle, the log
+//! format, recovery procedure, alert and endpoint semantics — is
+//! documented in `OPERATIONS.md` at the repository root, and a doc-sync
+//! test keeps that file honest against [`DAEMON_FLAGS`], the history
+//! record kinds and the alert kinds.
+//!
+//! # Example
+//!
+//! Run three epochs against a seeded stream and read the totals:
+//!
+//! ```
+//! use mvcom_daemon::{AlertConfig, AlertEngine, Daemon, DaemonConfig, SeededSource};
+//!
+//! let dir = std::env::temp_dir().join(format!("mvcom-daemon-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let history = dir.join("history.log");
+//!
+//! let config = DaemonConfig { max_epochs: 3, se_iterations: 200, ..DaemonConfig::default() };
+//! let source = SeededSource::new(config.seed, config.population)?;
+//! let mut daemon = Daemon::open(
+//!     config.clone(),
+//!     Box::new(source),
+//!     &history,
+//!     /* resume = */ false,
+//!     mvcom_obs::Obs::off(),
+//!     AlertEngine::new(AlertConfig::default()),
+//! )?;
+//! let closed = daemon.run(|summary| {
+//!     assert!(summary.admitted > 0);
+//! })?;
+//! assert_eq!(closed, 3);
+//! std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod alerts;
+pub mod daemon;
+pub mod epoch_clock;
+pub mod error;
+pub mod history;
+pub mod http;
+pub mod ingest;
+
+pub use alerts::{Alert, AlertConfig, AlertEngine, AlertKind, AlertRecord};
+pub use daemon::{Daemon, DaemonConfig, Startup};
+pub use epoch_clock::EpochClock;
+pub use error::{DaemonError, Result};
+pub use history::{
+    crc32, read_history, DaemonCheckpoint, EpochRecord, EpochSummary, HistoryRecord, HistoryWriter,
+    LoadedHistory, RunHeader, HISTORY_VERSION, RECORD_KINDS,
+};
+pub use http::{MetricsServer, SnapshotCell};
+pub use ingest::{IngestSource, JsonlSource, SeededSource};
+
+/// One CLI flag of the `mvcom daemon` subcommand.
+///
+/// The single source of truth for the subcommand's surface: the binary
+/// renders its usage text from this table, and the OPERATIONS.md
+/// doc-sync test asserts every row is documented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlagSpec {
+    /// The flag, with leading dashes (`--seed`).
+    pub flag: &'static str,
+    /// The value placeholder (`N`, `FILE`, `on|off`, …).
+    pub value: &'static str,
+    /// The default, as the CLI would parse it.
+    pub default: &'static str,
+    /// One-line help.
+    pub help: &'static str,
+}
+
+/// Every flag `mvcom daemon` accepts.
+pub const DAEMON_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        flag: "--source",
+        value: "seeded|stdin",
+        default: "seeded",
+        help: "report stream: deterministic seeded generator, or JSONL on stdin",
+    },
+    FlagSpec {
+        flag: "--seed",
+        value: "N",
+        default: "7",
+        help: "master seed (stream, per-epoch SE, adversary)",
+    },
+    FlagSpec {
+        flag: "--committees",
+        value: "N",
+        default: "96",
+        help: "committee population of the seeded stream",
+    },
+    FlagSpec {
+        flag: "--batch-size",
+        value: "N",
+        default: "8",
+        help: "reports ingested per batch",
+    },
+    FlagSpec {
+        flag: "--epoch-reports",
+        value: "N",
+        default: "48",
+        help: "reports that close an epoch (must be <= --committees for seeded streams)",
+    },
+    FlagSpec {
+        flag: "--batch-interval",
+        value: "SECS",
+        default: "0.5",
+        help: "logical seconds each batch advances the clock",
+    },
+    FlagSpec {
+        flag: "--epochs",
+        value: "N",
+        default: "0",
+        help: "stop after N epochs (0 = run until killed or the feed drains)",
+    },
+    FlagSpec {
+        flag: "--alpha",
+        value: "X",
+        default: "1.5",
+        help: "throughput weight of the scheduling objective",
+    },
+    FlagSpec {
+        flag: "--capacity",
+        value: "N",
+        default: "1000",
+        help: "final-block tx capacity per screened committee",
+    },
+    FlagSpec {
+        flag: "--n-min-frac",
+        value: "X",
+        default: "0.5",
+        help: "minimum admitted committees, as a fraction of the screened set",
+    },
+    FlagSpec {
+        flag: "--defense",
+        value: "on|off",
+        default: "off",
+        help: "screen reports through the reputation defense",
+    },
+    FlagSpec {
+        flag: "--adv-fraction",
+        value: "X",
+        default: "0",
+        help: "fraction of committees controlled by the adversary",
+    },
+    FlagSpec {
+        flag: "--adv-strategy",
+        value: "NAME",
+        default: "",
+        help: "adversary strategy (required when --adv-fraction > 0)",
+    },
+    FlagSpec {
+        flag: "--se-iters",
+        value: "N",
+        default: "0",
+        help: "SE iteration budget per epoch (0 = paper default)",
+    },
+    FlagSpec {
+        flag: "--history",
+        value: "FILE",
+        default: "mvcom-history.log",
+        help: "append-only epoch history log",
+    },
+    FlagSpec {
+        flag: "--resume",
+        value: "on|off",
+        default: "on",
+        help: "replay an existing history and resume from its last checkpoint",
+    },
+    FlagSpec {
+        flag: "--http",
+        value: "ADDR",
+        default: "",
+        help: "serve the metrics snapshot endpoint on ADDR (e.g. 127.0.0.1:9464)",
+    },
+    FlagSpec {
+        flag: "--throttle-ms",
+        value: "MS",
+        default: "0",
+        help: "sleep after each ingest batch (pacing only; never touches the clock)",
+    },
+    FlagSpec {
+        flag: "--alert-min-utility",
+        value: "X",
+        default: "",
+        help: "fire low_utility when an epoch's utility falls below X",
+    },
+    FlagSpec {
+        flag: "--alert-min-admitted",
+        value: "N",
+        default: "",
+        help: "fire low_admission when an epoch admits fewer than N committees",
+    },
+    FlagSpec {
+        flag: "--alert-max-quarantined",
+        value: "N",
+        default: "",
+        help: "fire high_quarantine when the defense screens out more than N reports",
+    },
+    FlagSpec {
+        flag: "--obs-out",
+        value: "FILE",
+        default: "",
+        help: "write telemetry events as JSONL to FILE",
+    },
+    FlagSpec {
+        flag: "--obs-level",
+        value: "LEVEL",
+        default: "summary",
+        help: "telemetry level: off, summary, events, or debug",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_are_unique_and_well_formed() {
+        let mut flags: Vec<&str> = DAEMON_FLAGS.iter().map(|f| f.flag).collect();
+        assert!(flags.iter().all(|f| f.starts_with("--")));
+        flags.sort_unstable();
+        flags.dedup();
+        assert_eq!(flags.len(), DAEMON_FLAGS.len());
+    }
+}

@@ -119,7 +119,7 @@ fn write_value(out: &mut String, value: &Value) {
 /// Appends `v` using Rust's shortest-round-trip float formatting — the
 /// same bits always print the same bytes. Non-finite floats have no JSON
 /// representation and encode as `null`.
-fn write_f64(out: &mut String, v: f64) {
+pub(crate) fn write_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {
@@ -128,7 +128,7 @@ fn write_f64(out: &mut String, v: f64) {
 }
 
 /// Appends `s` as a JSON string with the mandatory escapes.
-fn write_str(out: &mut String, s: &str) {
+pub(crate) fn write_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

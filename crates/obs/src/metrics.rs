@@ -223,6 +223,51 @@ impl MetricsRegistry {
         events
     }
 
+    /// Renders the registry as one deterministic JSON object:
+    /// `{"counters":{…},"gauges":{…},"histograms":{name:{"count":…,"sum":…,"buckets":"…"}}}`,
+    /// names sorted within each section. This is the document the
+    /// `mvcom-daemon` metrics endpoint serves.
+    pub fn snapshot_json(&self) -> String {
+        use crate::event::{write_f64, write_str};
+        let inner = self.lock();
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (idx, (name, value)) in inner.counters.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            out.push(':');
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{value}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (idx, (name, value)) in inner.gauges.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            out.push(':');
+            write_f64(&mut out, *value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (idx, (name, hist)) in inner.histograms.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(":{{\"count\":{},\"sum\":", hist.count),
+            );
+            write_f64(&mut out, hist.sum);
+            out.push_str(",\"buckets\":");
+            write_str(&mut out, &hist.encode_buckets());
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
     /// Renders the registry as an aligned, human-readable table (sorted by
     /// name; histograms report count/mean/p50/p95 bucket bounds).
     pub fn render_table(&self) -> String {

@@ -554,6 +554,99 @@ pub const KINDS: &[KindSpec] = &[
         ],
         open: false,
     },
+    // ---- daemon (clock: logical ingest seconds, EpochClock) -----------
+    KindSpec {
+        kind: "epoch_open",
+        level: ObsLevel::Events,
+        clock: "logical ingest seconds (EpochClock)",
+        site: "mvcom-daemon::daemon",
+        fields: &[
+            req("epoch", U64, "epoch index being opened"),
+            req("planned", U64, "reports that will close the epoch"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "ingest_batch",
+        level: ObsLevel::Events,
+        clock: "logical ingest seconds (EpochClock)",
+        site: "mvcom-daemon::daemon",
+        fields: &[
+            req("epoch", U64, "epoch index the batch lands in"),
+            req("batch", U64, "batch index within the epoch"),
+            req("reports", U64, "reports ingested by this batch"),
+            req("txs", U64, "transactions offered by this batch"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "epoch_close",
+        level: ObsLevel::Summary,
+        clock: "logical ingest seconds (EpochClock)",
+        site: "mvcom-daemon::daemon",
+        fields: &[
+            req("epoch", U64, "epoch index being closed"),
+            req("reports", U64, "reports ingested this epoch"),
+            req("offered_txs", U64, "transactions offered (ground truth)"),
+            req("admitted", U64, "committees admitted by the schedule"),
+            req("admitted_txs", U64, "transactions admitted (ground truth)"),
+            req(
+                "utility",
+                F64,
+                "scheduling objective of the chosen committee set",
+            ),
+            req("alerts", U64, "threshold alerts fired by this epoch"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "history_append",
+        level: ObsLevel::Events,
+        clock: "logical ingest seconds (EpochClock)",
+        site: "mvcom-daemon::daemon",
+        fields: &[
+            req("record", Str, "history record kind (Header|Epoch)"),
+            req("bytes", U64, "framed size of the appended record"),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "recovery_replay",
+        level: ObsLevel::Summary,
+        clock: "logical ingest seconds (EpochClock)",
+        site: "mvcom-daemon::daemon",
+        fields: &[
+            req("epochs", U64, "epochs restored from the history log"),
+            req(
+                "cursor",
+                U64,
+                "ingest cursor restored from the last checkpoint",
+            ),
+            req(
+                "dropped_bytes",
+                U64,
+                "torn-tail bytes truncated during replay",
+            ),
+        ],
+        open: false,
+    },
+    KindSpec {
+        kind: "alert_fired",
+        level: ObsLevel::Summary,
+        clock: "logical ingest seconds (EpochClock)",
+        site: "mvcom-daemon::daemon",
+        fields: &[
+            req("epoch", U64, "epoch whose summary breached the threshold"),
+            req(
+                "alert",
+                Str,
+                "alert kind (low_utility|low_admission|high_quarantine)",
+            ),
+            req("threshold", F64, "armed threshold"),
+            req("observed", F64, "observed value that breached it"),
+        ],
+        open: false,
+    },
     // ---- metrics flush (clock: emitting site's logical clock) ---------
     KindSpec {
         kind: "metric",

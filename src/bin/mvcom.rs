@@ -52,6 +52,7 @@ fn main() -> ExitCode {
         Some("dataset") => dataset(&args[1..]),
         Some("solve" | "schedule") => solve(&args[1..]),
         Some("simulate") => simulate(&args[1..]),
+        Some("daemon") => daemon(&args[1..]),
         Some("--help" | "-h") | None => {
             print_usage();
             Ok(())
@@ -84,8 +85,34 @@ fn print_usage() {
          [--chaos-drop P] [--crash IDX@SECS[..SECS]] [--heartbeat SECS]\n           \
          [--adv-fraction P] [--adv-strategy misreport|freerider|starver]\n           \
          [--defense on|off]\n           \
-         [--obs-out FILE] [--obs-level off|summary|events|trace]"
+         [--obs-out FILE] [--obs-level off|summary|events|trace]\n  \
+         mvcom daemon   [--help for the full flag table]\n           \
+         long-running scheduling service: streaming ingest, epoch history,\n           \
+         crash recovery, metrics endpoint (see OPERATIONS.md)"
     );
+}
+
+/// Renders the daemon flag table from its single source of truth.
+fn daemon_usage() -> String {
+    let mut out = String::from(
+        "usage: mvcom daemon [flags]\n\
+         Long-running MVCom scheduling service (see OPERATIONS.md).\n\nflags:\n",
+    );
+    let width = mvcom::daemon::DAEMON_FLAGS
+        .iter()
+        .map(|f| f.flag.len() + 1 + f.value.len())
+        .max()
+        .unwrap_or(0);
+    for spec in mvcom::daemon::DAEMON_FLAGS {
+        let head = format!("{} {}", spec.flag, spec.value);
+        let default = if spec.default.is_empty() {
+            String::new()
+        } else {
+            format!(" [default: {}]", spec.default)
+        };
+        out.push_str(&format!("  {head:width$}  {}{default}\n", spec.help));
+    }
+    out
 }
 
 /// Builds the telemetry handle from `--obs-out` / `--obs-level` and emits
@@ -627,5 +654,185 @@ fn simulate(args: &[String]) -> Result<()> {
     if let Some(table) = obs.metrics_table() {
         println!("metrics:\n{table}");
     }
+    Ok(())
+}
+
+/// Maps a daemon-crate error into the CLI's error type.
+fn daemon_err(e: mvcom::daemon::DaemonError) -> Error {
+    Error::invalid_config("daemon", e.to_string())
+}
+
+/// The `mvcom daemon` subcommand: the long-running scheduling service.
+/// Flags are defined by [`mvcom::daemon::DAEMON_FLAGS`]; semantics are
+/// documented in OPERATIONS.md.
+fn daemon(args: &[String]) -> Result<()> {
+    use mvcom::daemon::{
+        AlertConfig, AlertEngine, Daemon, DaemonConfig, IngestSource, JsonlSource, MetricsServer,
+        SeededSource, Startup,
+    };
+
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", daemon_usage());
+        return Ok(());
+    }
+    let flags = Flags::parse(args)?;
+    let config = DaemonConfig {
+        seed: flags.num("seed", 7)?,
+        population: flags.num("committees", 96)?,
+        batch_size: flags.num("batch-size", 8)?,
+        reports_per_epoch: flags.num("epoch-reports", 48)?,
+        batch_interval_s: flags.num("batch-interval", 0.5)?,
+        alpha: flags.num("alpha", 1.5)?,
+        capacity_per_committee: flags.num("capacity", 1000)?,
+        n_min_fraction: flags.fraction("n-min-frac", 0.5)?,
+        defense: match flags.get("defense") {
+            None | Some("off") => false,
+            Some("on") => true,
+            Some(other) => {
+                return Err(Error::invalid_config(
+                    "defense",
+                    format!("--defense takes on|off, got `{other}`"),
+                ))
+            }
+        },
+        adv_fraction: flags.fraction("adv-fraction", 0.0)?,
+        adv_strategy: flags.get("adv-strategy").unwrap_or("").to_string(),
+        se_iterations: flags.num("se-iters", 0)?,
+        max_epochs: flags.num("epochs", 0)?,
+        throttle_ms: flags.num("throttle-ms", 0)?,
+    };
+    let source: Box<dyn IngestSource> = match flags.get("source") {
+        None | Some("seeded") => {
+            if u64::from(config.reports_per_epoch) > u64::from(config.population) {
+                return Err(Error::invalid_config(
+                    "epoch-reports",
+                    format!(
+                        "--epoch-reports ({}) must not exceed --committees ({}) for a \
+                         seeded stream: an epoch would contain duplicate committees",
+                        config.reports_per_epoch, config.population
+                    ),
+                ));
+            }
+            Box::new(SeededSource::new(config.seed, config.population).map_err(daemon_err)?)
+        }
+        Some("stdin") => Box::new(JsonlSource::new(std::io::stdin().lock())),
+        Some(other) => {
+            return Err(Error::invalid_config(
+                "source",
+                format!("--source takes seeded|stdin, got `{other}`"),
+            ))
+        }
+    };
+    let alert_threshold = |key: &'static str| -> Result<Option<f64>> {
+        match flags.get(key) {
+            None => Ok(None),
+            Some(raw) => raw.parse().map(Some).map_err(|_| {
+                Error::invalid_config("flags", format!("--{key} got a non-numeric value `{raw}`"))
+            }),
+        }
+    };
+    let mut alerts = AlertEngine::new(AlertConfig {
+        min_utility: alert_threshold("alert-min-utility")?,
+        min_admitted: alert_threshold("alert-min-admitted")?.map(|v: f64| v as u64),
+        max_quarantined: alert_threshold("alert-max-quarantined")?.map(|v: f64| v as u64),
+    });
+    alerts.on_alert(|a| {
+        eprintln!(
+            "ALERT epoch={} kind={} threshold={} observed={}",
+            a.epoch,
+            a.kind.name(),
+            a.threshold,
+            a.observed,
+        );
+    });
+    let level = match flags.get("obs-level") {
+        None => ObsLevel::Summary,
+        Some(raw) => ObsLevel::parse(raw).ok_or_else(|| {
+            Error::invalid_config(
+                "obs-level",
+                format!("unknown level `{raw}` (use off|summary|events|trace)"),
+            )
+        })?,
+    };
+    let obs = match flags.get("obs-out") {
+        None => Obs::off(),
+        Some(path) => Obs::to_file(level, std::path::Path::new(path))
+            .map_err(|e| Error::invalid_config("obs-out", format!("opening {path}: {e}")))?,
+    };
+    obs.emit(
+        "run_info",
+        0.0,
+        &[
+            ("tool", Value::from("daemon")),
+            ("schema", Value::U64(u64::from(mvcom::obs::SCHEMA_VERSION))),
+            ("seed", Value::U64(config.seed)),
+            ("level", Value::from(level.as_str())),
+        ],
+    );
+    let history_path = flags
+        .get("history")
+        .unwrap_or("mvcom-history.log")
+        .to_string();
+    let resume = match flags.get("resume") {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            return Err(Error::invalid_config(
+                "resume",
+                format!("--resume takes on|off, got `{other}`"),
+            ))
+        }
+    };
+    let mut daemon = Daemon::open(
+        config,
+        source,
+        std::path::Path::new(&history_path),
+        resume,
+        obs,
+        alerts,
+    )
+    .map_err(daemon_err)?;
+    if let Startup::Resumed {
+        epochs,
+        cursor,
+        dropped_bytes,
+    } = daemon.startup()
+    {
+        eprintln!(
+            "resumed from {history_path}: {epochs} epoch(s) replayed, ingest cursor {cursor}, \
+             {dropped_bytes} torn byte(s) truncated"
+        );
+    }
+    let _server = match flags.get("http") {
+        None | Some("") => None,
+        Some(addr) => {
+            let server = MetricsServer::start(addr, daemon.snapshot_cell())
+                .map_err(|e| Error::invalid_config("http", format!("binding {addr}: {e}")))?;
+            eprintln!(
+                "metrics endpoint listening on http://{}/metrics",
+                server.addr()
+            );
+            Some(server)
+        }
+    };
+    let closed = daemon
+        .run(|s| {
+            println!(
+                "epoch {}: {} reports ({} adversarial, {} quarantined), \
+                 {} admitted / {} offered txs, utility {:.2}",
+                s.epoch,
+                s.reports,
+                s.adversarial,
+                s.quarantined,
+                s.admitted_txs,
+                s.offered_txs,
+                s.utility,
+            );
+        })
+        .map_err(daemon_err)?;
+    println!(
+        "daemon: {closed} epoch(s) closed this run, history {} bytes at {history_path}",
+        daemon.history_bytes(),
+    );
     Ok(())
 }

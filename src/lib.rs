@@ -10,6 +10,7 @@
 //! |-------|-------|------------------|
 //! | scheduler | [`mvcom_core`] | the MVCom problem, the Stochastic-Exploration engine, online dynamics, theory |
 //! | baselines | [`mvcom_baselines`] | SA, DP, WOA, greedy, exhaustive |
+//! | service | [`mvcom_daemon`] | the long-running scheduling daemon: streaming ingest, crash-safe epoch history, metrics endpoint |
 //! | protocol | [`mvcom_elastico`] | the five-stage sharding epoch (PoW, formation, PBFT, final consensus, randomness) |
 //! | consensus | [`mvcom_pbft`] | single-decision PBFT with view changes and Byzantine behaviours |
 //! | substrate | [`mvcom_simnet`] | discrete-event engine, P2P network, latency models, statistics |
@@ -53,6 +54,7 @@ pub mod metrics;
 
 pub use mvcom_baselines as baselines;
 pub use mvcom_core as core;
+pub use mvcom_daemon as daemon;
 pub use mvcom_dataset as dataset;
 pub use mvcom_elastico as elastico;
 pub use mvcom_obs as obs;
