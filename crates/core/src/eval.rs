@@ -29,7 +29,12 @@
 //! struct-of-arrays columns copied bit-for-bit out of the instance at
 //! construction, so at 10⁴–10⁵ committees the delta loop walks 8-byte
 //! strides instead of cache-missing across interleaved `ShardInfo`
-//! records. Per-op complexity:
+//! records. A second Fenwick tree over *shard indices* powers
+//! `O(log n)` order statistics in index order — select-kth-one and
+//! select-kth-zero — which replace the `O(n)` `iter_*().nth()` fallback
+//! of the SE sampler's rejection loop
+//! ([`EvalCache::random_selected`]/[`EvalCache::random_unselected`]).
+//! Per-op complexity:
 //!
 //! | operation                       | naive            | cached      |
 //! |---------------------------------|------------------|-------------|
@@ -37,6 +42,7 @@
 //! | `selected_ddl`                  | `O(n)`           | `O(1)`      |
 //! | `swap/insert/remove_delta`      | `O(n)` + 2 allocs| `O(log n)`  |
 //! | commit (`insert`/`remove`/`swap`)| `O(1)`          | `O(log n)`  |
+//! | `random_selected/unselected` fallback | `O(n)`     | `O(log n)`  |
 //! | build / rebuild                 | —                | `O(n log n)`|
 //!
 //! The cache is *not* serialized: a checkpointed solver records only the
@@ -51,6 +57,8 @@
 //! [`crate::se::chain::Chain::apply`]); the delta queries `assert!` the
 //! preconditions — in release builds too — and cheap sync invariants, so a
 //! desynchronized cache panics instead of silently returning garbage.
+
+use rand::Rng;
 
 use crate::problem::{DdlPolicy, Instance};
 use crate::solution::Solution;
@@ -107,6 +115,11 @@ pub struct EvalCache {
     marginal: Vec<f64>,
     /// Fenwick tree (1-based) over ranks; counts selected shards.
     tree: Vec<u32>,
+    /// Fenwick tree (1-based) over *shard indices*; counts selected
+    /// shards in index order, so the `k`-th selected (or unselected)
+    /// shard *by index* is an `O(log n)` binary-lifting descent — the
+    /// exact order statistic `iter_selected().nth(k)` scans for.
+    idx_tree: Vec<u32>,
     /// Mirror of the selected count, for O(1) sync checks.
     selected: usize,
     /// Memoized max selected latency (`0` when empty): `O(1)` reads of the
@@ -159,18 +172,21 @@ impl EvalCache {
             tx,
             marginal,
             tree: vec![0u32; n + 1],
+            idx_tree: vec![0u32; n + 1],
             selected: 0,
             ddl: 0.0,
         };
         // O(n) Fenwick construction: leaf counts, then one propagation pass.
         for i in solution.iter_selected() {
             cache.tree[cache.rank[i] as usize + 1] = 1;
+            cache.idx_tree[i + 1] = 1;
             cache.selected += 1;
         }
         for pos in 1..=n {
             let parent = pos + (pos & pos.wrapping_neg());
             if parent <= n {
                 cache.tree[parent] += cache.tree[pos];
+                cache.idx_tree[parent] += cache.idx_tree[pos];
             }
         }
         if cache.selected > 0 {
@@ -337,7 +353,8 @@ impl EvalCache {
             !self.contains(i),
             "shard {i} already selected in the eval cache"
         );
-        self.add(self.rank[i] as usize + 1, 1);
+        Self::bump(&mut self.tree, self.rank[i] as usize + 1, 1);
+        Self::bump(&mut self.idx_tree, i + 1, 1);
         self.selected += 1;
         self.ddl = self.ddl.max(self.lat_by_rank[self.rank[i] as usize]);
     }
@@ -350,7 +367,8 @@ impl EvalCache {
     /// Panics if `i` is out of range or not marked selected.
     pub fn remove(&mut self, i: usize) {
         assert!(self.contains(i), "shard {i} not selected in the eval cache");
-        self.add(self.rank[i] as usize + 1, -1);
+        Self::bump(&mut self.tree, self.rank[i] as usize + 1, -1);
+        Self::bump(&mut self.idx_tree, i + 1, -1);
         self.selected -= 1;
         if self.selected == 0 {
             self.ddl = 0.0;
@@ -388,10 +406,10 @@ impl EvalCache {
         sum
     }
 
-    fn add(&mut self, mut pos: usize, delta: i32) {
-        let n = self.tree.len() - 1;
+    fn bump(tree: &mut [u32], mut pos: usize, delta: i32) {
+        let n = tree.len() - 1;
         while pos <= n {
-            self.tree[pos] = (self.tree[pos] as i64 + delta as i64) as u32;
+            tree[pos] = (tree[pos] as i64 + delta as i64) as u32;
             pos += pos & pos.wrapping_neg();
         }
     }
@@ -415,6 +433,114 @@ impl EvalCache {
         // `pos` positions have cumulative count < k ⇒ the k-th selected
         // shard sits at 1-based position pos+1, i.e. 0-based rank `pos`.
         pos
+    }
+
+    /// The shard index of the `k`-th selected shard in increasing index
+    /// order (0-indexed `k`) — `solution.iter_selected().nth(k)` as an
+    /// `O(log n)` Fenwick binary-lifting descent over the index tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when `k >= selected_count()`.
+    pub fn select_kth_selected(&self, k: usize) -> usize {
+        debug_assert!(k < self.selected);
+        let n = self.idx_tree.len() - 1;
+        let mut pos = 0usize;
+        let mut rem = k as u32 + 1;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.idx_tree[next] < rem {
+                pos = next;
+                rem -= self.idx_tree[next];
+            }
+            step >>= 1;
+        }
+        pos
+    }
+
+    /// The shard index of the `k`-th *unselected* shard in increasing
+    /// index order (0-indexed `k`) — `solution.iter_unselected().nth(k)`
+    /// in `O(log n)`. A node at lifting step `s` covers exactly `s`
+    /// positions, so its zero count is `s − ones`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when `k >= len() − selected_count()`.
+    pub fn select_kth_unselected(&self, k: usize) -> usize {
+        debug_assert!(k < self.len() - self.selected);
+        let n = self.idx_tree.len() - 1;
+        let mut pos = 0usize;
+        let mut rem = k as u32 + 1;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= n {
+                // `pos`'s set bits all exceed `step`, so lowbit(next) is
+                // exactly `step` and the node covers `step` positions.
+                let zeros = step as u32 - self.idx_tree[next];
+                if zeros < rem {
+                    pos = next;
+                    rem -= zeros;
+                }
+            }
+            step >>= 1;
+        }
+        pos
+    }
+
+    /// A uniformly random selected index, or `None` if empty — a drop-in
+    /// fast path for [`Solution::random_selected`]. The RNG draw sequence
+    /// is *identical* (64 rejection draws over `0..len`, then one
+    /// fallback draw over `0..selected`) and the fallback resolves the
+    /// same order statistic, so for any RNG state this returns the same
+    /// index as the `Solution` method bit for bit — only the fallback's
+    /// `O(|I|)` bitset scan becomes an `O(log |I|)` Fenwick select. At
+    /// the sparse densities of a 10⁴–10⁵-committee sweep (n ≪ |I|) the
+    /// rejection loop fails ≈`(1−n/|I|)⁶⁴` of the time, so this fallback
+    /// *is* the hot path.
+    pub fn random_selected<R: Rng + ?Sized>(
+        &self,
+        solution: &Solution,
+        rng: &mut R,
+    ) -> Option<usize> {
+        self.assert_sync(solution);
+        if self.selected == 0 {
+            return None;
+        }
+        let len = self.len();
+        for _ in 0..64 {
+            let i = rng.gen_range(0..len);
+            if solution.contains(i) {
+                return Some(i);
+            }
+        }
+        let target = rng.gen_range(0..self.selected);
+        Some(self.select_kth_selected(target))
+    }
+
+    /// A uniformly random unselected index, or `None` if full — the fast
+    /// path for [`Solution::random_unselected`], with the same bit-exact
+    /// RNG-sequence contract as [`EvalCache::random_selected`].
+    pub fn random_unselected<R: Rng + ?Sized>(
+        &self,
+        solution: &Solution,
+        rng: &mut R,
+    ) -> Option<usize> {
+        self.assert_sync(solution);
+        let len = self.len();
+        let unselected = len - self.selected;
+        if unselected == 0 {
+            return None;
+        }
+        for _ in 0..64 {
+            let i = rng.gen_range(0..len);
+            if !solution.contains(i) {
+                return Some(i);
+            }
+        }
+        let target = rng.gen_range(0..unselected);
+        Some(self.select_kth_unselected(target))
     }
 }
 

@@ -39,6 +39,7 @@ pub mod config;
 pub mod engine;
 pub mod parallel;
 
+pub use chain::SeSampler;
 pub use checkpoint::{ChainSnapshot, SeCheckpoint};
 pub use config::SeConfig;
 pub use engine::{SeEngine, SeOutcome, Trajectory, TrajectoryPoint};

@@ -10,6 +10,29 @@ use crate::problem::Instance;
 use crate::se::config::SeConfig;
 use crate::solution::Solution;
 
+/// Strategy for drawing the random swap endpoints in [`Chain::propose`].
+///
+/// Both strategies consume the *same* RNG draw sequence and return the
+/// same index for the same RNG state, bit for bit:
+/// [`SeSampler::RankSelect`] only replaces the `O(|I|)`
+/// `iter_*().nth()` fallback of the 64-draw rejection loop with an
+/// `O(log |I|)` Fenwick select over the chain's [`EvalCache`], so every
+/// seeded trajectory, figure CSV, and events file is byte-identical
+/// across samplers. At 10⁴–10⁵ committees the fallback fires on ≈94% of
+/// proposals (density `n/|I|` ≈ 0.1%), which made `RejectionScan`
+/// `O(|I|)` per proposal; it is kept as the frozen reference that the
+/// scale benchmark differentials the fast path against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeSampler {
+    /// The legacy sampler: 64 rejection draws, then a full bitset scan
+    /// ([`Solution::random_selected`]/[`Solution::random_unselected`]).
+    RejectionScan,
+    /// 64 rejection draws, then a Fenwick select-kth-one/zero
+    /// ([`EvalCache::random_selected`]/[`EvalCache::random_unselected`]).
+    #[default]
+    RankSelect,
+}
+
 /// The Algorithm 3 output: the chosen swap pair, its utility change, and
 /// the armed timer in log-space.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +62,15 @@ pub struct Chain {
     cardinality: usize,
     utility: f64,
     cache: EvalCache,
+    sampler: SeSampler,
+    /// `ln(|I| − n)` — the proposal-pool term of the Algorithm 3 timer.
+    /// The chain's cardinality `n` is fixed, so this is a per-chain
+    /// constant hoisted out of the per-proposal hot loop; it is exactly
+    /// the `((len − n) as f64).ln()` the loop used to recompute, so the
+    /// timer expression is unchanged bit for bit. Recomputed whenever the
+    /// chain is (re)built against an instance (`0` when the pool is
+    /// empty; [`Chain::propose`] bails out before using it then).
+    ln_pool: f64,
 }
 
 impl Chain {
@@ -98,10 +130,35 @@ impl Chain {
         let cache = EvalCache::new(instance, &solution);
         Chain {
             cardinality: solution.selected_count(),
+            ln_pool: Self::ln_pool(instance.len(), solution.selected_count()),
             solution,
             utility,
             cache,
+            sampler: SeSampler::default(),
         }
+    }
+
+    /// The hoisted `ln(|I| − n)` timer constant (`0` for an empty pool —
+    /// never read, because `propose` returns `None` when `n ≥ |I|`).
+    fn ln_pool(len: usize, n: usize) -> f64 {
+        if n < len {
+            ((len - n) as f64).ln()
+        } else {
+            0.0
+        }
+    }
+
+    /// Selects the swap-endpoint sampling strategy (see [`SeSampler`]).
+    /// Both strategies produce bit-identical output; this exists so the
+    /// scale benchmark can measure the frozen `RejectionScan` reference
+    /// against the `RankSelect` fast path on the same host.
+    pub fn set_sampler(&mut self, sampler: SeSampler) {
+        self.sampler = sampler;
+    }
+
+    /// The active swap-endpoint sampling strategy.
+    pub fn sampler(&self) -> SeSampler {
+        self.sampler
     }
 
     /// The chain's current solution.
@@ -138,8 +195,16 @@ impl Chain {
             return None;
         }
         for _ in 0..config.swap_attempts {
-            let out = self.solution.random_selected(rng)?;
-            let inc = self.solution.random_unselected(rng)?;
+            let (out, inc) = match self.sampler {
+                SeSampler::RejectionScan => (
+                    self.solution.random_selected(rng)?,
+                    self.solution.random_unselected(rng)?,
+                ),
+                SeSampler::RankSelect => (
+                    self.cache.random_selected(&self.solution, rng)?,
+                    self.cache.random_unselected(&self.solution, rng)?,
+                ),
+            };
             let new_total = self.solution.tx_total() - instance.shards()[out].tx_count()
                 + instance.shards()[inc].tx_count();
             if new_total > instance.capacity() {
@@ -149,11 +214,11 @@ impl Chain {
             // clone-and-recompute `Instance::swap_delta` on the hot path.
             let delta = self.cache.swap_delta(instance, &self.solution, out, inc);
             // ln T = ln Exp(1) + τ − ½β·Δ − ln(|I| − n): log-space keeps
-            // |βΔ| in the thousands finite.
+            // |βΔ| in the thousands finite. `ln(|I| − n)` is the hoisted
+            // per-chain constant `self.ln_pool`.
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             let exp1 = -u.ln();
-            let ln_timer =
-                exp1.ln() + config.tau - 0.5 * config.beta * delta - ((len - n) as f64).ln();
+            let ln_timer = exp1.ln() + config.tau - 0.5 * config.beta * delta - self.ln_pool;
             return Some(Proposal {
                 out,
                 inc,
@@ -209,6 +274,7 @@ impl Chain {
     pub fn refresh_utility(&mut self, instance: &Instance) {
         self.utility = instance.utility(&self.solution);
         self.cache = EvalCache::new(instance, &self.solution);
+        self.ln_pool = Self::ln_pool(instance.len(), self.solution.selected_count());
     }
 }
 

@@ -7,7 +7,7 @@ use mvcom_types::{Error, Result, ShardInfo};
 
 use crate::dynamics::DynamicsPolicy;
 use crate::problem::Instance;
-use crate::se::chain::Chain;
+use crate::se::chain::{Chain, Proposal, SeSampler};
 use crate::se::checkpoint::{ChainSnapshot, SeCheckpoint};
 use crate::se::config::SeConfig;
 use crate::solution::Solution;
@@ -109,6 +109,15 @@ pub struct SeEngine {
     trajectory: Trajectory,
     restored_chains: usize,
     obs: Obs,
+    /// Worker count for the replica fan-out in [`SeEngine::step`]. An
+    /// *execution* knob like [`SeEngine::with_obs`] — deliberately not a
+    /// [`SeConfig`] field, so it can never leak into config serialization,
+    /// checkpoint identity, or daemon history headers. Output is
+    /// byte-identical at any value.
+    threads: usize,
+    /// Which sampler the chains use for swap-pair draws (DESIGN.md §14).
+    /// Also an execution knob: both variants are bit-identical.
+    sampler: SeSampler,
 }
 
 impl SeEngine {
@@ -135,6 +144,8 @@ impl SeEngine {
             trajectory: Trajectory::default(),
             restored_chains: 0,
             obs: Obs::off(),
+            threads: 1,
+            sampler: SeSampler::default(),
         };
         engine.build_replicas(None)?;
         engine.seed_best();
@@ -165,6 +176,39 @@ impl SeEngine {
         self.emit_init();
         self.emit_chain_points();
         self
+    }
+
+    /// Sets the worker count for the replica fan-out in
+    /// [`SeEngine::step`] (clamped to ≥ 1). Replicas are partitioned
+    /// across scoped workers in contiguous chunks and their commits are
+    /// merged in replica order, so the output is byte-identical to the
+    /// serial run at any count — this knob only trades wall clock.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> SeEngine {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the swap-pair sampler for every chain (DESIGN.md §14).
+    /// [`SeSampler::RankSelect`] (the default) and
+    /// [`SeSampler::RejectionScan`] are bit-identical; the frozen scan
+    /// exists as a benchmark reference.
+    #[must_use]
+    pub fn with_sampler(mut self, sampler: SeSampler) -> SeEngine {
+        self.sampler = sampler;
+        self.apply_sampler();
+        self
+    }
+
+    /// Pushes the engine's sampler choice down to every chain (chains are
+    /// rebuilt on dynamic events, so this re-runs after every
+    /// [`SeEngine::build_replicas`]).
+    fn apply_sampler(&mut self) {
+        for replica in &mut self.replicas {
+            for chain in &mut replica.chains {
+                chain.set_sampler(self.sampler);
+            }
+        }
     }
 
     /// The engine's current view of the epoch (changes on dynamic events).
@@ -315,6 +359,8 @@ impl SeEngine {
             trajectory: Trajectory::default(),
             restored_chains,
             obs: Obs::off(),
+            threads: 1,
+            sampler: SeSampler::default(),
         };
         engine.seed_best();
         engine.record_point();
@@ -331,25 +377,30 @@ impl SeEngine {
     /// real time each thread's local timer expires about once between two
     /// RESET broadcasts; firing every chain once per round is the
     /// virtual-time image of that concurrency.
+    ///
+    /// Internally the round runs in two phases (DESIGN.md §14): a
+    /// (possibly parallel, see [`SeEngine::with_threads`]) *race* phase
+    /// where every replica races and commits its chains using only
+    /// replica-local state, and a serial *merge* phase that replays the
+    /// commits in (replica, chain) order — telemetry, best-tracking, and
+    /// the virtual-time fold all happen here, so the observable output is
+    /// byte-identical to the single-loop formulation at any thread count.
     pub fn step(&mut self) {
         self.iteration += 1;
+        let commits = self.race_replicas();
         let trace = self.obs.enabled(ObsLevel::Trace);
-        let mut min_duration = f64::INFINITY;
+        let mut min_ln_timer = f64::INFINITY;
         let mut improved: Option<(usize, usize)> = None;
-        for (r_idx, replica) in self.replicas.iter_mut().enumerate() {
-            for c_idx in 0..replica.chains.len() {
-                let Some(proposal) =
-                    replica.chains[c_idx].race(&self.instance, &self.config, &mut replica.rng)
-                else {
-                    continue;
-                };
+        for (r_idx, replica_commits) in commits.iter().enumerate() {
+            for commit in replica_commits {
+                let proposal = &commit.proposal;
                 if trace {
                     self.obs.emit(
                         "se_propose",
                         self.vtime,
                         &[
                             ("replica", Value::from(r_idx)),
-                            ("chain", Value::from(c_idx)),
+                            ("chain", Value::from(commit.chain)),
                             ("iter", Value::U64(self.iteration)),
                             ("out", Value::from(proposal.out)),
                             ("inc", Value::from(proposal.inc)),
@@ -357,27 +408,23 @@ impl SeEngine {
                             ("ln_timer", Value::F64(proposal.ln_timer)),
                         ],
                     );
-                }
-                replica.chains[c_idx].apply(&proposal, &self.instance);
-                let u = replica.chains[c_idx].utility();
-                if trace {
                     self.obs.emit(
                         "se_commit",
                         self.vtime,
                         &[
                             ("replica", Value::from(r_idx)),
-                            ("chain", Value::from(c_idx)),
+                            ("chain", Value::from(commit.chain)),
                             ("iter", Value::U64(self.iteration)),
-                            ("utility", Value::F64(u)),
+                            ("utility", Value::F64(commit.utility)),
                         ],
                     );
                 }
-                if u > self.best_utility + self.config.convergence_tol {
-                    self.best_utility = u;
-                    improved = Some((r_idx, c_idx));
+                if commit.utility > self.best_utility + self.config.convergence_tol {
+                    self.best_utility = commit.utility;
+                    improved = Some((r_idx, commit.chain));
                     self.last_improvement = self.iteration;
                 }
-                min_duration = min_duration.min(proposal.ln_timer.exp().clamp(0.0, 1e12));
+                min_ln_timer = min_ln_timer.min(proposal.ln_timer);
             }
         }
         if let Some((r_idx, c_idx)) = improved {
@@ -392,8 +439,14 @@ impl SeEngine {
             );
             self.obs.incr("se.improvements");
         }
-        if min_duration.is_finite() {
-            self.vtime += min_duration;
+        // `exp` and the clamp are monotone non-decreasing, so taking the
+        // min in log space and exponentiating once is bit-identical to the
+        // old per-proposal `exp(…).clamp(…)` fold. The finiteness guard
+        // must run on the *log* value: a commit-free round leaves
+        // `min_ln_timer` at +∞ and the virtual clock untouched, whereas
+        // `exp(∞).clamp(0, 1e12)` would be a finite 1e12.
+        if min_ln_timer.is_finite() {
+            self.vtime += min_ln_timer.exp().clamp(0.0, 1e12);
         }
         if self.iteration.is_multiple_of(self.config.record_every) {
             self.record_point();
@@ -401,6 +454,43 @@ impl SeEngine {
         if self.iteration.is_multiple_of(self.chain_sample_every()) {
             self.emit_chain_points();
         }
+    }
+
+    /// Phase 1 of [`SeEngine::step`]: every chain of every replica races
+    /// its timers and commits the winning proposal, partitioned across
+    /// [`SeEngine::with_threads`] workers in contiguous replica chunks
+    /// (the seed-per-task, index-order-merge idiom of the experiment
+    /// harness). Workers write into disjoint per-replica output slots and
+    /// never touch telemetry or engine-level state, so the merge phase
+    /// observes identical commit sequences at any thread count.
+    fn race_replicas(&mut self) -> Vec<Vec<ChainCommit>> {
+        let mut commits: Vec<Vec<ChainCommit>> = self.replicas.iter().map(|_| Vec::new()).collect();
+        let instance = &self.instance;
+        let config = &self.config;
+        let workers = self.threads.min(self.replicas.len()).max(1);
+        if workers <= 1 {
+            for (replica, out) in self.replicas.iter_mut().zip(commits.iter_mut()) {
+                *out = race_replica(replica, instance, config);
+            }
+            return commits;
+        }
+        let chunk = self.replicas.len().div_ceil(workers);
+        crossbeam::scope(|s| {
+            for (reps, outs) in self
+                .replicas
+                .chunks_mut(chunk)
+                .zip(commits.chunks_mut(chunk))
+            {
+                s.spawn(move |_| {
+                    for (replica, out) in reps.iter_mut().zip(outs.iter_mut()) {
+                        *out = race_replica(replica, instance, config);
+                    }
+                });
+            }
+        })
+        // lint: allow(P1, a worker panic is already a bug; propagating it beats deadlocking the merge)
+        .expect("SE race worker panicked");
+        commits
     }
 
     /// `true` once the convergence window has elapsed without improvement.
@@ -600,6 +690,8 @@ impl SeEngine {
             ));
         }
         self.replicas = replicas;
+        // Rebuilt chains start on the default sampler; re-apply the knob.
+        self.apply_sampler();
         Ok(SeReplicaStats { skipped })
     }
 
@@ -695,6 +787,37 @@ impl SeEngine {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct SeReplicaStats {
     skipped: usize,
+}
+
+/// One committed proposal from the race phase of [`SeEngine::step`]:
+/// which chain won, the winning proposal, and the chain's utility after
+/// the commit was applied. Collected per replica in chain order so the
+/// serial merge replays exactly the single-loop sequence.
+#[derive(Debug, Clone, Copy)]
+struct ChainCommit {
+    chain: usize,
+    proposal: Proposal,
+    utility: f64,
+}
+
+/// Races and commits every chain of one replica. Touches only
+/// replica-local state (the replica's chains and its own RNG stream) —
+/// no telemetry, no engine fields — which is what makes the fan-out in
+/// [`SeEngine::step`] safe to run from scoped workers.
+fn race_replica(replica: &mut Replica, instance: &Instance, config: &SeConfig) -> Vec<ChainCommit> {
+    let mut commits = Vec::new();
+    for c_idx in 0..replica.chains.len() {
+        let Some(proposal) = replica.chains[c_idx].race(instance, config, &mut replica.rng) else {
+            continue;
+        };
+        replica.chains[c_idx].apply(&proposal, instance);
+        commits.push(ChainCommit {
+            chain: c_idx,
+            proposal,
+            utility: replica.chains[c_idx].utility(),
+        });
+    }
+    commits
 }
 
 /// The chain cardinalities for one replica: the whole feasible range when

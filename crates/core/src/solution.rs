@@ -398,6 +398,41 @@ mod tests {
         }
     }
 
+    /// The |I|=8 coverage test above never leaves the rejection loop
+    /// (density 3/8 ⇒ the 64 draws miss with probability ≈(5/8)⁶⁴). This
+    /// one pins the *fallback* branch — the exact-order-statistic path
+    /// that used to be `O(|I|)` and is the hot path at sparse densities:
+    /// at 3/4096 the rejection loop fails ≈95% of the time, so ~950 of
+    /// 1000 draws below exercise the fallback.
+    #[test]
+    fn random_picks_cover_uniformly_through_the_fallback() {
+        let n = 4096;
+        let inst = instance(n);
+        let picks = [7usize, 2048, 4095];
+        let sol = Solution::from_indices(n, picks, &inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut counts = [0u32; 4096];
+        for _ in 0..1000 {
+            counts[sol.random_selected(&mut rng).unwrap()] += 1;
+        }
+        for i in picks {
+            assert!(counts[i] > 230, "index {i} drawn {}", counts[i]);
+        }
+        assert_eq!(counts.iter().sum::<u32>(), 1000);
+        // The mirror regime: all but a handful selected, so the
+        // unselected fallback fires on nearly every draw.
+        let unpicked = [9usize, 1024, 4000];
+        let sol = Solution::from_indices(n, (0..n).filter(|i| !unpicked.contains(i)), &inst);
+        let mut counts = [0u32; 4096];
+        for _ in 0..1000 {
+            counts[sol.random_unselected(&mut rng).unwrap()] += 1;
+        }
+        for i in unpicked {
+            assert!(counts[i] > 230, "index {i} drawn {}", counts[i]);
+        }
+        assert_eq!(counts.iter().sum::<u32>(), 1000);
+    }
+
     #[test]
     fn random_on_empty_and_full_return_none() {
         let inst = instance(3);

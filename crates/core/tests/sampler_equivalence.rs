@@ -1,0 +1,259 @@
+//! The SE fast-path sampler against the frozen reference (DESIGN.md §14).
+//!
+//! [`EvalCache::random_selected`]/[`EvalCache::random_unselected`] promise
+//! a *bit-identical* contract with [`Solution::random_selected`]/
+//! [`Solution::random_unselected`]: the same RNG draw sequence (64
+//! rejection draws, then one fallback draw) and the same returned index,
+//! with only the fallback's `O(|I|)` scan replaced by an `O(log |I|)`
+//! Fenwick select. These tests pin that contract three ways: the order
+//! statistics themselves (select-kth-one/zero vs `iter_*().nth(k)` on
+//! arbitrary bitsets), the sampler outputs under shared seeds across
+//! density regimes (dense, sparse, empty-adjacent, full-adjacent — the
+//! sparse regimes are where the fallback actually fires), and whole
+//! seeded [`SeEngine`] runs across samplers and thread counts.
+
+// Test/example code: unwrap is fine here (the workspace-level
+// `clippy::unwrap_used` warning targets library code; see mvcom-lint P1).
+#![allow(clippy::unwrap_used)]
+use mvcom_core::eval::EvalCache;
+use mvcom_core::problem::{Instance, InstanceBuilder};
+use mvcom_core::se::{SeConfig, SeEngine, SeSampler};
+use mvcom_core::Solution;
+use mvcom_types::{CommitteeId, ShardInfo, SimTime, TwoPhaseLatency};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn instance(n: usize) -> Instance {
+    InstanceBuilder::new()
+        .alpha(1.5)
+        .capacity(u64::MAX / 2)
+        .n_min(1)
+        .shards(
+            (0..n)
+                .map(|i| {
+                    ShardInfo::new(
+                        CommitteeId(i as u32),
+                        80 + (i as u64 * 13) % 90,
+                        TwoPhaseLatency::from_total(SimTime::from_secs(
+                            400.0 + ((i as f64 * 71.0) % 500.0),
+                        )),
+                    )
+                })
+                .collect(),
+        )
+        .build()
+        .unwrap()
+}
+
+/// An arbitrary bitset: a length and a subset of indices.
+fn arb_bitset() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (2usize..300).prop_flat_map(|len| {
+        (
+            Just(len),
+            proptest::collection::btree_set(0..len, 0..len.min(64)),
+        )
+            .prop_map(|(len, set)| (len, set.into_iter().collect()))
+    })
+}
+
+proptest! {
+    /// Fenwick select-kth-one agrees with `iter_selected().nth(k)` and
+    /// select-kth-zero with `iter_unselected().nth(k)` for every valid
+    /// `k` of an arbitrary bitset.
+    #[test]
+    fn select_kth_matches_nth((len, picks) in arb_bitset()) {
+        let inst = instance(len);
+        let sol = Solution::from_indices(len, picks.iter().copied(), &inst);
+        let cache = EvalCache::new(&inst, &sol);
+        for k in 0..sol.selected_count() {
+            prop_assert_eq!(
+                cache.select_kth_selected(k),
+                sol.iter_selected().nth(k).unwrap()
+            );
+        }
+        for k in 0..(len - sol.selected_count()) {
+            prop_assert_eq!(
+                cache.select_kth_unselected(k),
+                sol.iter_unselected().nth(k).unwrap()
+            );
+        }
+    }
+
+    /// The select trees stay consistent through incremental mutation, not
+    /// just construction: after random swaps, select-kth still matches.
+    #[test]
+    fn select_kth_matches_nth_after_mutations(
+        (len, picks) in arb_bitset(),
+        seed in 0u64..32,
+    ) {
+        let inst = instance(len);
+        let mut sol = Solution::from_indices(len, picks.iter().copied(), &inst);
+        let mut cache = EvalCache::new(&inst, &sol);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..40 {
+            let (out, inc) = (sol.random_selected(&mut rng), sol.random_unselected(&mut rng));
+            if let (Some(out), Some(inc)) = (out, inc) {
+                sol.swap(out, inc, &inst);
+                cache.swap(out, inc);
+            }
+            for k in 0..sol.selected_count() {
+                prop_assert_eq!(
+                    cache.select_kth_selected(k),
+                    sol.iter_selected().nth(k).unwrap()
+                );
+            }
+            for k in 0..(len - sol.selected_count()) {
+                prop_assert_eq!(
+                    cache.select_kth_unselected(k),
+                    sol.iter_unselected().nth(k).unwrap()
+                );
+            }
+        }
+    }
+}
+
+/// Drives both samplers from identically seeded RNGs over one solution
+/// shape and asserts index-sequence equality *and* RNG-state equality
+/// (the draw counts must match too, or downstream draws would diverge).
+fn assert_samplers_agree(len: usize, picks: &[usize], seed: u64, draws: usize) {
+    let inst = instance(len);
+    let sol = Solution::from_indices(len, picks.iter().copied(), &inst);
+    let cache = EvalCache::new(&inst, &sol);
+    let mut slow_rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut fast_rng = ChaCha8Rng::seed_from_u64(seed);
+    for step in 0..draws {
+        assert_eq!(
+            sol.random_selected(&mut slow_rng),
+            cache.random_selected(&sol, &mut fast_rng),
+            "selected draw diverged at step {step} (len={len}, |sel|={})",
+            sol.selected_count()
+        );
+        assert_eq!(
+            sol.random_unselected(&mut slow_rng),
+            cache.random_unselected(&sol, &mut fast_rng),
+            "unselected draw diverged at step {step} (len={len}, |sel|={})",
+            sol.selected_count()
+        );
+        // Same number of RNG draws consumed: the streams stay in lockstep.
+        assert_eq!(
+            slow_rng.gen::<u64>(),
+            fast_rng.gen::<u64>(),
+            "RNG streams out of lockstep after step {step}"
+        );
+    }
+}
+
+#[test]
+fn samplers_agree_dense() {
+    // Half density: the 64-draw rejection loop almost always succeeds.
+    let picks: Vec<usize> = (0..64).step_by(2).collect();
+    for seed in 0..4 {
+        assert_samplers_agree(64, &picks, seed, 200);
+    }
+}
+
+#[test]
+fn samplers_agree_sparse() {
+    // 3 of 4096 (≈0.07% density): `random_selected`'s rejection loop
+    // fails with probability ≈(1−3/4096)⁶⁴ ≈ 95% — the fallback *is* the
+    // hot path here, exactly the regime the Fenwick select exists for.
+    for seed in 0..4 {
+        assert_samplers_agree(4096, &[7, 2048, 4095], seed, 200);
+    }
+}
+
+#[test]
+fn samplers_agree_empty_adjacent() {
+    // A single selected shard: the sparsest reachable selected set.
+    for seed in 0..4 {
+        assert_samplers_agree(2048, &[1337], seed, 200);
+    }
+}
+
+#[test]
+fn samplers_agree_full_adjacent() {
+    // All but one selected: `random_unselected`'s fallback is hot.
+    let picks: Vec<usize> = (0..2048).filter(|&i| i != 600).collect();
+    for seed in 0..4 {
+        assert_samplers_agree(2048, &picks, seed, 200);
+    }
+}
+
+#[test]
+fn samplers_agree_empty_and_full() {
+    let inst = instance(8);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let empty = Solution::empty(8);
+    let cache = EvalCache::new(&inst, &empty);
+    assert_eq!(cache.random_selected(&empty, &mut rng), None);
+    let full = Solution::full(&inst);
+    let cache = EvalCache::new(&inst, &full);
+    assert_eq!(cache.random_unselected(&full, &mut rng), None);
+}
+
+fn engine_instance() -> Instance {
+    InstanceBuilder::new()
+        .alpha(1.5)
+        .capacity(40 * 120)
+        .n_min(13)
+        .shards(
+            (0..40)
+                .map(|i| {
+                    ShardInfo::new(
+                        CommitteeId(i as u32),
+                        80 + (i as u64 * 13) % 90,
+                        TwoPhaseLatency::from_total(SimTime::from_secs(
+                            400.0 + ((i as f64 * 71.0) % 500.0),
+                        )),
+                    )
+                })
+                .collect(),
+        )
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn engine_output_is_identical_across_samplers() {
+    let inst = engine_instance();
+    for seed in [3, 17] {
+        let cfg = SeConfig::paper(seed).with_max_iterations(300);
+        let slow = SeEngine::new(&inst, cfg)
+            .unwrap()
+            .with_sampler(SeSampler::RejectionScan)
+            .run();
+        let fast = SeEngine::new(&inst, cfg)
+            .unwrap()
+            .with_sampler(SeSampler::RankSelect)
+            .run();
+        assert_eq!(slow.best_solution, fast.best_solution);
+        assert_eq!(slow.best_utility, fast.best_utility);
+        assert_eq!(slow.trajectory, fast.trajectory);
+    }
+}
+
+#[test]
+fn engine_output_is_identical_across_thread_counts() {
+    let inst = engine_instance();
+    for seed in [5, 23] {
+        let serial = SeEngine::new(&inst, SeConfig::paper(seed).with_max_iterations(300))
+            .unwrap()
+            .run();
+        for threads in [2, 4, 16] {
+            let fanned = SeEngine::new(&inst, SeConfig::paper(seed).with_max_iterations(300))
+                .unwrap()
+                .with_threads(threads)
+                .run();
+            assert_eq!(
+                serial.best_solution, fanned.best_solution,
+                "{threads} threads"
+            );
+            assert_eq!(
+                serial.best_utility, fanned.best_utility,
+                "{threads} threads"
+            );
+            assert_eq!(serial.trajectory, fanned.trajectory, "{threads} threads");
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! mvcom dataset stats <FILE>                      # JSON or CSV trace
 //! mvcom solve    [--committees N] [--alpha A] [--capacity C]
 //!                [--n-min K] [--solver se|par-se|sa|dp|woa|greedy|bnb]
-//!                [--seed S] [--trace FILE]
+//!                [--seed S] [--trace FILE] [--threads T]
 //!                [--obs-out FILE] [--obs-level off|summary|events|trace]
 //! mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]
 //!                [--threads T]
@@ -79,7 +79,7 @@ fn print_usage() {
          mvcom dataset stats <FILE>\n  \
          mvcom solve    [--committees N] [--alpha A] [--capacity C] [--n-min K]\n           \
          [--solver se|par-se|sa|dp|woa|greedy|bnb] [--seed S] [--trace FILE]\n           \
-         [--obs-out FILE] [--obs-level off|summary|events|trace]\n  \
+         [--threads T] [--obs-out FILE] [--obs-level off|summary|events|trace]\n  \
          mvcom simulate [--nodes N] [--epochs E] [--seed S] [--scheduler se|all]\n           \
          [--threads T]\n           \
          [--chaos-drop P] [--crash IDX@SECS[..SECS]] [--heartbeat SECS]\n           \
@@ -294,6 +294,15 @@ fn solve(args: &[String]) -> Result<()> {
     let capacity: u64 = flags.num("capacity", 1_000 * committees as u64)?;
     let n_min: usize = flags.num("n-min", committees / 2)?;
     let solver = flags.get("solver").unwrap_or("se");
+    // SE replica fan-out (DESIGN.md §14): byte-identical to the serial
+    // run at any count, so 0 is a hard error, not "auto".
+    let threads: usize = flags.num("threads", 1usize)?;
+    if threads == 0 {
+        return Err(Error::invalid_config(
+            "threads",
+            "--threads must be >= 1 (use 1 for a serial run), got `0`",
+        ));
+    }
 
     let trace = load_trace(&flags, seed)?;
     let mut gen = EpochGenerator::new(&trace, LatencyConfig::paper(), seed);
@@ -313,6 +322,7 @@ fn solve(args: &[String]) -> Result<()> {
     let (name, solution): (String, Solution) = match solver {
         "se" => {
             let outcome = SeEngine::new(&instance, SeConfig::paper(seed))?
+                .with_threads(threads)
                 .with_obs(obs.clone())
                 .run();
             t_end = outcome.iterations as f64;
